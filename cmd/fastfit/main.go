@@ -1,0 +1,238 @@
+// Command fastfit runs a FastFIT fault-injection and sensitivity-analysis
+// campaign against one of the bundled workloads and prints the pruning
+// accounting, the outcome distribution and (optionally) the feature
+// correlations.
+//
+// Usage:
+//
+//	fastfit -app minimd -ranks 16 -trials 40
+//	fastfit -app lu -no-ml -policy allparams -v
+//
+// The Table II environment variables (NUM_INJ, INV_ID, CALL_ID, RANK_ID,
+// PARAM_ID) are honoured when -env-config is given: instead of a campaign,
+// a single configured injection test is executed, matching the original
+// tool's scripting interface.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/fastfit/fastfit"
+	"github.com/fastfit/fastfit/internal/classify"
+	"github.com/fastfit/fastfit/internal/core"
+	"github.com/fastfit/fastfit/internal/fault"
+	"github.com/fastfit/fastfit/internal/ml"
+	"github.com/fastfit/fastfit/internal/mpi"
+)
+
+func main() {
+	var (
+		appName   = flag.String("app", "minimd", "workload to study (is, ft, mg, lu, minimd)")
+		ranks     = flag.Int("ranks", 0, "number of MPI ranks (0 = app default)")
+		scale     = flag.Int("scale", 0, "problem-size knob (0 = app default)")
+		iters     = flag.Int("iters", 0, "outer iterations (0 = app default)")
+		trials    = flag.Int("trials", 100, "fault-injection tests per point")
+		seed      = flag.Int64("seed", 1, "campaign seed")
+		threshold = flag.Float64("threshold", 0.65, "ML prediction-accuracy threshold")
+		levels    = flag.Int("levels", 4, "error-rate levels for the ML label")
+		policy    = flag.String("policy", "databuffer", "injection policy: databuffer or allparams")
+		noSem     = flag.Bool("no-semantic", false, "disable semantic-driven pruning")
+		noCtx     = flag.Bool("no-context", false, "disable context-driven pruning")
+		noML      = flag.Bool("no-ml", false, "disable ML-driven pruning")
+		corr      = flag.Bool("correlations", false, "print the Table IV feature correlations")
+		advise    = flag.Bool("advise", false, "print per-site protection advice (paper §III-C criterion)")
+		saveJSON  = flag.String("save", "", "write the campaign result to a JSON file")
+		envConfig = flag.Bool("env-config", false, "run a single injection from Table II env vars instead of a campaign")
+		verbose   = flag.Bool("v", false, "verbose progress")
+	)
+	flag.Parse()
+
+	if *appName == "all" {
+		runAllApps(*ranks, *trials, *seed, *policy)
+		return
+	}
+
+	app, err := fastfit.LookupApp(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := app.DefaultConfig()
+	if *ranks > 0 {
+		cfg.Ranks = *ranks
+	}
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *iters > 0 {
+		cfg.Iters = *iters
+	}
+
+	opts := fastfit.DefaultOptions()
+	opts.TrialsPerPoint = *trials
+	opts.Seed = *seed
+	if *verbose {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Printf("[fastfit] "+format+"\n", args...)
+		}
+	}
+	opts.AccuracyThreshold = *threshold
+	opts.Levels = *levels
+	opts.SemanticPruning = !*noSem
+	opts.ContextPruning = !*noCtx
+	opts.MLPruning = !*noML
+	switch *policy {
+	case "databuffer":
+		opts.Policy = fastfit.PolicyDataBuffer
+	case "allparams":
+		opts.Policy = fastfit.PolicyAllParams
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+
+	engine := fastfit.New(app, cfg, opts)
+
+	if *envConfig {
+		runEnvConfigured(engine)
+		return
+	}
+
+	start := time.Now()
+	if *verbose {
+		fmt.Printf("profiling %s (%d ranks, scale %d, %d iters)...\n", *appName, cfg.Ranks, cfg.Scale, cfg.Iters)
+	}
+	res, err := engine.RunCampaign()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(res.Summary())
+	fmt.Printf("campaign wall-clock: %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	agg := fastfit.OutcomeBreakdown(res.Measured)
+	fmt.Printf("outcome distribution over %d injection tests:\n", agg.Total())
+	for o := classify.Outcome(0); o < classify.NumOutcomes; o++ {
+		fmt.Printf("  %-13s %6.2f%%  (%d)\n", o, 100*agg.Fraction(o), agg[o])
+	}
+
+	byColl := core.OutcomeByCollective(res.Measured)
+	fmt.Println("\nerror rate per collective:")
+	for _, t := range core.SortedCollTypes(byColl) {
+		c := byColl[t]
+		fmt.Printf("  %-18s %6.2f%% over %d tests\n", t, 100*c.ErrorRate(), c.Total())
+	}
+
+	if res.Learn != nil {
+		fmt.Printf("\nML: injected %d points, predicted %d (verify accuracy %.0f%%)\n",
+			res.Injected, res.PredictedN, 100*res.VerifyAccuracy)
+	}
+
+	if *corr {
+		table := fastfit.CorrelationTable(res.Measured, opts.Levels)
+		fmt.Println("\nfeature correlations (Eq. 1; 0.5 = no effect):")
+		names := make([]string, 0, len(table))
+		for n := range table {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %-14s %.2f\n", n, table[n])
+		}
+
+		// The random forest's own view of which features drive sensitivity.
+		ds := core.BuildLevelDataset(res.Measured, opts.Levels)
+		forest := ml.TrainForest(ds, ml.ForestConfig{Seed: opts.Seed})
+		fmt.Println("\nrandom-forest feature importance (mean Gini decrease):")
+		for i, v := range forest.FeatureImportance() {
+			fmt.Printf("  %-14s %.2f\n", core.FeatureNames[i], v)
+		}
+	}
+
+	if *advise {
+		fmt.Println("\nprotection advice (paper §III-C criterion):")
+		fmt.Print(core.RenderAdvice(core.Advise(res.Measured, core.AdviceThresholds{})))
+	}
+
+	if *saveJSON != "" {
+		if err := res.SaveJSON(*saveJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ncampaign result saved to %s\n", *saveJSON)
+	}
+}
+
+// runEnvConfigured performs one injection described by the Table II
+// environment variables against the profiled site list.
+func runEnvConfigured(engine *fastfit.Engine) {
+	cfgEnv, err := fault.ParseConfig(os.Getenv)
+	if err != nil {
+		fatal(err)
+	}
+	prof, err := engine.Profile()
+	if err != nil {
+		fatal(err)
+	}
+	sites := prof.SitesOnRank(cfgEnv.RankID)
+	refs := make([]fault.SiteRef, 0, len(sites))
+	for _, s := range sites {
+		refs = append(refs, fault.SiteRef{Site: s.PC, Type: s.Type})
+	}
+	rng := rand.New(rand.NewSource(1))
+	faults, err := cfgEnv.Faults(refs, rng)
+	if err != nil {
+		fatal(err)
+	}
+	if len(faults) == 0 {
+		fmt.Println("NUM_INJ is 0 or unset; nothing to inject")
+		return
+	}
+	var counts classify.Counts
+	for i, f := range faults {
+		outcome, _ := engine.RunOnce(f)
+		counts.Add(outcome)
+		fmt.Printf("injection %d: %v -> %v\n", i+1, f, outcome)
+	}
+	fmt.Printf("error rate: %.2f%%\n", 100*counts.ErrorRate())
+}
+
+// runAllApps executes a pruned campaign for every bundled workload and
+// prints a Table III-style summary.
+func runAllApps(ranks, trials int, seed int64, policy string) {
+	fmt.Printf("%-10s %8s %10s %9s %9s %9s %9s\n",
+		"app", "points", "injected", "semantic", "context", "ML", "total")
+	for _, name := range fastfit.AppNames() {
+		app, err := fastfit.LookupApp(name)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := app.DefaultConfig()
+		if ranks > 0 {
+			cfg.Ranks = ranks
+		}
+		opts := fastfit.DefaultOptions()
+		opts.TrialsPerPoint = trials
+		opts.Seed = seed
+		if policy == "allparams" {
+			opts.Policy = fastfit.PolicyAllParams
+		}
+		engine := fastfit.New(app, cfg, opts)
+		res, err := engine.RunCampaign()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Printf("%-10s %8d %10d %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
+			name, res.TotalPoints, res.Injected,
+			100*res.SemanticReduction, 100*res.ContextReduction,
+			100*res.MLReduction, 100*res.TotalReduction)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fastfit:", err)
+	os.Exit(1)
+}
+
+var _ = mpi.CommWorld // document the runtime dependency explicitly

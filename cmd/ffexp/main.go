@@ -1,0 +1,138 @@
+// Command ffexp regenerates the tables and figures of the FastFIT paper's
+// evaluation section (CLUSTER 2015, §V).
+//
+// Usage:
+//
+//	ffexp                       # list available experiments
+//	ffexp -run fig9             # regenerate one experiment
+//	ffexp -run all -scale paper # regenerate everything at paper scale
+//	ffexp -run all -out results # write each report to results/<id>.txt
+//
+// The quick scale (default) keeps every experiment's shape observable in
+// seconds on a laptop; the paper scale matches the paper's setup (32
+// ranks, 100 trials per injection point) and runs for considerably longer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/fastfit/fastfit/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "", "experiment id (fig1..fig13, table1..table4) or 'all'")
+		scale   = flag.String("scale", "quick", "experiment scale: quick or paper")
+		trials  = flag.Int("trials", 0, "override trials per point (0 = scale default)")
+		ranks   = flag.Int("ranks", 0, "override rank count (0 = scale default)")
+		seed    = flag.Int64("seed", 0, "override seed (0 = scale default)")
+		fig3Inv = flag.Int("fig3-inv", 0, "override fig3 same-stack invocations (0 = scale default)")
+		fig3Tr  = flag.Int("fig3-trials", 0, "override fig3 trials per invocation (0 = scale default)")
+		outDir  = flag.String("out", "", "write each report to <out>/<id>.txt instead of stdout")
+		csvOut  = flag.Bool("csv", false, "with -out: also write <out>/<id>.csv with the data series")
+		quiet   = flag.Bool("q", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	if *run == "" {
+		fmt.Println("available experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		fmt.Println("\nuse -run <id> or -run all")
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "paper":
+		sc = experiments.PaperScale()
+	default:
+		fatal(fmt.Errorf("unknown scale %q (quick or paper)", *scale))
+	}
+	if *trials > 0 {
+		sc.TrialsPerPoint = *trials
+	}
+	if *ranks > 0 {
+		sc.Ranks = *ranks
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	if *fig3Inv > 0 {
+		sc.Fig3Invocations = *fig3Inv
+	}
+	if *fig3Tr > 0 {
+		sc.Fig3Trials = *fig3Tr
+	}
+
+	store := experiments.NewStore(sc)
+	if !*quiet {
+		store.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "[ffexp] "+format+"\n", args...)
+		}
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		res, err := experiments.Run(id, store)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		report := render(res)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*outDir, id+".txt")
+			if err := os.WriteFile(path, []byte(report), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+			if *csvOut {
+				csvPath := filepath.Join(*outDir, id+".csv")
+				f, err := os.Create(csvPath)
+				if err != nil {
+					fatal(err)
+				}
+				if err := res.WriteCSV(f); err != nil {
+					f.Close()
+					fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("wrote %s\n", csvPath)
+			}
+		} else {
+			fmt.Print(report)
+			fmt.Println()
+		}
+	}
+}
+
+func render(r *experiments.Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n%s\n\n%s", r.ID, r.Title, r.Text)
+	if len(r.Notes) > 0 {
+		sb.WriteString("\nnotes:\n")
+		for _, n := range r.Notes {
+			fmt.Fprintf(&sb, "  - %s\n", n)
+		}
+	}
+	return sb.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ffexp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Command ffprofile runs FastFIT's profiling phase against a bundled
+// workload and prints the communication profile — the mpiP-style site
+// table, call-stack diversity and rank-equivalence classes that the
+// semantic- and context-driven pruning techniques consume.
+//
+// Usage:
+//
+//	ffprofile -app lu -ranks 16
+//	ffprofile -app minimd -points
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/fastfit/fastfit"
+	"github.com/fastfit/fastfit/internal/core"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "minimd", "workload to profile (is, ft, mg, lu, minimd)")
+		ranks   = flag.Int("ranks", 0, "number of MPI ranks (0 = app default)")
+		scale   = flag.Int("scale", 0, "problem-size knob (0 = app default)")
+		iters   = flag.Int("iters", 0, "outer iterations (0 = app default)")
+		points  = flag.Bool("points", false, "also list the pruned injection points")
+	)
+	flag.Parse()
+
+	app, err := fastfit.LookupApp(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := app.DefaultConfig()
+	if *ranks > 0 {
+		cfg.Ranks = *ranks
+	}
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *iters > 0 {
+		cfg.Iters = *iters
+	}
+
+	engine := fastfit.New(app, cfg, fastfit.DefaultOptions())
+	prof, err := engine.Profile()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(prof.Report())
+
+	if *points {
+		pts, err := engine.Points()
+		if err != nil {
+			fatal(err)
+		}
+		sem, semRed := core.SemanticPrune(prof, pts)
+		ctx, ctxRed := core.ContextPrune(sem)
+		fmt.Printf("\ninjection points: %d total -> %d after semantic pruning (%.1f%%) -> %d after context pruning (%.1f%%)\n",
+			len(pts), len(sem), 100*semRed, len(ctx), 100*ctxRed)
+		for _, p := range ctx {
+			fmt.Printf("  %s\n", p.String())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ffprofile:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+package fastfit_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/fastfit/fastfit"
+)
+
+// ExampleRunRanks shows the simulated MPI runtime directly: four ranks
+// agree on a global sum.
+func ExampleRunRanks() {
+	res := fastfit.RunRanks(fastfit.RunOptions{NumRanks: 4, Seed: 1, Timeout: 5 * time.Second},
+		func(r *fastfit.Rank) error {
+			sum := r.AllreduceFloat64(float64(r.ID()), fastfit.OpSum, fastfit.CommWorld)
+			if r.ID() == 0 {
+				r.ReportResult(sum)
+			}
+			return nil
+		})
+	fmt.Println(res.Ranks[0].Values[0])
+	// Output: 6
+}
+
+// ExampleNew runs a miniature FastFIT campaign end to end and prints the
+// pruning arithmetic.
+func ExampleNew() {
+	app, _ := fastfit.LookupApp("is")
+	cfg := app.DefaultConfig()
+	cfg.Ranks = 4
+	opts := fastfit.DefaultOptions()
+	opts.TrialsPerPoint = 4
+	opts.Seed = 7
+
+	engine := fastfit.New(app, cfg, opts)
+	res, _ := engine.RunCampaign()
+	fmt.Printf("points=%d injected+predicted=%d reduction>0: %v\n",
+		res.TotalPoints, res.Injected+res.PredictedN, res.TotalReduction > 0)
+	// Output: points=56 injected+predicted=16 reduction>0: true
+}
+
+// ExampleOutcome demonstrates the Table I taxonomy.
+func ExampleOutcome() {
+	for o := fastfit.Outcome(0); o < fastfit.NumOutcomes; o++ {
+		fmt.Printf("%v error=%v\n", o, o.IsError())
+	}
+	// Output:
+	// SUCCESS error=false
+	// APP_DETECTED error=true
+	// MPI_ERR error=true
+	// SEG_FAULT error=true
+	// WRONG_ANS error=true
+	// INF_LOOP error=true
+}

@@ -1,0 +1,105 @@
+// LAMMPS sensitivity study: reproduce the paper's LAMMPS results (Figs. 10
+// and 11) on the bundled miniMD stand-in — which collectives tolerate
+// faults, which are lethal, and how the application's own error handling
+// (lost-atom and NaN checks implemented with MPI_Allreduce) catches
+// corruption.
+//
+//	go run ./examples/lammps_sensitivity
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"github.com/fastfit/fastfit"
+	"github.com/fastfit/fastfit/internal/classify"
+	"github.com/fastfit/fastfit/internal/core"
+)
+
+func main() {
+	app, err := fastfit.LookupApp("minimd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := app.DefaultConfig()
+	cfg.Ranks = 8
+
+	opts := fastfit.DefaultOptions()
+	opts.TrialsPerPoint = 30
+	opts.MLPruning = false                 // measure everything for the figures
+	opts.Policy = fastfit.PolicyDataBuffer // the paper's §V-C policy
+
+	engine := fastfit.New(app, cfg, opts)
+	result, err := engine.RunCampaign()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(result.Summary())
+
+	// Fig. 10: response types per collective.
+	fmt.Println("\n== error types per collective (paper Fig. 10) ==")
+	byColl := core.OutcomeByCollective(result.Measured)
+	types := core.SortedCollTypes(byColl)
+	fmt.Printf("%-18s", "")
+	for o := classify.Outcome(0); o < classify.NumOutcomes; o++ {
+		fmt.Printf("%-14s", o)
+	}
+	fmt.Println()
+	for _, t := range types {
+		c := byColl[t]
+		fmt.Printf("%-18s", t)
+		for o := classify.Outcome(0); o < classify.NumOutcomes; o++ {
+			fmt.Printf("%-14s", fmt.Sprintf("%.1f%%", 100*c.Fraction(o)))
+		}
+		fmt.Println()
+	}
+
+	// Fig. 11: error-rate levels per collective.
+	fmt.Println("\n== error-rate levels per collective (paper Fig. 11) ==")
+	levels := core.LevelsByCollective(result.Measured)
+	for _, t := range core.SortedCollTypes(levels) {
+		b := levels[t]
+		tot := b[0] + b[1] + b[2]
+		if tot == 0 {
+			continue
+		}
+		fmt.Printf("%-18s low %5.1f%%  med %5.1f%%  high %5.1f%%   %s\n",
+			t,
+			100*float64(b[0])/float64(tot),
+			100*float64(b[1])/float64(tot),
+			100*float64(b[2])/float64(tot),
+			strings.Repeat("#", b[2])+strings.Repeat("+", b[1])+strings.Repeat(".", b[0]))
+	}
+
+	// The error-handling story: how much corruption does the app catch?
+	fmt.Println("\n== error-handling effectiveness ==")
+	var errHandled, regular classify.Counts
+	for _, pr := range result.Measured {
+		if pr.Point.ErrHandling {
+			errHandled.Merge(pr.Counts)
+		} else {
+			regular.Merge(pr.Counts)
+		}
+	}
+	fmt.Printf("faults in error-handling collectives: %5.1f%% APP_DETECTED (%d tests)\n",
+		100*errHandled.Fraction(classify.AppDetected), errHandled.Total())
+	fmt.Printf("faults in regular collectives:        %5.1f%% APP_DETECTED (%d tests)\n",
+		100*regular.Fraction(classify.AppDetected), regular.Total())
+
+	// Which points are the most sensitive overall?
+	sorted := append([]fastfit.PointResult(nil), result.Measured...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ErrorRate() > sorted[j].ErrorRate() })
+	fmt.Println("\n== five most sensitive injection points ==")
+	for _, pr := range sorted[:min(5, len(sorted))] {
+		fmt.Printf("  %5.1f%%  %s\n", 100*pr.ErrorRate(), pr.Point.String())
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

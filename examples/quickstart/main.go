@@ -1,0 +1,50 @@
+// Quickstart: run a complete FastFIT campaign against the bundled NAS IS
+// kernel and print the pruning accounting and sensitivity profile.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/fastfit/fastfit"
+)
+
+func main() {
+	// Pick a bundled workload. The miniature NPB IS kernel sorts integers
+	// with an Allreduce + Alltoall + Alltoallv skeleton.
+	app, err := fastfit.LookupApp("is")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := app.DefaultConfig()
+	cfg.Ranks = 8 // keep the demo snappy
+
+	// The paper's defaults: all three pruning techniques, 65% accuracy
+	// threshold. Only the trial count is reduced for the demo.
+	opts := fastfit.DefaultOptions()
+	opts.TrialsPerPoint = 20
+	opts.Seed = 42
+
+	engine := fastfit.New(app, cfg, opts)
+	result, err := engine.RunCampaign()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== pruning accounting (paper Table III row) ==")
+	fmt.Println(result.Summary())
+
+	fmt.Println("\n== application sensitivity (paper Table I classes) ==")
+	counts := fastfit.OutcomeBreakdown(result.Measured)
+	for o := fastfit.Outcome(0); o < fastfit.NumOutcomes; o++ {
+		fmt.Printf("  %-13s %6.2f%%\n", o, 100*counts.Fraction(o))
+	}
+	fmt.Printf("\noverall error rate: %.1f%% across %d injection tests\n",
+		100*counts.ErrorRate(), counts.Total())
+
+	if result.Learn != nil && result.PredictedN > 0 {
+		fmt.Printf("the model predicted %d points without injecting them\n", result.PredictedN)
+	}
+}

@@ -1,0 +1,319 @@
+// Package fastfit is a Go reproduction of FastFIT, the fast fault-injection
+// and sensitivity-analysis tool for MPI collective communications published
+// at IEEE CLUSTER 2015 ("Fast Fault Injection and Sensitivity Analysis for
+// Collective Communications", Feng, Gorentla Venkata, Li and Sun).
+//
+// FastFIT studies how applications respond when a bit flips inside the
+// input parameters or data buffers of collective operations such as
+// MPI_Allreduce — and makes that study *fast* by pruning the enormous
+// (rank, call site, invocation) fault-injection space with three
+// techniques:
+//
+//   - Semantic-driven pruning: collective semantics (root vs. non-root)
+//     plus call-graph/communication-trace equivalence reduce the set of
+//     ranks worth injecting to one or two representatives per call site.
+//   - Application-context-driven pruning: invocations sharing a call stack
+//     respond alike, so one representative per distinct stack suffices.
+//   - ML-driven prediction: a random forest trained on a subset of results
+//     predicts the sensitivity of the remaining points and reveals which
+//     application features correlate with sensitivity.
+//
+// Because Go has no production MPI, the package ships its own simulated
+// MPI runtime (ranks as goroutines, tree/ring collective algorithms over
+// channel point-to-point messaging, an MPICH-style handle/validation model
+// and heap-slack memory semantics) together with miniature, communication-
+// faithful versions of the paper's workloads: the NAS Parallel Benchmark
+// kernels IS, FT, MG and LU, and a LAMMPS-style molecular-dynamics
+// application. See DESIGN.md for the substitution rationale and
+// EXPERIMENTS.md for paper-versus-measured results.
+//
+// # Quick start
+//
+// Run a pruned fault-injection campaign against a bundled workload:
+//
+//	app, _ := fastfit.LookupApp("lu")
+//	cfg := app.DefaultConfig()
+//	opts := fastfit.DefaultOptions()
+//	opts.TrialsPerPoint = 30
+//	engine := fastfit.New(app, cfg, opts)
+//	result, err := engine.RunCampaign()
+//	if err != nil { ... }
+//	fmt.Println(result.Summary())
+//
+// Custom workloads implement the App interface on top of the simulated MPI
+// runtime (see examples/custom_app).
+package fastfit
+
+import (
+	"github.com/fastfit/fastfit/internal/apps"
+	"github.com/fastfit/fastfit/internal/apps/all"
+	"github.com/fastfit/fastfit/internal/classify"
+	"github.com/fastfit/fastfit/internal/core"
+	"github.com/fastfit/fastfit/internal/fault"
+	"github.com/fastfit/fastfit/internal/mpi"
+)
+
+// ---- simulated MPI runtime ----
+
+// Rank is the per-process handle an application's rank function receives;
+// it exposes point-to-point messaging, the collectives, phase and
+// error-handling annotations, deterministic randomness and the work-budget
+// Tick.
+type Rank = mpi.Rank
+
+// Comm is a communicator handle.
+type Comm = mpi.Comm
+
+// CommWorld is the world communicator, present in every run.
+const CommWorld = mpi.CommWorld
+
+// Buffer is a bounds-tracked region of simulated application memory with
+// heap-slack semantics.
+type Buffer = mpi.Buffer
+
+// Datatype is an MPI datatype handle.
+type Datatype = mpi.Datatype
+
+// Op is an MPI reduction-operator handle.
+type Op = mpi.Op
+
+// Predefined datatype handles.
+const (
+	Byte       = mpi.Byte
+	Int32      = mpi.Int32
+	Int64      = mpi.Int64
+	Float32    = mpi.Float32
+	Float64    = mpi.Float64
+	Complex128 = mpi.Complex128
+)
+
+// Predefined reduction operators.
+const (
+	OpSum  = mpi.OpSum
+	OpProd = mpi.OpProd
+	OpMax  = mpi.OpMax
+	OpMin  = mpi.OpMin
+	OpLand = mpi.OpLand
+	OpLor  = mpi.OpLor
+	OpBand = mpi.OpBand
+	OpBor  = mpi.OpBor
+)
+
+// Buffer constructors, re-exported for applications that call the
+// collectives directly rather than through the typed convenience wrappers.
+var (
+	NewBuffer           = mpi.NewBuffer
+	NewFloat64Buffer    = mpi.NewFloat64Buffer
+	NewInt64Buffer      = mpi.NewInt64Buffer
+	NewInt32Buffer      = mpi.NewInt32Buffer
+	NewComplex128Buffer = mpi.NewComplex128Buffer
+	FromFloat64s        = mpi.FromFloat64s
+	FromInt64s          = mpi.FromInt64s
+	FromInt32s          = mpi.FromInt32s
+	FromComplex128s     = mpi.FromComplex128s
+)
+
+// Phase labels an application's execution phase, one of the features
+// FastFIT correlates with sensitivity.
+type Phase = mpi.Phase
+
+// Execution phases.
+const (
+	PhaseInit    = mpi.PhaseInit
+	PhaseInput   = mpi.PhaseInput
+	PhaseCompute = mpi.PhaseCompute
+	PhaseEnd     = mpi.PhaseEnd
+)
+
+// RunOptions configures a bare application execution on the simulated
+// runtime (outside any campaign).
+type RunOptions = mpi.RunOptions
+
+// RunResult reports a bare application execution.
+type RunResult = mpi.RunResult
+
+// RunRanks executes fn on n simulated MPI ranks — the lowest-level entry
+// point, useful for bringing up a new workload.
+func RunRanks(opts RunOptions, fn func(r *Rank) error) RunResult {
+	return mpi.Run(opts, fn)
+}
+
+// ---- point-to-point extension (paper §VIII future work) ----
+
+// P2PKind distinguishes Send and Recv operations.
+type P2PKind = mpi.P2PKind
+
+// Point-to-point kinds.
+const (
+	P2PSend = mpi.P2PSend
+	P2PRecv = mpi.P2PRecv
+)
+
+// P2PPoint is a point-to-point fault injection point.
+type P2PPoint = core.P2PPoint
+
+// P2PPointResult aggregates a p2p point's injection tests.
+type P2PPointResult = core.P2PPointResult
+
+// P2PFault is a planned bit flip in a Send/Recv call.
+type P2PFault = fault.P2PFault
+
+// P2PTarget names the corrupted p2p parameter.
+type P2PTarget = fault.P2PTarget
+
+// Point-to-point injection targets.
+const (
+	P2PTargetData = fault.P2PTargetData
+	P2PTargetTag  = fault.P2PTargetTag
+	P2PTargetPeer = fault.P2PTargetPeer
+)
+
+// Request is a pending nonblocking point-to-point operation.
+type Request = mpi.Request
+
+// ---- workloads ----
+
+// App is a workload FastFIT can study.
+type App = apps.App
+
+// Config parameterises one application execution.
+type Config = apps.Config
+
+// Apps returns the bundled workloads (is, ft, mg, lu, minimd) keyed by
+// name.
+func Apps() map[string]App { return all.Registry() }
+
+// AppNames returns the bundled workload names in sorted order.
+func AppNames() []string { return all.Names() }
+
+// LookupApp returns a bundled workload by name.
+func LookupApp(name string) (App, error) { return all.Lookup(name) }
+
+// ---- fault model ----
+
+// Fault is one planned bit flip addressed to a fault injection point.
+type Fault = fault.Fault
+
+// Target names the collective input parameter a fault corrupts.
+type Target = fault.Target
+
+// Injection targets.
+const (
+	TargetSendBuf   = fault.TargetSendBuf
+	TargetRecvBuf   = fault.TargetRecvBuf
+	TargetCount     = fault.TargetCount
+	TargetCountsVec = fault.TargetCountsVec
+	TargetDatatype  = fault.TargetDatatype
+	TargetOp        = fault.TargetOp
+	TargetRoot      = fault.TargetRoot
+	TargetComm      = fault.TargetComm
+)
+
+// ---- outcomes (paper Table I) ----
+
+// Outcome is one of the six application-response classes.
+type Outcome = classify.Outcome
+
+// The six response classes.
+const (
+	Success     = classify.Success
+	AppDetected = classify.AppDetected
+	MPIErr      = classify.MPIErr
+	SegFault    = classify.SegFault
+	WrongAns    = classify.WrongAns
+	InfLoop     = classify.InfLoop
+	NumOutcomes = classify.NumOutcomes
+)
+
+// OutcomeCounts tallies outcomes across trials.
+type OutcomeCounts = classify.Counts
+
+// ---- the FastFIT engine ----
+
+// Engine drives the profiling, injection and learning phases for one
+// application configuration.
+type Engine = core.Engine
+
+// Options configures a campaign.
+type Options = core.Options
+
+// FaultPolicy selects which parameter each injection test corrupts.
+type FaultPolicy = core.FaultPolicy
+
+// Injection policies.
+const (
+	// PolicyDataBuffer flips bits in the collective's data buffer when it
+	// has one (the paper's §V-C policy).
+	PolicyDataBuffer = core.PolicyDataBuffer
+	// PolicyAllParams flips bits in a uniformly random input parameter
+	// (the paper's §II basic methodology).
+	PolicyAllParams = core.PolicyAllParams
+)
+
+// Point is one fault injection point with its application features.
+type Point = core.Point
+
+// PointResult aggregates one point's injection tests.
+type PointResult = core.PointResult
+
+// TrialResult is one injection test.
+type TrialResult = core.TrialResult
+
+// Prediction is a point whose sensitivity was predicted instead of
+// measured.
+type Prediction = core.Prediction
+
+// CampaignResult is the complete outcome of a campaign, including the
+// Table III pruning accounting.
+type CampaignResult = core.CampaignResult
+
+// LearnResult is the outcome of the ML injection/learning feedback loop.
+type LearnResult = core.LearnResult
+
+// DefaultOptions returns the paper's configuration: all three pruning
+// techniques enabled, 100 trials per point, a 65% accuracy threshold and
+// four error-rate levels.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// New builds an engine for one application configuration.
+func New(app App, cfg Config, opts Options) *Engine { return core.New(app, cfg, opts) }
+
+// ---- analysis helpers ----
+
+// OutcomeBreakdown tallies all trials of all measured points.
+func OutcomeBreakdown(measured []PointResult) OutcomeCounts {
+	return core.OutcomeBreakdown(measured)
+}
+
+// CorrelationTable computes the paper's Eq. 1 correlation between the
+// indicator-expanded application features and the error-rate level.
+func CorrelationTable(measured []PointResult, levels int) map[string]float64 {
+	return core.CorrelationTable(measured, levels)
+}
+
+// FeatureNames are the six application features of the paper's §III-C.
+var FeatureNames = core.FeatureNames
+
+// ExpandedFeatureNames are the indicator-expanded features of Table IV.
+var ExpandedFeatureNames = core.ExpandedFeatureNames
+
+// ---- resilient-design outputs ----
+
+// Advice is a per-site protection recommendation derived from campaign
+// results (the paper's adaptive fault-tolerance motivation).
+type Advice = core.Advice
+
+// AdviceThresholds tunes the recommendation criterion; the zero value uses
+// the paper's 20% error-rate gate.
+type AdviceThresholds = core.AdviceThresholds
+
+// Advise turns measured results into per-site protection recommendations.
+func Advise(measured []PointResult, th AdviceThresholds) []Advice {
+	return core.Advise(measured, th)
+}
+
+// LoadCampaignJSON reads a campaign result persisted with
+// CampaignResult.SaveJSON.
+func LoadCampaignJSON(path string) (*CampaignResult, error) {
+	return core.LoadCampaignJSON(path)
+}

@@ -1,0 +1,3 @@
+module github.com/fastfit/fastfit
+
+go 1.22

@@ -1,0 +1,97 @@
+package all
+
+import (
+	"testing"
+	"time"
+
+	"github.com/fastfit/fastfit/internal/apps"
+	"github.com/fastfit/fastfit/internal/mpi"
+)
+
+// runApp executes one workload fault-free and returns the result.
+func runApp(t *testing.T, a apps.App, cfg apps.Config) mpi.RunResult {
+	t.Helper()
+	return mpi.Run(mpi.RunOptions{NumRanks: cfg.Ranks, Seed: cfg.Seed, Timeout: 20 * time.Second},
+		func(r *mpi.Rank) error { return a.Main(r, cfg) })
+}
+
+func TestAllAppsRunCleanAtDefaultConfig(t *testing.T) {
+	for name, a := range Registry() {
+		name, a := name, a
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := a.DefaultConfig()
+			res := runApp(t, a, cfg)
+			if err := res.FirstError(); err != nil {
+				t.Fatalf("%s failed: %v", name, err)
+			}
+			if res.Deadlock || res.TimedOut {
+				t.Fatalf("%s deadlock=%v timeout=%v", name, res.Deadlock, res.TimedOut)
+			}
+			// The root rank must report the program's printed output so a
+			// golden comparison is possible.
+			if len(res.Ranks[0].Values) == 0 {
+				t.Fatalf("%s rank 0 reported no results (golden comparison impossible)", name)
+			}
+		})
+	}
+}
+
+func TestAllAppsAreDeterministic(t *testing.T) {
+	for name, a := range Registry() {
+		name, a := name, a
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := a.DefaultConfig()
+			r1 := runApp(t, a, cfg)
+			r2 := runApp(t, a, cfg)
+			for i := range r1.Ranks {
+				v1, v2 := r1.Ranks[i].Values, r2.Ranks[i].Values
+				if len(v1) != len(v2) {
+					t.Fatalf("%s rank %d: value count differs", name, i)
+				}
+				for j := range v1 {
+					if v1[j] != v2[j] {
+						t.Fatalf("%s rank %d value %d: %v != %v", name, i, j, v1[j], v2[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAllAppsRunAtSmallRankCounts(t *testing.T) {
+	for name, a := range Registry() {
+		name, a := name, a
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := a.DefaultConfig()
+			cfg.Ranks = 8
+			// Keep per-rank divisibility constraints satisfied.
+			switch name {
+			case "ft":
+				cfg.Scale = 8
+			case "mg":
+				cfg.Scale = 16
+			case "lu":
+				cfg.Scale = 32
+			}
+			res := runApp(t, a, cfg)
+			if err := res.FirstError(); err != nil {
+				t.Fatalf("%s failed at 8 ranks: %v", name, err)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("minimd"); err != nil {
+		t.Fatalf("lookup minimd: %v", err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatalf("lookup nope should fail")
+	}
+	if len(Names()) != 5 {
+		t.Fatalf("expected 5 apps, got %v", Names())
+	}
+}

@@ -1,0 +1,113 @@
+package lu
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/fastfit/fastfit/internal/apps"
+	"github.com/fastfit/fastfit/internal/mpi"
+	"github.com/fastfit/fastfit/internal/profile"
+)
+
+func runLU(t *testing.T, cfg apps.Config, hook mpi.Hook) mpi.RunResult {
+	t.Helper()
+	app := New()
+	return mpi.Run(mpi.RunOptions{NumRanks: cfg.Ranks, Seed: cfg.Seed, Hook: hook, Timeout: 20 * time.Second},
+		func(r *mpi.Rank) error { return app.Main(r, cfg) })
+}
+
+func TestLUCleanRun(t *testing.T) {
+	for _, c := range []struct{ ranks, scale int }{{2, 32}, {4, 32}, {8, 64}, {16, 64}} {
+		cfg := apps.Config{Ranks: c.ranks, Scale: c.scale, Iters: 4, Seed: 6}
+		res := runLU(t, cfg, nil)
+		if err := res.FirstError(); err != nil {
+			t.Fatalf("ranks=%d scale=%d: %v", c.ranks, c.scale, err)
+		}
+		out := res.Ranks[0].Values
+		if len(out) != 3 {
+			t.Fatalf("root output = %v", out)
+		}
+		if math.IsNaN(out[0]) || out[0] < 0 {
+			t.Fatalf("rsdnm = %v", out[0])
+		}
+		if out[2] != 4 { // the OpMax timing reduce carries the iteration count
+			t.Fatalf("timer reduce = %v", out[2])
+		}
+	}
+}
+
+func TestLUResidualDecreasesWithSweeps(t *testing.T) {
+	norm := func(iters int) float64 {
+		cfg := apps.Config{Ranks: 4, Scale: 32, Iters: iters, Seed: 6}
+		res := runLU(t, cfg, nil)
+		if err := res.FirstError(); err != nil {
+			t.Fatal(err)
+		}
+		return res.Ranks[0].Values[0]
+	}
+	r1, r8 := norm(1), norm(8)
+	if r8 >= r1 {
+		t.Fatalf("SSOR sweeps should reduce the residual: 1 iter %v, 8 iters %v", r1, r8)
+	}
+}
+
+func TestLUWavefrontPipelineUsesPointToPoint(t *testing.T) {
+	// The sweeps pipeline through Send/Recv, so only the RSDNM Allreduce,
+	// the setup Bcast, the end-phase Reduces and Barriers show up as
+	// collectives — the Fig. 1 profile.
+	cfg := apps.Config{Ranks: 4, Scale: 32, Iters: 3, Seed: 6}
+	col := profile.NewCollector(cfg.Ranks)
+	res := runLU(t, cfg, col)
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	prof := col.Finish()
+	types := map[mpi.CollType]int{}
+	for _, s := range prof.SitesOnRank(1) {
+		types[s.Type] += s.Invocations()
+	}
+	if types[mpi.CollAllreduce] != 2*cfg.Iters { // norm + divergence check
+		t.Fatalf("allreduce invocations = %d, want %d", types[mpi.CollAllreduce], 2*cfg.Iters)
+	}
+	if types[mpi.CollAlltoall] != 0 || types[mpi.CollAllgather] != 0 {
+		t.Fatalf("LU should not use alltoall/allgather: %v", types)
+	}
+}
+
+func TestLUAllreduceRanksAreEquivalent(t *testing.T) {
+	// The premise of the paper's Fig. 1: all ranks of the RSDNM Allreduce
+	// have the same communication pattern and call stacks. Non-root ranks
+	// must share trace hashes (rank 0 differs: it roots the Bcast).
+	cfg := apps.Config{Ranks: 8, Scale: 32, Iters: 2, Seed: 6}
+	col := profile.NewCollector(cfg.Ranks)
+	res := runLU(t, cfg, col)
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	prof := col.Finish()
+	for rank := 2; rank < 7; rank++ {
+		if prof.TraceHash[rank] != prof.TraceHash[1] {
+			t.Fatalf("rank %d trace differs from rank 1; LU interior ranks should be equivalent", rank)
+		}
+	}
+}
+
+func TestLUDivergenceAborts(t *testing.T) {
+	cfg := apps.Config{Ranks: 4, Scale: 32, Iters: 3, Seed: 6}
+	hook := &rsdnmBomb{}
+	res := runLU(t, cfg, hook)
+	if _, ok := res.FirstError().(mpi.AppError); !ok {
+		t.Fatalf("diverged LU should abort, got %v", res.FirstError())
+	}
+}
+
+type rsdnmBomb struct {
+	mpi.NopHook
+}
+
+func (h *rsdnmBomb) BeforeCollective(c *mpi.CollectiveCall) {
+	if c.Type == mpi.CollAllreduce && c.Rank == 1 && !c.ErrHandling && c.Args.Send.Len() >= 16 {
+		c.Args.Send.SetFloat64(0, math.MaxFloat64)
+	}
+}

@@ -1,0 +1,99 @@
+package mg
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/fastfit/fastfit/internal/apps"
+	"github.com/fastfit/fastfit/internal/mpi"
+	"github.com/fastfit/fastfit/internal/profile"
+)
+
+func runMG(t *testing.T, cfg apps.Config, hook mpi.Hook) mpi.RunResult {
+	t.Helper()
+	app := New()
+	return mpi.Run(mpi.RunOptions{NumRanks: cfg.Ranks, Seed: cfg.Seed, Hook: hook, Timeout: 20 * time.Second},
+		func(r *mpi.Rank) error { return app.Main(r, cfg) })
+}
+
+func TestMGCleanRun(t *testing.T) {
+	for _, c := range []struct{ ranks, scale int }{{2, 16}, {4, 16}, {8, 32}, {16, 32}} {
+		cfg := apps.Config{Ranks: c.ranks, Scale: c.scale, Iters: 3, Seed: 8}
+		res := runMG(t, cfg, nil)
+		if err := res.FirstError(); err != nil {
+			t.Fatalf("ranks=%d scale=%d: %v", c.ranks, c.scale, err)
+		}
+		out := res.Ranks[0].Values
+		if len(out) != 2 {
+			t.Fatalf("root output = %v", out)
+		}
+		if math.IsNaN(out[0]) || out[0] < 0 {
+			t.Fatalf("residual norm = %v", out[0])
+		}
+	}
+}
+
+func TestMGResidualDecreasesWithCycles(t *testing.T) {
+	norm := func(cycles int) float64 {
+		cfg := apps.Config{Ranks: 4, Scale: 16, Iters: cycles, Seed: 8}
+		res := runMG(t, cfg, nil)
+		if err := res.FirstError(); err != nil {
+			t.Fatal(err)
+		}
+		return res.Ranks[0].Values[0]
+	}
+	r1, r4 := norm(1), norm(4)
+	if r4 >= r1 {
+		t.Fatalf("V-cycles should reduce the residual: 1 cycle %v, 4 cycles %v", r1, r4)
+	}
+}
+
+func TestMGUsesAllreduceNormAndHaloExchange(t *testing.T) {
+	cfg := apps.Config{Ranks: 4, Scale: 16, Iters: 2, Seed: 8}
+	col := profile.NewCollector(cfg.Ranks)
+	res := runMG(t, cfg, col)
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	prof := col.Finish()
+	var allreduces, bcasts int
+	for _, s := range prof.SitesOnRank(0) {
+		switch s.Type {
+		case mpi.CollAllreduce:
+			allreduces += s.Invocations()
+		case mpi.CollBcast:
+			bcasts += s.Invocations()
+		}
+	}
+	if allreduces < 2*cfg.Iters {
+		t.Fatalf("MG should allreduce norms every cycle: %d", allreduces)
+	}
+	if bcasts != 1 {
+		t.Fatalf("MG should broadcast params once: %d", bcasts)
+	}
+}
+
+func TestMGDivergenceIsDetectedByErrorHandling(t *testing.T) {
+	// Corrupt the solution mid-run so the next residual norm explodes:
+	// the divergence-check Allreduce must turn this into an application
+	// abort rather than silent nonsense.
+	cfg := apps.Config{Ranks: 4, Scale: 16, Iters: 3, Seed: 8}
+	hook := &normBomb{}
+	res := runMG(t, cfg, hook)
+	if _, ok := res.FirstError().(mpi.AppError); !ok {
+		t.Fatalf("diverged MG should abort via error handling, got %v", res.FirstError())
+	}
+}
+
+// normBomb corrupts the norm contribution of rank 2 by flipping a high
+// exponent bit in its allreduce send buffer.
+type normBomb struct {
+	mpi.NopHook
+}
+
+func (h *normBomb) BeforeCollective(c *mpi.CollectiveCall) {
+	if c.Type == mpi.CollAllreduce && c.Rank == 2 && !c.ErrHandling && c.Args.Send.Len() >= 8 {
+		c.Args.Send.SetFloat64(0, 1e308)
+	}
+}

@@ -1,0 +1,20 @@
+package apps
+
+import "github.com/fastfit/fastfit/internal/mpi"
+
+// MemLimitElems is the simulated per-rank physical-memory limit, in 8-byte
+// elements. Applications route allocation sizes that depend on communicated
+// values through GuardAlloc, so a corrupted count that would make a real
+// process die in malloc produces a simulated crash here instead of
+// exhausting the host machine.
+const MemLimitElems = 1 << 22
+
+// GuardAlloc validates an allocation request of n elements and panics with
+// a simulated segmentation fault when it is negative or exceeds the
+// simulated memory limit.
+func GuardAlloc(op string, n int) int {
+	if n < 0 || n > MemLimitElems {
+		panic(mpi.SegFault{Op: op + " allocation", Offset: 0, Length: n, Bound: MemLimitElems})
+	}
+	return n
+}

@@ -1,0 +1,33 @@
+package apps
+
+import (
+	"testing"
+
+	"github.com/fastfit/fastfit/internal/mpi"
+)
+
+func TestGuardAllocPassesReasonableSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 1024, MemLimitElems} {
+		if got := GuardAlloc("test", n); got != n {
+			t.Errorf("GuardAlloc(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestGuardAllocFaultsOnCorruptSizes(t *testing.T) {
+	for _, n := range []int{-1, MemLimitElems + 1, 1 << 40} {
+		func() {
+			defer func() {
+				p := recover()
+				if p == nil {
+					t.Errorf("GuardAlloc(%d) should fault", n)
+					return
+				}
+				if _, ok := p.(mpi.SegFault); !ok {
+					t.Errorf("GuardAlloc(%d) paniced with %T, want SegFault", n, p)
+				}
+			}()
+			GuardAlloc("test", n)
+		}()
+	}
+}

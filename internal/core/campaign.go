@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CampaignResult is the complete outcome of a FastFIT campaign on one
+// application: the pruning accounting of the paper's Table III plus the
+// per-point injection results feeding every sensitivity figure.
+type CampaignResult struct {
+	AppName string
+	Ranks   int
+
+	// Point accounting through the pruning pipeline.
+	TotalPoints   int // all (rank, site, invocation) triples
+	AfterSemantic int
+	AfterContext  int
+	Injected      int // points actually injected
+	PredictedN    int // points predicted by the model
+
+	// Reduction ratios as the paper reports them: each technique's
+	// reduction is relative to the space it received (Table III's MPI,
+	// App and ML columns), and Total is relative to the full space.
+	SemanticReduction float64
+	ContextReduction  float64
+	MLReduction       float64
+	TotalReduction    float64
+
+	Measured       []PointResult
+	Predicted      []Prediction
+	VerifyAccuracy float64
+	Learn          *LearnResult
+}
+
+// RunCampaign executes the full FastFIT pipeline: profile, prune, inject,
+// learn.
+func (e *Engine) RunCampaign() (*CampaignResult, error) {
+	prof, err := e.Profile()
+	if err != nil {
+		return nil, err
+	}
+	points := enumeratePoints(prof)
+	res := &CampaignResult{
+		AppName:     e.app.Name(),
+		Ranks:       e.cfg.Ranks,
+		TotalPoints: len(points),
+	}
+
+	e.logf("profiled %s: %d injection points", e.app.Name(), len(points))
+	if e.opts.SemanticPruning {
+		points, res.SemanticReduction = SemanticPrune(prof, points)
+		e.logf("semantic pruning: %d points (%.1f%% eliminated)", len(points), 100*res.SemanticReduction)
+	}
+	res.AfterSemantic = len(points)
+
+	if e.opts.ContextPruning {
+		points, res.ContextReduction = ContextPrune(points)
+		e.logf("context pruning: %d points (%.1f%% eliminated)", len(points), 100*res.ContextReduction)
+	}
+	res.AfterContext = len(points)
+
+	if e.opts.MLPruning {
+		lr := e.LearnCampaign(points)
+		res.Learn = &lr
+		res.Measured = lr.Measured
+		res.Predicted = lr.Predicted
+		res.MLReduction = lr.Reduction
+		res.VerifyAccuracy = lr.VerifyAccuracy
+	} else {
+		for i, p := range points {
+			res.Measured = append(res.Measured, e.InjectPoint(p, i, e.opts.TrialsPerPoint))
+		}
+	}
+	res.Injected = len(res.Measured)
+	res.PredictedN = len(res.Predicted)
+	if res.TotalPoints > 0 {
+		res.TotalReduction = 1 - float64(res.Injected)/float64(res.TotalPoints)
+	}
+	return res, nil
+}
+
+// Summary renders the campaign's pruning accounting as a one-line record
+// in the shape of a Table III row.
+func (r *CampaignResult) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: points %d", r.AppName, r.TotalPoints)
+	fmt.Fprintf(&sb, " -> semantic %d (%.2f%%)", r.AfterSemantic, 100*r.SemanticReduction)
+	fmt.Fprintf(&sb, " -> context %d (%.2f%%)", r.AfterContext, 100*r.ContextReduction)
+	if r.PredictedN > 0 || r.MLReduction > 0 {
+		fmt.Fprintf(&sb, " -> ML injected %d predicted %d (%.2f%%)", r.Injected, r.PredictedN, 100*r.MLReduction)
+	}
+	fmt.Fprintf(&sb, "; total reduction %.2f%%", 100*r.TotalReduction)
+	return sb.String()
+}

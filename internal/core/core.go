@@ -1,0 +1,117 @@
+// Package core implements FastFIT itself: the profiling → injection →
+// learning pipeline of the paper's Fig. 5, the three pruning techniques
+// (semantic-driven, application-context-driven and machine-learning-driven
+// fault injection) and the campaign orchestration that produces the
+// sensitivity statistics of the evaluation section.
+package core
+
+import (
+	"time"
+
+	"github.com/fastfit/fastfit/internal/apps"
+)
+
+// Options configures a FastFIT campaign.
+type Options struct {
+	// TrialsPerPoint is the number of random fault-injection tests at each
+	// fault injection point (the paper uses at least 100).
+	TrialsPerPoint int
+	// Seed drives every random decision of the campaign: fault targets,
+	// bit positions, batch shuffling and forest training.
+	Seed int64
+	// RunTimeout bounds each injected run's wall-clock time (INF_LOOP
+	// backstop). Zero means 2s; the quiescence detector usually fires in
+	// milliseconds, well before this.
+	RunTimeout time.Duration
+	// Parallelism is the number of injected runs executed concurrently.
+	// Zero picks a conservative default based on GOMAXPROCS.
+	Parallelism int
+
+	// SemanticPruning enables the rank-equivalence reduction (§III-A).
+	SemanticPruning bool
+	// ContextPruning enables the call-stack invocation reduction (§III-B).
+	ContextPruning bool
+	// MLPruning enables prediction of untested points (§III-C).
+	MLPruning bool
+
+	// AccuracyThreshold is the prediction-accuracy target that stops the
+	// injection/learning feedback loop (the paper selects 0.65).
+	AccuracyThreshold float64
+	// MLBatch is the number of points injected per loop iteration before
+	// the model is re-verified. Zero means 8.
+	MLBatch int
+	// MLMinTrain is the minimum number of measured points before the first
+	// verification. Zero means 2*MLBatch.
+	MLMinTrain int
+	// Levels is the number of error-rate bands used as ML labels (the
+	// paper uses four: low, medium-low, medium-high, high).
+	Levels int
+
+	// Policy selects which parameter each fault-injection test corrupts.
+	Policy FaultPolicy
+
+	// ForestTrees and ForestDepth bound the random forest. Zeros pick the
+	// ml package defaults.
+	ForestTrees int
+	ForestDepth int
+
+	// Logf, when set, receives campaign progress lines (phase changes,
+	// batch completions, model verifications).
+	Logf func(format string, args ...any)
+}
+
+// FaultPolicy selects the injected parameter per test.
+type FaultPolicy int
+
+const (
+	// PolicyDataBuffer flips a bit in the collective's data buffer when it
+	// has one, falling back to a random input parameter otherwise — the
+	// paper's §V-C methodology and the default.
+	PolicyDataBuffer FaultPolicy = iota
+	// PolicyAllParams flips a bit in a uniformly random input parameter
+	// (the paper's §II basic methodology, used for the per-parameter
+	// studies).
+	PolicyAllParams
+)
+
+// DefaultOptions returns the paper's configuration: all three pruning
+// techniques on, 100 trials per point, 65% accuracy threshold, four
+// error-rate levels.
+func DefaultOptions() Options {
+	return Options{
+		TrialsPerPoint:    100,
+		Seed:              1,
+		SemanticPruning:   true,
+		ContextPruning:    true,
+		MLPruning:         true,
+		AccuracyThreshold: 0.65,
+		Levels:            4,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.TrialsPerPoint <= 0 {
+		o.TrialsPerPoint = 100
+	}
+	if o.RunTimeout <= 0 {
+		o.RunTimeout = 2 * time.Second
+	}
+	if o.MLBatch <= 0 {
+		o.MLBatch = 8
+	}
+	if o.MLMinTrain <= 0 {
+		o.MLMinTrain = 2 * o.MLBatch
+	}
+	if o.Levels <= 0 {
+		o.Levels = 4
+	}
+	if o.AccuracyThreshold <= 0 {
+		o.AccuracyThreshold = 0.65
+	}
+	return o
+}
+
+// New builds a FastFIT engine for one application configuration.
+func New(app apps.App, cfg apps.Config, opts Options) *Engine {
+	return &Engine{app: app, cfg: cfg, opts: opts.withDefaults()}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/fastfit/fastfit/internal/apps"
+	"github.com/fastfit/fastfit/internal/classify"
+	"github.com/fastfit/fastfit/internal/fault"
+	"github.com/fastfit/fastfit/internal/mpi"
+	"github.com/fastfit/fastfit/internal/profile"
+)
+
+// Engine drives FastFIT's three phases — profiling, injection and learning
+// — for one application configuration.
+type Engine struct {
+	app  apps.App
+	cfg  apps.Config
+	opts Options
+
+	prof   *profile.Profile
+	golden mpi.RunResult
+}
+
+// App returns the engine's workload.
+func (e *Engine) App() apps.App { return e.app }
+
+// Config returns the engine's application configuration.
+func (e *Engine) Config() apps.Config { return e.cfg }
+
+// Options returns the engine's (defaulted) options.
+func (e *Engine) Options() Options { return e.opts }
+
+// logf emits a progress line when the options carry a logger.
+func (e *Engine) logf(format string, args ...any) {
+	if e.opts.Logf != nil {
+		e.opts.Logf(format, args...)
+	}
+}
+
+// Profile runs the application once fault-free, collecting the
+// communication, call-graph and call-stack profiles and the golden results
+// used for WRONG_ANS detection. It is idempotent: repeated calls reuse the
+// first profile (the paper notes profiling is a one-time cost reusable
+// across campaigns).
+func (e *Engine) Profile() (*profile.Profile, error) {
+	if e.prof != nil {
+		return e.prof, nil
+	}
+	col := profile.NewCollector(e.cfg.Ranks)
+	res := e.run(col)
+	if err := res.FirstError(); err != nil {
+		return nil, fmt.Errorf("profiling run of %s failed: %w", e.app.Name(), err)
+	}
+	if res.Deadlock || res.TimedOut {
+		return nil, fmt.Errorf("profiling run of %s hung (deadlock=%v timeout=%v)", e.app.Name(), res.Deadlock, res.TimedOut)
+	}
+	e.prof = col.Finish()
+	e.golden = res
+	return e.prof, nil
+}
+
+// Golden returns the fault-free reference run (Profile must have run).
+func (e *Engine) Golden() mpi.RunResult { return e.golden }
+
+// Points enumerates the full fault-injection space from the profile.
+func (e *Engine) Points() ([]Point, error) {
+	p, err := e.Profile()
+	if err != nil {
+		return nil, err
+	}
+	return enumeratePoints(p), nil
+}
+
+// run executes the application once with the given hook.
+func (e *Engine) run(hook mpi.Hook) mpi.RunResult {
+	return mpi.Run(mpi.RunOptions{
+		NumRanks: e.cfg.Ranks,
+		Seed:     e.cfg.Seed,
+		Timeout:  e.opts.RunTimeout,
+		Hook:     hook,
+	}, func(r *mpi.Rank) error { return e.app.Main(r, e.cfg) })
+}
+
+// RunOnce executes the application with the given faults injected and
+// classifies the outcome against the golden run.
+func (e *Engine) RunOnce(faults ...fault.Fault) (classify.Outcome, mpi.RunResult) {
+	inj := fault.NewInjector(nil, faults...)
+	res := e.run(inj)
+	return classify.Classify(e.golden, res), res
+}
+
+// trialSeed derives a deterministic seed for one trial of one point.
+func (e *Engine) trialSeed(pointIdx, trial int) int64 {
+	z := uint64(e.opts.Seed)*0x9E3779B97F4A7C15 + uint64(pointIdx)*0xBF58476D1CE4E5B9 + uint64(trial)*0x94D049BB133111EB + 1
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	return int64(z >> 1)
+}
+
+// InjectPoint performs n random fault-injection tests at a point, choosing
+// the corrupted parameter and bit uniformly per test (the paper's basic
+// methodology, §II).
+func (e *Engine) InjectPoint(p Point, pointIdx, n int) PointResult {
+	return e.injectPointFiltered(p, pointIdx, n, nil)
+}
+
+// InjectPointTarget performs n tests at a point, all on one parameter
+// (used by the per-parameter studies, paper Fig. 9).
+func (e *Engine) InjectPointTarget(p Point, pointIdx, n int, target fault.Target) PointResult {
+	return e.injectPointFiltered(p, pointIdx, n, &target)
+}
+
+func (e *Engine) injectPointFiltered(p Point, pointIdx, n int, target *fault.Target) PointResult {
+	pr := PointResult{Point: p, Trials: make([]TrialResult, n)}
+	par := e.opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)/4 + 1
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for t := 0; t < n; t++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(t int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rng := newRand(e.trialSeed(pointIdx, t))
+			var f fault.Fault
+			switch {
+			case target != nil:
+				f = fault.RandomFaultOn(rng, p.Rank, p.Site, p.Invocation, *target)
+			case e.opts.Policy == PolicyAllParams:
+				f = fault.RandomFault(rng, p.Rank, p.Site, p.Invocation, p.Type)
+			default:
+				f = fault.DataBufferFault(rng, p.Rank, p.Site, p.Invocation, p.Type)
+			}
+			outcome, _ := e.RunOnce(f)
+			pr.Trials[t] = TrialResult{Target: f.Target, Bit: f.Bit, Outcome: outcome}
+		}(t)
+	}
+	wg.Wait()
+	for _, t := range pr.Trials {
+		pr.Counts.Add(t.Outcome)
+	}
+	return pr
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/fastfit/fastfit/internal/apps/lu"
+	"github.com/fastfit/fastfit/internal/fault"
+)
+
+func TestGoroutineLeakAcrossInjectedRuns(t *testing.T) {
+	app := lu.New()
+	cfg := app.DefaultConfig()
+	cfg.Ranks = 4
+	cfg.Scale = 32
+	opts := DefaultOptions()
+	opts.RunTimeout = 10 * time.Second
+	e := New(app, cfg, opts)
+	if _, err := e.Profile(); err != nil {
+		t.Fatal(err)
+	}
+	points, _ := e.Points()
+	base := runtime.NumGoroutine()
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < 400; i++ {
+		rng := newRand(int64(i))
+		p := points[i%len(points)]
+		f := fault.RandomFault(rng, p.Rank, p.Site, p.Invocation, p.Type)
+		e.RunOnce(f)
+	}
+	time.Sleep(200 * time.Millisecond)
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	after := runtime.NumGoroutine()
+	t.Logf("goroutines: base=%d after=%d; heap: %d -> %d MB", base, after, m0.HeapAlloc>>20, m1.HeapAlloc>>20)
+	if after > base+20 {
+		t.Fatalf("goroutine leak: %d -> %d", base, after)
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"github.com/fastfit/fastfit/internal/classify"
+	"github.com/fastfit/fastfit/internal/ml"
+)
+
+// Prediction is a point whose sensitivity the model estimated instead of
+// measuring.
+type Prediction struct {
+	Point Point
+	Level int // predicted error-rate level in [0, Options.Levels)
+}
+
+// LearnResult is the outcome of the injection/learning feedback loop
+// (paper §III-C and §IV-D).
+type LearnResult struct {
+	Measured  []PointResult
+	Predicted []Prediction
+	Forest    *ml.Forest
+	// VerifyAccuracy is the accuracy on the last verification batch, the
+	// quantity compared against Options.AccuracyThreshold.
+	VerifyAccuracy float64
+	// Reduction is the fraction of points predicted rather than injected.
+	Reduction float64
+	// ExhaustedPoints reports that the loop ran out of injection points
+	// before reaching the threshold (the paper's worst case, where the
+	// method degrades to traditional fault injection).
+	ExhaustedPoints bool
+}
+
+// LearnCampaign runs the ML-driven injection loop over the given points:
+// inject a batch, train the random forest on everything measured so far,
+// verify its accuracy on the next batch before that batch joins the
+// training set, and once the accuracy threshold is met predict the
+// remaining points instead of injecting them.
+func (e *Engine) LearnCampaign(points []Point) LearnResult {
+	return e.LearnCampaignWith(points, func(p Point, idx int) PointResult {
+		return e.InjectPoint(p, idx, e.opts.TrialsPerPoint)
+	})
+}
+
+// LearnCampaignWith is LearnCampaign with a caller-supplied injection
+// function; the threshold-sweep studies (paper Fig. 6) pass a cached lookup
+// so one physical injection campaign can be replayed under many accuracy
+// thresholds.
+func (e *Engine) LearnCampaignWith(points []Point, inject func(Point, int) PointResult) LearnResult {
+	opts := e.opts
+	pts := append([]Point(nil), points...)
+	rng := newRand(opts.Seed*31 + 7)
+	rng.Shuffle(len(pts), func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+
+	var res LearnResult
+	var forest *ml.Forest
+	i := 0
+	for i < len(pts) {
+		end := i + opts.MLBatch
+		if end > len(pts) {
+			end = len(pts)
+		}
+		batch := make([]PointResult, 0, end-i)
+		for j := i; j < end; j++ {
+			batch = append(batch, inject(pts[j], j))
+		}
+
+		// Verification: how well does the current model predict the batch
+		// it has not seen?
+		if forest != nil && len(res.Measured) >= opts.MLMinTrain {
+			correct := 0
+			for _, pr := range batch {
+				pred := forest.Predict(pr.Point.FeatureVector())
+				if pred == classify.RateLevel(pr.ErrorRate(), opts.Levels) {
+					correct++
+				}
+			}
+			res.VerifyAccuracy = float64(correct) / float64(len(batch))
+			e.logf("ML verification: %.0f%% on batch of %d (threshold %.0f%%)",
+				100*res.VerifyAccuracy, len(batch), 100*opts.AccuracyThreshold)
+			if res.VerifyAccuracy >= opts.AccuracyThreshold {
+				res.Measured = append(res.Measured, batch...)
+				i = end
+				break
+			}
+		}
+
+		res.Measured = append(res.Measured, batch...)
+		i = end
+		if len(res.Measured) >= opts.MLMinTrain {
+			forest = e.trainLevelForest(res.Measured)
+		}
+	}
+
+	res.Forest = forest
+	if i >= len(pts) {
+		res.ExhaustedPoints = res.VerifyAccuracy < opts.AccuracyThreshold
+	}
+	// Predict whatever remains uninjected.
+	for _, p := range pts[i:] {
+		level := 0
+		if forest != nil {
+			level = forest.Predict(p.FeatureVector())
+		}
+		res.Predicted = append(res.Predicted, Prediction{Point: p, Level: level})
+	}
+	if len(pts) > 0 {
+		res.Reduction = float64(len(res.Predicted)) / float64(len(pts))
+	}
+	return res
+}
+
+// trainLevelForest fits the error-rate-level forest on measured results.
+func (e *Engine) trainLevelForest(measured []PointResult) *ml.Forest {
+	ds := BuildLevelDataset(measured, e.opts.Levels)
+	return ml.TrainForest(ds, ml.ForestConfig{
+		Trees:    e.opts.ForestTrees,
+		MaxDepth: e.opts.ForestDepth,
+		Seed:     e.opts.Seed * 17,
+	})
+}
+
+// BuildLevelDataset converts measured points into an ML dataset labelled
+// with quantised error-rate levels.
+func BuildLevelDataset(measured []PointResult, levels int) *ml.Dataset {
+	ds := &ml.Dataset{Features: FeatureNames, Classes: levels}
+	for _, pr := range measured {
+		ds.X = append(ds.X, pr.Point.FeatureVector())
+		ds.Y = append(ds.Y, classify.RateLevel(pr.ErrorRate(), levels))
+	}
+	return ds
+}
+
+// BuildTypeDataset converts measured points into an ML dataset labelled
+// with each point's majority outcome type (for the paper's error-type
+// prediction, Fig. 12).
+func BuildTypeDataset(measured []PointResult) *ml.Dataset {
+	ds := &ml.Dataset{Features: FeatureNames, Classes: int(classify.NumOutcomes)}
+	for _, pr := range measured {
+		ds.X = append(ds.X, pr.Point.FeatureVector())
+		ds.Y = append(ds.Y, int(pr.MajorityOutcome()))
+	}
+	return ds
+}
+
+// BuildExpandedLevelDataset uses the Table IV indicator-expanded features.
+func BuildExpandedLevelDataset(measured []PointResult, levels int) *ml.Dataset {
+	ds := &ml.Dataset{Features: ExpandedFeatureNames, Classes: levels}
+	for _, pr := range measured {
+		ds.X = append(ds.X, pr.Point.ExpandedFeatureVector())
+		ds.Y = append(ds.Y, classify.RateLevel(pr.ErrorRate(), levels))
+	}
+	return ds
+}

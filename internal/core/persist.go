@@ -1,0 +1,187 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/fastfit/fastfit/internal/classify"
+	"github.com/fastfit/fastfit/internal/fault"
+	"github.com/fastfit/fastfit/internal/mpi"
+)
+
+// Campaigns are expensive; persisting their results lets analyses (and the
+// Fig. 6-style threshold replays) run long after the injection machines
+// are gone. The JSON schema is versioned and flat so other tools can
+// consume it.
+
+// persistVersion identifies the on-disk schema.
+const persistVersion = 1
+
+type campaignJSON struct {
+	Version int    `json:"version"`
+	App     string `json:"app"`
+	Ranks   int    `json:"ranks"`
+
+	TotalPoints   int `json:"totalPoints"`
+	AfterSemantic int `json:"afterSemantic"`
+	AfterContext  int `json:"afterContext"`
+	Injected      int `json:"injected"`
+	PredictedN    int `json:"predicted"`
+
+	SemanticReduction float64 `json:"semanticReduction"`
+	ContextReduction  float64 `json:"contextReduction"`
+	MLReduction       float64 `json:"mlReduction"`
+	TotalReduction    float64 `json:"totalReduction"`
+	VerifyAccuracy    float64 `json:"verifyAccuracy"`
+
+	Measured    []pointResultJSON `json:"measured"`
+	Predictions []predictionJSON  `json:"predictions,omitempty"`
+}
+
+type pointJSON struct {
+	Rank        int    `json:"rank"`
+	Site        uint64 `json:"site"`
+	SiteName    string `json:"siteName"`
+	Type        int32  `json:"collType"`
+	Invocation  int    `json:"invocation"`
+	StackHash   uint64 `json:"stackHash"`
+	Phase       int32  `json:"phase"`
+	ErrHandling bool   `json:"errHandling"`
+	IsRoot      bool   `json:"isRoot"`
+	NInv        int    `json:"nInv"`
+	StackDepth  int    `json:"stackDepth"`
+	NDiffStacks int    `json:"nDiffStacks"`
+}
+
+type trialJSON struct {
+	Target  int `json:"target"`
+	Bit     int `json:"bit"`
+	Outcome int `json:"outcome"`
+}
+
+type pointResultJSON struct {
+	Point  pointJSON   `json:"point"`
+	Trials []trialJSON `json:"trials"`
+}
+
+type predictionJSON struct {
+	Point pointJSON `json:"point"`
+	Level int       `json:"level"`
+}
+
+func pointToJSON(p Point) pointJSON {
+	return pointJSON{
+		Rank: p.Rank, Site: uint64(p.Site), SiteName: p.SiteName,
+		Type: int32(p.Type), Invocation: p.Invocation, StackHash: p.StackHash,
+		Phase: int32(p.Phase), ErrHandling: p.ErrHandling, IsRoot: p.IsRoot,
+		NInv: p.NInv, StackDepth: p.StackDepth, NDiffStacks: p.NDiffStacks,
+	}
+}
+
+func pointFromJSON(j pointJSON) Point {
+	return Point{
+		Rank: j.Rank, Site: uintptr(j.Site), SiteName: j.SiteName,
+		Type: mpi.CollType(j.Type), Invocation: j.Invocation, StackHash: j.StackHash,
+		Phase: mpi.Phase(j.Phase), ErrHandling: j.ErrHandling, IsRoot: j.IsRoot,
+		NInv: j.NInv, StackDepth: j.StackDepth, NDiffStacks: j.NDiffStacks,
+	}
+}
+
+// WriteJSON serialises the campaign result.
+func (r *CampaignResult) WriteJSON(w io.Writer) error {
+	out := campaignJSON{
+		Version: persistVersion,
+		App:     r.AppName,
+		Ranks:   r.Ranks,
+
+		TotalPoints:   r.TotalPoints,
+		AfterSemantic: r.AfterSemantic,
+		AfterContext:  r.AfterContext,
+		Injected:      r.Injected,
+		PredictedN:    r.PredictedN,
+
+		SemanticReduction: r.SemanticReduction,
+		ContextReduction:  r.ContextReduction,
+		MLReduction:       r.MLReduction,
+		TotalReduction:    r.TotalReduction,
+		VerifyAccuracy:    r.VerifyAccuracy,
+	}
+	for _, pr := range r.Measured {
+		pj := pointResultJSON{Point: pointToJSON(pr.Point)}
+		for _, tr := range pr.Trials {
+			pj.Trials = append(pj.Trials, trialJSON{Target: int(tr.Target), Bit: tr.Bit, Outcome: int(tr.Outcome)})
+		}
+		out.Measured = append(out.Measured, pj)
+	}
+	for _, p := range r.Predicted {
+		out.Predictions = append(out.Predictions, predictionJSON{Point: pointToJSON(p.Point), Level: p.Level})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// SaveJSON writes the campaign result to a file.
+func (r *CampaignResult) SaveJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return r.WriteJSON(f)
+}
+
+// ReadCampaignJSON deserialises a campaign result written by WriteJSON.
+func ReadCampaignJSON(rd io.Reader) (*CampaignResult, error) {
+	var in campaignJSON
+	if err := json.NewDecoder(rd).Decode(&in); err != nil {
+		return nil, fmt.Errorf("decoding campaign: %w", err)
+	}
+	if in.Version != persistVersion {
+		return nil, fmt.Errorf("unsupported campaign schema version %d (want %d)", in.Version, persistVersion)
+	}
+	res := &CampaignResult{
+		AppName: in.App,
+		Ranks:   in.Ranks,
+
+		TotalPoints:   in.TotalPoints,
+		AfterSemantic: in.AfterSemantic,
+		AfterContext:  in.AfterContext,
+		Injected:      in.Injected,
+		PredictedN:    in.PredictedN,
+
+		SemanticReduction: in.SemanticReduction,
+		ContextReduction:  in.ContextReduction,
+		MLReduction:       in.MLReduction,
+		TotalReduction:    in.TotalReduction,
+		VerifyAccuracy:    in.VerifyAccuracy,
+	}
+	for _, pj := range in.Measured {
+		pr := PointResult{Point: pointFromJSON(pj.Point)}
+		for _, tj := range pj.Trials {
+			tr := TrialResult{Target: fault.Target(tj.Target), Bit: tj.Bit, Outcome: classify.Outcome(tj.Outcome)}
+			if tr.Outcome < 0 || tr.Outcome >= classify.NumOutcomes {
+				return nil, fmt.Errorf("invalid outcome %d in campaign file", tj.Outcome)
+			}
+			pr.Trials = append(pr.Trials, tr)
+			pr.Counts.Add(tr.Outcome)
+		}
+		res.Measured = append(res.Measured, pr)
+	}
+	for _, pj := range in.Predictions {
+		res.Predicted = append(res.Predicted, Prediction{Point: pointFromJSON(pj.Point), Level: pj.Level})
+	}
+	return res, nil
+}
+
+// LoadCampaignJSON reads a campaign result from a file.
+func LoadCampaignJSON(path string) (*CampaignResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCampaignJSON(f)
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math/rand"
+
+	"github.com/fastfit/fastfit/internal/profile"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// SemanticPrune implements Semantic Driven Fault Injection (paper §III-A):
+// for rooted collectives only the root and one representative non-root
+// rank need injection; for non-rooted collectives a single representative
+// rank suffices — refined by treating only ranks with identical call
+// graphs and communication traces as equivalent.
+//
+// It returns the surviving points and the reduction ratio relative to the
+// input.
+func SemanticPrune(prof *profile.Profile, points []Point) ([]Point, float64) {
+	if len(points) == 0 {
+		return nil, 0
+	}
+	// Equivalence class of a rank: its (call graph, trace) pair.
+	type equivKey struct{ cg, tr uint64 }
+	classOf := func(rank int) equivKey {
+		return equivKey{prof.CallGraphHash[rank], prof.TraceHash[rank]}
+	}
+
+	// For each static call site (PC) and role, keep the lowest rank of
+	// each equivalence class.
+	type groupKey struct {
+		site   uintptr
+		isRoot bool
+		class  equivKey
+	}
+	keepRank := make(map[groupKey]int)
+	for _, p := range points {
+		k := groupKey{site: p.Site, isRoot: p.IsRoot, class: classOf(p.Rank)}
+		if r, ok := keepRank[k]; !ok || p.Rank < r {
+			keepRank[k] = p.Rank
+		}
+	}
+	var kept []Point
+	for _, p := range points {
+		k := groupKey{site: p.Site, isRoot: p.IsRoot, class: classOf(p.Rank)}
+		if keepRank[k] == p.Rank {
+			kept = append(kept, p)
+		}
+	}
+	return kept, reduction(len(points), len(kept))
+}
+
+// ContextPrune implements Application Context Driven Fault Injection
+// (paper §III-B): invocations of a call site that share a call stack
+// respond alike, so one representative invocation per distinct stack
+// suffices. It returns the surviving points and the reduction ratio
+// relative to the input.
+func ContextPrune(points []Point) ([]Point, float64) {
+	if len(points) == 0 {
+		return nil, 0
+	}
+	type stackKey struct {
+		rank  int
+		site  uintptr
+		stack uint64
+	}
+	seen := make(map[stackKey]bool)
+	var kept []Point
+	for _, p := range points { // points are sorted, so the first invocation wins
+		k := stackKey{rank: p.Rank, site: p.Site, stack: p.StackHash}
+		if !seen[k] {
+			seen[k] = true
+			kept = append(kept, p)
+		}
+	}
+	return kept, reduction(len(points), len(kept))
+}
+
+func reduction(before, after int) float64 {
+	if before == 0 {
+		return 0
+	}
+	return 1 - float64(after)/float64(before)
+}

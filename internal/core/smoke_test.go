@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/fastfit/fastfit/internal/apps"
+	"github.com/fastfit/fastfit/internal/apps/is"
+	"github.com/fastfit/fastfit/internal/apps/minimd"
+)
+
+func TestSmokeCampaignIS(t *testing.T) {
+	app := is.New()
+	cfg := app.DefaultConfig()
+	cfg.Ranks = 8
+	opts := DefaultOptions()
+	opts.TrialsPerPoint = 10
+	opts.RunTimeout = 10 * time.Second
+	e := New(app, cfg, opts)
+
+	start := time.Now()
+	prof, err := e.Profile()
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	t.Logf("profile (%v): %v", time.Since(start), prof)
+
+	points := enumeratePoints(prof)
+	t.Logf("total points: %d", len(points))
+	if len(points) == 0 {
+		t.Fatal("no injection points")
+	}
+
+	sem, sred := SemanticPrune(prof, points)
+	t.Logf("semantic: %d (%.2f%%)", len(sem), 100*sred)
+	ctx, cred := ContextPrune(sem)
+	t.Logf("context: %d (%.2f%%)", len(ctx), 100*cred)
+
+	start = time.Now()
+	pr := e.InjectPoint(ctx[0], 0, 10)
+	t.Logf("10 trials at %v took %v; counts=%v errorRate=%.2f", ctx[0].String(), time.Since(start), pr.Counts, pr.ErrorRate())
+}
+
+func TestSmokeCampaignMiniMD(t *testing.T) {
+	app := minimd.New()
+	cfg := app.DefaultConfig()
+	cfg.Ranks = 8
+	cfg.Scale = 16
+	cfg.Iters = 4
+	opts := DefaultOptions()
+	opts.TrialsPerPoint = 6
+	opts.MLBatch = 6
+	opts.RunTimeout = 10 * time.Second
+	e := New(app, cfg, opts)
+
+	start := time.Now()
+	res, err := e.RunCampaign()
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	t.Logf("campaign took %v", time.Since(start))
+	t.Logf("%s", res.Summary())
+	agg := OutcomeBreakdown(res.Measured)
+	t.Logf("outcomes: %v total=%d", agg, agg.Total())
+	if res.TotalPoints == 0 || res.Injected == 0 {
+		t.Fatal("campaign did nothing")
+	}
+	_ = apps.Config{}
+}

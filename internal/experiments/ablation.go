@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/fastfit/fastfit/internal/core"
+)
+
+// Ablation quantifies each pruning technique in isolation and in
+// composition — the accounting behind DESIGN.md's ablation requirement.
+// Unlike the injection campaigns this needs only the profiling runs, so it
+// is cheap at any scale. The ffexp id is "ablation".
+func Ablation(st *Store) (*Result, error) {
+	r := newResult("ablation", "Ablation: surviving injection points per pruning combination")
+	header := []string{"", "all points", "semantic only", "context only", "semantic+context"}
+	var rows [][]string
+	for _, name := range AllApps {
+		e, err := st.Engine(name)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := e.Profile()
+		if err != nil {
+			return nil, err
+		}
+		points, err := e.Points()
+		if err != nil {
+			return nil, err
+		}
+		semOnly, _ := core.SemanticPrune(prof, points)
+		ctxOnly, _ := core.ContextPrune(points)
+		both, _ := core.ContextPrune(semOnly)
+		rows = append(rows, []string{
+			displayName(name),
+			fmt.Sprint(len(points)),
+			fmt.Sprint(len(semOnly)),
+			fmt.Sprint(len(ctxOnly)),
+			fmt.Sprint(len(both)),
+		})
+		r.Series[name] = []float64{
+			float64(len(points)), float64(len(semOnly)),
+			float64(len(ctxOnly)), float64(len(both)),
+		}
+	}
+	r.Labels["columns"] = header[1:]
+	r.Text = table(header, rows)
+	r.Notes = append(r.Notes,
+		"The techniques compose multiplicatively: semantic pruning removes redundant ranks, context pruning removes redundant invocations, and neither subsumes the other.")
+	return r, nil
+}

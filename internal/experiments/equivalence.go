@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/fastfit/fastfit/internal/classify"
+	"github.com/fastfit/fastfit/internal/core"
+	"github.com/fastfit/fastfit/internal/fault"
+	"github.com/fastfit/fastfit/internal/mpi"
+)
+
+// findPoint returns the first enumerated point matching the predicate.
+func findPoint(points []core.Point, pred func(core.Point) bool) (core.Point, bool) {
+	for _, p := range points {
+		if pred(p) {
+			return p, true
+		}
+	}
+	return core.Point{}, false
+}
+
+// perParamRates injects every parameter of a point's collective separately
+// and returns the per-parameter error rates and outcome tallies.
+func perParamRates(e *core.Engine, p core.Point, trials, seedBase int) ([]fault.Target, []float64, []classify.Counts) {
+	targets := fault.TargetsFor(p.Type)
+	rates := make([]float64, len(targets))
+	tallies := make([]classify.Counts, len(targets))
+	for i, target := range targets {
+		pr := e.InjectPointTarget(p, seedBase+i, trials, target)
+		rates[i] = pr.ErrorRate()
+		tallies[i] = pr.Counts
+	}
+	return targets, rates, tallies
+}
+
+// Fig1 regenerates the semantic-equivalence validation (paper Fig. 1):
+// inject the same faults into two "equivalent" non-root ranks of an
+// MPI_Allreduce in LU and compare their per-parameter responses. The two
+// ranks should respond very similarly — the justification for injecting
+// into only one representative of an equivalence class.
+func Fig1(st *Store) (*Result, error) {
+	r := newResult("fig1", "Fig. 1: Fault injection into two equivalent ranks of an MPI_Allreduce in LU")
+	e, err := st.Engine("lu")
+	if err != nil {
+		return nil, err
+	}
+	points, err := e.Points()
+	if err != nil {
+		return nil, err
+	}
+	rankA, rankB := 1, 2 // two arbitrary ranks: all are equivalent for Allreduce
+	pa, okA := findPoint(points, func(p core.Point) bool {
+		return p.Type == mpi.CollAllreduce && p.Phase == mpi.PhaseCompute && p.Rank == rankA && p.Invocation == 0
+	})
+	pb, okB := findPoint(points, func(p core.Point) bool {
+		return p.Type == mpi.CollAllreduce && p.Phase == mpi.PhaseCompute && p.Rank == rankB && p.Site == pa.Site && p.Invocation == 0
+	})
+	if !okA || !okB {
+		return nil, fmt.Errorf("no matching LU Allreduce points found")
+	}
+
+	targets, ratesA, talliesA := perParamRates(e, pa, st.Scale.TrialsPerPoint, 11000)
+	_, ratesB, talliesB := perParamRates(e, pb, st.Scale.TrialsPerPoint, 12000)
+
+	var labels []string
+	var rows [][]string
+	maxDiff := 0.0
+	for i, target := range targets {
+		labels = append(labels, target.String())
+		d := math.Abs(ratesA[i] - ratesB[i])
+		if d > maxDiff {
+			maxDiff = d
+		}
+		rows = append(rows, []string{
+			target.String(), pct(ratesA[i]), pct(ratesB[i]), pct(d),
+		})
+	}
+	r.Series["rand1"] = ratesA
+	r.Series["rand2"] = ratesB
+	r.Series["maxDiff"] = []float64{maxDiff}
+	r.Labels["params"] = labels
+	r.Labels["outcomes"] = outcomeLabels()
+	for i, target := range targets {
+		r.Series["rand1:"+target.String()] = outcomeFractions(talliesA[i])
+		r.Series["rand2:"+target.String()] = outcomeFractions(talliesB[i])
+	}
+	r.Text = fmt.Sprintf("site: %s\nranks compared: %d vs %d\n\n%s\nmax per-parameter error-rate difference: %s\n",
+		pa.SiteName, rankA, rankB,
+		table([]string{"parameter", "rank " + fmt.Sprint(rankA) + " err", "rank " + fmt.Sprint(rankB) + " err", "|diff|"}, rows),
+		pct(maxDiff))
+	r.Notes = append(r.Notes,
+		"Paper shape: the two equivalent processes display very similar sensitivity across all parameters.")
+	return r, nil
+}
+
+// Fig2 regenerates the root-vs-non-root contrast (paper Fig. 2): inject
+// into the root and a non-root rank of an MPI_Reduce in FT; the responses
+// should differ, showing the two roles are NOT equivalent.
+func Fig2(st *Store) (*Result, error) {
+	r := newResult("fig2", "Fig. 2: Fault injection into the root and a non-root rank of an MPI_Reduce in FT")
+	e, err := st.Engine("ft")
+	if err != nil {
+		return nil, err
+	}
+	points, err := e.Points()
+	if err != nil {
+		return nil, err
+	}
+	proot, okA := findPoint(points, func(p core.Point) bool {
+		return p.Type == mpi.CollReduce && p.IsRoot && p.Invocation == 0
+	})
+	pnon, okB := findPoint(points, func(p core.Point) bool {
+		return p.Type == mpi.CollReduce && !p.IsRoot && p.Site == proot.Site && p.Invocation == 0
+	})
+	if !okA || !okB {
+		return nil, fmt.Errorf("no matching FT Reduce points found")
+	}
+
+	targets, ratesRoot, talliesRoot := perParamRates(e, proot, st.Scale.TrialsPerPoint, 21000)
+	_, ratesNon, talliesNon := perParamRates(e, pnon, st.Scale.TrialsPerPoint, 22000)
+
+	var labels []string
+	var rows [][]string
+	maxDiff := 0.0
+	for i, target := range targets {
+		labels = append(labels, target.String())
+		d := math.Abs(ratesRoot[i] - ratesNon[i])
+		if d > maxDiff {
+			maxDiff = d
+		}
+		rows = append(rows, []string{target.String(), pct(ratesRoot[i]), pct(ratesNon[i]), pct(d)})
+	}
+	r.Series["root"] = ratesRoot
+	r.Series["nonroot"] = ratesNon
+	r.Series["maxDiff"] = []float64{maxDiff}
+	r.Labels["params"] = labels
+	r.Labels["outcomes"] = outcomeLabels()
+	for i, target := range targets {
+		r.Series["root:"+target.String()] = outcomeFractions(talliesRoot[i])
+		r.Series["nonroot:"+target.String()] = outcomeFractions(talliesNon[i])
+	}
+	r.Text = fmt.Sprintf("site: %s\nroot rank %d vs non-root rank %d\n\n%s\nmax per-parameter error-rate difference: %s\n",
+		proot.SiteName, proot.Rank, pnon.Rank,
+		table([]string{"parameter", "root err", "non-root err", "|diff|"}, rows),
+		pct(maxDiff))
+	r.Notes = append(r.Notes,
+		"Paper shape: the root and non-root processes reveal different sensitivities, so rooted collectives need both roles injected.")
+	return r, nil
+}

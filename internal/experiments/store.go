@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/fastfit/fastfit/internal/apps"
+	"github.com/fastfit/fastfit/internal/apps/all"
+	"github.com/fastfit/fastfit/internal/core"
+)
+
+// NPBApps are the NAS Parallel Benchmark kernels of the paper's evaluation.
+var NPBApps = []string{"is", "ft", "mg", "lu"}
+
+// AllApps adds the LAMMPS stand-in.
+var AllApps = []string{"is", "ft", "mg", "lu", "minimd"}
+
+// Store lazily runs and caches the injection campaigns shared by multiple
+// experiments, so regenerating every figure performs each expensive
+// campaign exactly once.
+type Store struct {
+	Scale Scale
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+
+	mu        sync.Mutex
+	campaigns map[string]*core.CampaignResult // full-measurement (no ML)
+	mlRuns    map[string]*core.CampaignResult // with ML pruning
+	engines   map[string]*core.Engine
+}
+
+// NewStore builds a Store at the given scale.
+func NewStore(scale Scale) *Store {
+	return &Store{
+		Scale:     scale,
+		campaigns: map[string]*core.CampaignResult{},
+		mlRuns:    map[string]*core.CampaignResult{},
+		engines:   map[string]*core.Engine{},
+	}
+}
+
+func (st *Store) logf(format string, args ...any) {
+	if st.Logf != nil {
+		st.Logf(format, args...)
+	}
+}
+
+// AppConfig returns the application configuration used at the store's
+// scale, honouring each app's divisibility constraints.
+func (st *Store) AppConfig(name string) (apps.App, apps.Config, error) {
+	app, err := all.Lookup(name)
+	if err != nil {
+		return nil, apps.Config{}, err
+	}
+	cfg := app.DefaultConfig()
+	cfg.Ranks = st.Scale.Ranks
+	switch name {
+	case "ft": // power-of-two edge divisible by ranks
+		cfg.Scale = maxInt(16, cfg.Ranks)
+	case "mg": // edge divisible by 2*ranks
+		cfg.Scale = maxInt(32, 2*cfg.Ranks)
+	case "lu": // edge divisible by ranks
+		cfg.Scale = maxInt(64, cfg.Ranks)
+	}
+	return app, cfg, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Options returns the campaign options at the store's scale.
+func (st *Store) Options() core.Options {
+	opts := core.DefaultOptions()
+	opts.TrialsPerPoint = st.Scale.TrialsPerPoint
+	opts.Seed = st.Scale.Seed
+	return opts
+}
+
+// policyFor selects the injection policy the paper used per workload: the
+// NPB campaigns report MPI-detected errors at rates only parameter faults
+// produce (§II's basic methodology), while the LAMMPS campaign follows the
+// §V-C data-buffer note.
+func policyFor(app string) core.FaultPolicy {
+	if app == "minimd" {
+		return core.PolicyDataBuffer
+	}
+	return core.PolicyAllParams
+}
+
+// Engine returns a cached engine whose campaign measures every pruned
+// point (ML pruning off), the configuration behind the sensitivity
+// figures.
+func (st *Store) Engine(name string) (*core.Engine, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e, ok := st.engines[name]; ok {
+		return e, nil
+	}
+	app, cfg, err := st.AppConfig(name)
+	if err != nil {
+		return nil, err
+	}
+	opts := st.Options()
+	opts.MLPruning = false
+	opts.Policy = policyFor(name)
+	e := core.New(app, cfg, opts)
+	st.engines[name] = e
+	return e, nil
+}
+
+// Campaign returns the cached full-measurement campaign for an app:
+// semantic and context pruning applied, every surviving point injected
+// with TrialsPerPoint tests under the data-buffer policy.
+func (st *Store) Campaign(name string) (*core.CampaignResult, error) {
+	st.mu.Lock()
+	if c, ok := st.campaigns[name]; ok {
+		st.mu.Unlock()
+		return c, nil
+	}
+	st.mu.Unlock()
+
+	e, err := st.Engine(name)
+	if err != nil {
+		return nil, err
+	}
+	st.logf("running full-measurement campaign for %s ...", name)
+	c, err := e.RunCampaign()
+	if err != nil {
+		return nil, fmt.Errorf("campaign %s: %w", name, err)
+	}
+	st.logf("%s", c.Summary())
+
+	st.mu.Lock()
+	st.campaigns[name] = c
+	st.mu.Unlock()
+	return c, nil
+}
+
+// MLCampaign returns the cached ML-pruned campaign for an app (the paper
+// applies the ML technique to LAMMPS).
+func (st *Store) MLCampaign(name string) (*core.CampaignResult, error) {
+	st.mu.Lock()
+	if c, ok := st.mlRuns[name]; ok {
+		st.mu.Unlock()
+		return c, nil
+	}
+	st.mu.Unlock()
+
+	app, cfg, err := st.AppConfig(name)
+	if err != nil {
+		return nil, err
+	}
+	opts := st.Options()
+	opts.Policy = policyFor(name)
+	e := core.New(app, cfg, opts)
+	st.logf("running ML-pruned campaign for %s ...", name)
+	c, err := e.RunCampaign()
+	if err != nil {
+		return nil, fmt.Errorf("ML campaign %s: %w", name, err)
+	}
+	st.logf("%s", c.Summary())
+
+	st.mu.Lock()
+	st.mlRuns[name] = c
+	st.mu.Unlock()
+	return c, nil
+}
+
+// MeasuredAcross concatenates the measured point results of the given
+// apps' full campaigns.
+func (st *Store) MeasuredAcross(names []string) ([]core.PointResult, error) {
+	var out []core.PointResult
+	for _, n := range names {
+		c, err := st.Campaign(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c.Measured...)
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/fastfit/fastfit/internal/classify"
+	"github.com/fastfit/fastfit/internal/core"
+)
+
+// Summary regenerates the paper's §VI evaluation summary: the headline
+// reduction numbers and the key per-workload findings, computed from the
+// same cached campaigns as the individual figures.
+func Summary(st *Store) (*Result, error) {
+	r := newResult("summary", "Evaluation summary (paper §VI)")
+	var sb strings.Builder
+
+	// Headline: total reduction per workload.
+	fmt.Fprintf(&sb, "FastFIT reduction of fault injection points:\n")
+	var worstTotal = 1.0
+	for _, name := range AllApps {
+		c, err := st.Campaign(name)
+		if err != nil {
+			return nil, err
+		}
+		total := 1 - float64(c.AfterContext)/float64(c.TotalPoints)
+		if name == "minimd" {
+			if mc, err := st.MLCampaign(name); err == nil {
+				total = mc.TotalReduction
+			}
+		}
+		if total < worstTotal {
+			worstTotal = total
+		}
+		fmt.Fprintf(&sb, "  %-18s %6.2f%%  (%d points -> %d injected)\n",
+			displayName(name), 100*total, c.TotalPoints, c.AfterContext)
+		r.Series[name] = []float64{total}
+	}
+	fmt.Fprintf(&sb, "  minimum across workloads: %.2f%% (paper: >97%% at 32 ranks)\n", 100*worstTotal)
+	r.Series["minTotalReduction"] = []float64{worstTotal}
+
+	// NPB: who crashes, who reports MPI errors.
+	fmt.Fprintf(&sb, "\nNPB findings:\n")
+	for _, name := range NPBApps {
+		c, err := st.Campaign(name)
+		if err != nil {
+			return nil, err
+		}
+		agg := core.OutcomeBreakdown(c.Measured)
+		top := classify.Outcome(1)
+		for o := classify.Outcome(1); o < classify.NumOutcomes; o++ {
+			if agg[o] > agg[top] {
+				top = o
+			}
+		}
+		fmt.Fprintf(&sb, "  %-4s dominant error response: %-13s (%.0f%% of tests; SUCCESS %.0f%%)\n",
+			displayName(name), top.String(), 100*agg.Fraction(top), 100*agg.Fraction(classify.Success))
+	}
+
+	// LAMMPS: error handling effectiveness.
+	mc, err := st.Campaign("minimd")
+	if err != nil {
+		return nil, err
+	}
+	agg := core.OutcomeBreakdown(mc.Measured)
+	fmt.Fprintf(&sb, "\nLAMMPS (miniMD) findings:\n")
+	fmt.Fprintf(&sb, "  %.0f%% of faults have no visible impact (SUCCESS)\n", 100*agg.Fraction(classify.Success))
+	fmt.Fprintf(&sb, "  %.0f%% are caught by the application's own error handling (APP_DETECTED; paper: 21.24%%)\n",
+		100*agg.Fraction(classify.AppDetected))
+	fmt.Fprintf(&sb, "  INF_LOOP is the rarest response (%.1f%%)\n", 100*agg.Fraction(classify.InfLoop))
+	r.Series["lammps"] = outcomeFractions(agg)
+
+	// Correlation headline.
+	corr := core.CorrelationTable(mc.Measured, 4)
+	fmt.Fprintf(&sb, "\nML findings:\n")
+	fmt.Fprintf(&sb, "  error-handling code correlates with sensitivity at %.2f (regular code %.2f)\n",
+		corr["ErrHdl"], corr["Non-ErrHdl"])
+	r.Series["errHdlCorrelation"] = []float64{corr["ErrHdl"]}
+
+	r.Text = sb.String()
+	r.Notes = append(r.Notes,
+		"Paper §VI: FastFIT reduces fault points by 99.23% (NPB) and 99.84% (LAMMPS); applications' phases and error-handling code have the strongest impact on fault sensitivity.")
+	return r, nil
+}

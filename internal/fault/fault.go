@@ -1,0 +1,150 @@
+// Package fault implements FastFIT's fault model: single bit flips injected
+// into the input parameters of MPI collective operations — the send and
+// receive data buffers, the element count (or count vectors for v-variant
+// collectives), the datatype, reduction-op and communicator handles, and
+// the root rank. A fault is addressed to one (rank, call site, invocation)
+// triple, the unit the paper calls a fault injection point.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/fastfit/fastfit/internal/mpi"
+)
+
+// Target names the collective input parameter a fault corrupts.
+type Target int
+
+const (
+	TargetSendBuf   Target = iota // a data bit in the send buffer
+	TargetRecvBuf                 // a data bit in the receive buffer
+	TargetCount                   // the element count (32-bit, like a C int)
+	TargetCountsVec               // an entry of a v-variant count vector
+	TargetDatatype                // the datatype handle
+	TargetOp                      // the reduction-op handle
+	TargetRoot                    // the root rank
+	TargetComm                    // the communicator handle
+	NumTargets
+)
+
+var targetNames = [NumTargets]string{
+	"sendbuf", "recvbuf", "count", "counts[]", "datatype", "op", "root", "comm",
+}
+
+func (t Target) String() string {
+	if t >= 0 && t < NumTargets {
+		return targetNames[t]
+	}
+	return fmt.Sprintf("target(%d)", int(t))
+}
+
+// collTargets lists the injectable parameters of each collective type,
+// following the paper's methodology (buffer addresses are excluded: their
+// sensitivity is trivially catastrophic).
+var collTargets = map[mpi.CollType][]Target{
+	mpi.CollBarrier:       {TargetComm},
+	mpi.CollBcast:         {TargetSendBuf, TargetCount, TargetDatatype, TargetRoot, TargetComm},
+	mpi.CollReduce:        {TargetSendBuf, TargetRecvBuf, TargetCount, TargetDatatype, TargetOp, TargetRoot, TargetComm},
+	mpi.CollAllreduce:     {TargetSendBuf, TargetRecvBuf, TargetCount, TargetDatatype, TargetOp, TargetComm},
+	mpi.CollScatter:       {TargetSendBuf, TargetRecvBuf, TargetCount, TargetDatatype, TargetRoot, TargetComm},
+	mpi.CollGather:        {TargetSendBuf, TargetRecvBuf, TargetCount, TargetDatatype, TargetRoot, TargetComm},
+	mpi.CollAllgather:     {TargetSendBuf, TargetRecvBuf, TargetCount, TargetDatatype, TargetComm},
+	mpi.CollAlltoall:      {TargetSendBuf, TargetRecvBuf, TargetCount, TargetDatatype, TargetComm},
+	mpi.CollAlltoallv:     {TargetSendBuf, TargetRecvBuf, TargetCountsVec, TargetDatatype, TargetComm},
+	mpi.CollReduceScatter: {TargetSendBuf, TargetRecvBuf, TargetCountsVec, TargetDatatype, TargetOp, TargetComm},
+	mpi.CollScan:          {TargetSendBuf, TargetRecvBuf, TargetCount, TargetDatatype, TargetOp, TargetComm},
+	mpi.CollScatterv:      {TargetSendBuf, TargetRecvBuf, TargetCountsVec, TargetDatatype, TargetRoot, TargetComm},
+	mpi.CollGatherv:       {TargetSendBuf, TargetRecvBuf, TargetCountsVec, TargetDatatype, TargetRoot, TargetComm},
+}
+
+// TargetsFor returns the injectable parameters of a collective type.
+func TargetsFor(t mpi.CollType) []Target {
+	return collTargets[t]
+}
+
+// Fault is one planned bit flip, addressed to a fault injection point.
+type Fault struct {
+	Rank       int     // world rank to corrupt
+	Site       uintptr // call-site PC, from the profiling run
+	Invocation int     // which invocation of the site on that rank
+	Target     Target
+	Bit        int // raw bit index; wrapped to the target's width at apply time
+}
+
+func (f Fault) String() string {
+	return fmt.Sprintf("rank %d site %#x inv %d %s bit %d", f.Rank, f.Site, f.Invocation, f.Target, f.Bit)
+}
+
+// RandomFault draws a uniformly random (target, bit) pair for a collective
+// type, matching the paper's per-test randomisation. Buffer bit indices
+// wrap to the buffer length at apply time, so a large range is used here.
+func RandomFault(rng *rand.Rand, rank int, site uintptr, invocation int, collType mpi.CollType) Fault {
+	ts := TargetsFor(collType)
+	target := ts[rng.Intn(len(ts))]
+	bit := rng.Intn(1 << 20)
+	return Fault{Rank: rank, Site: site, Invocation: invocation, Target: target, Bit: bit}
+}
+
+// DataBufferFault draws a random bit flip in the collective's data buffer,
+// the paper's default injection policy (§V-C): "we inject faults into the
+// data buffer of collective communications (if there is any data buffer)".
+// Collectives without a data buffer (MPI_Barrier) fall back to a random
+// input parameter — which is why faulty barriers are so lethal in the
+// paper's Figures 8 and 11.
+func DataBufferFault(rng *rand.Rand, rank int, site uintptr, invocation int, collType mpi.CollType) Fault {
+	for _, t := range TargetsFor(collType) {
+		if t == TargetSendBuf {
+			return Fault{Rank: rank, Site: site, Invocation: invocation, Target: TargetSendBuf, Bit: rng.Intn(1 << 20)}
+		}
+	}
+	return RandomFault(rng, rank, site, invocation, collType)
+}
+
+// RandomFaultOn draws a random bit for a fixed target.
+func RandomFaultOn(rng *rand.Rand, rank int, site uintptr, invocation int, target Target) Fault {
+	return Fault{Rank: rank, Site: site, Invocation: invocation, Target: target, Bit: rng.Intn(1 << 20)}
+}
+
+// Apply mutates the collective call's arguments according to the fault.
+// It reports whether anything was actually flipped (an absent buffer, for
+// example, cannot be corrupted).
+func (f Fault) Apply(call *mpi.CollectiveCall) bool {
+	a := call.Args
+	flip32 := func(v int32) int32 { return v ^ (1 << (f.Bit % 32)) }
+	switch f.Target {
+	case TargetSendBuf:
+		if a.Send.Len() == 0 {
+			return false
+		}
+		a.Send.FlipBit(f.Bit)
+	case TargetRecvBuf:
+		if a.Recv.Len() == 0 {
+			return false
+		}
+		a.Recv.FlipBit(f.Bit)
+	case TargetCount:
+		a.Count = flip32(a.Count)
+	case TargetCountsVec:
+		vec := a.SendCounts
+		if len(vec) == 0 {
+			vec = a.RecvCounts
+		}
+		if len(vec) == 0 {
+			return false
+		}
+		idx := (f.Bit / 32) % len(vec)
+		vec[idx] ^= 1 << (f.Bit % 32)
+	case TargetDatatype:
+		a.Dtype = mpi.Datatype(flip32(int32(a.Dtype)))
+	case TargetOp:
+		a.Op = mpi.Op(flip32(int32(a.Op)))
+	case TargetRoot:
+		a.Root = flip32(a.Root)
+	case TargetComm:
+		a.Comm = mpi.Comm(flip32(int32(a.Comm)))
+	default:
+		return false
+	}
+	return true
+}

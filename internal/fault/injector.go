@@ -1,0 +1,67 @@
+package fault
+
+import (
+	"sync"
+
+	"github.com/fastfit/fastfit/internal/mpi"
+)
+
+// Injector is an mpi.Hook that applies planned faults when the addressed
+// (rank, site, invocation) triples come up during execution. It is safe for
+// concurrent use by all ranks of a world.
+type Injector struct {
+	mu      sync.Mutex
+	faults  []Fault
+	applied []Fault
+	misses  []Fault
+	chain   mpi.Hook // optional downstream hook (e.g. a profiler)
+}
+
+var _ mpi.Hook = (*Injector)(nil)
+
+// NewInjector builds an injector for the given faults. chain, if non-nil,
+// receives every hook event after injection has been considered.
+func NewInjector(chain mpi.Hook, faults ...Fault) *Injector {
+	return &Injector{faults: faults, chain: chain}
+}
+
+// BeforeCollective implements mpi.Hook.
+func (in *Injector) BeforeCollective(call *mpi.CollectiveCall) {
+	in.mu.Lock()
+	for i := range in.faults {
+		f := in.faults[i]
+		if f.Rank == call.Rank && f.Site == call.Site && f.Invocation == call.Invocation {
+			if f.Apply(call) {
+				in.applied = append(in.applied, f)
+			} else {
+				in.misses = append(in.misses, f)
+			}
+		}
+	}
+	in.mu.Unlock()
+	if in.chain != nil {
+		in.chain.BeforeCollective(call)
+	}
+}
+
+// AfterCollective implements mpi.Hook.
+func (in *Injector) AfterCollective(call *mpi.CollectiveCall) {
+	if in.chain != nil {
+		in.chain.AfterCollective(call)
+	}
+}
+
+// Applied returns the faults that were actually applied during the run.
+func (in *Injector) Applied() []Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Fault(nil), in.applied...)
+}
+
+// Missed returns faults whose addressed call occurred but whose target was
+// not present (e.g. an empty buffer).
+func (in *Injector) Missed() []Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Fault(nil), in.misses...)
+}

@@ -1,0 +1,31 @@
+package ml
+
+import "github.com/fastfit/fastfit/internal/stats"
+
+// Correlation implements the paper's Equation 1: a Pearson correlation
+// between a quantified application feature X and the error-rate level Y,
+// remapped to [0,1]. A value near 1 means the feature varies with the
+// sensitivity, near 0 means it varies oppositely, and 0.5 means the feature
+// does not affect the sensitivity.
+func Correlation(feature, level []float64) float64 {
+	return stats.PaperCorrelation(feature, level)
+}
+
+// CorrelationTable computes Eq. 1 for every feature column of d against
+// the labels, returning values keyed by feature name — the contents of the
+// paper's Table IV.
+func CorrelationTable(d *Dataset) map[string]float64 {
+	out := make(map[string]float64, len(d.Features))
+	ys := make([]float64, d.Len())
+	for i, y := range d.Y {
+		ys[i] = float64(y)
+	}
+	col := make([]float64, d.Len())
+	for f, name := range d.Features {
+		for i := range d.X {
+			col[i] = d.X[i][f]
+		}
+		out[name] = Correlation(col, ys)
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ForestConfig parameterises random-forest training.
+type ForestConfig struct {
+	Trees    int // number of trees (default 50)
+	MaxDepth int // per-tree depth bound (default 12)
+	MinLeaf  int // minimum examples per leaf (default 2)
+	Seed     int64
+}
+
+func (c ForestConfig) withDefaults() ForestConfig {
+	if c.Trees <= 0 {
+		c.Trees = 50
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 2
+	}
+	return c
+}
+
+// Forest is a trained random forest: bootstrap-sampled CART trees with
+// sqrt(d) feature subsampling, deciding by majority vote — the ensemble
+// the paper uses for sensitivity prediction.
+type Forest struct {
+	trees   []*Tree
+	classes int
+}
+
+// TrainForest fits a random forest to d.
+func TrainForest(d *Dataset, cfg ForestConfig) *Forest {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed*2654435761 + 1))
+	mtry := int(math.Sqrt(float64(len(d.Features))))
+	if mtry < 1 {
+		mtry = 1
+	}
+	f := &Forest{classes: d.Classes}
+	n := d.Len()
+	for t := 0; t < cfg.Trees; t++ {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		boot := d.Subset(idx)
+		tree := BuildTree(boot, TreeConfig{
+			MaxDepth:         cfg.MaxDepth,
+			MinLeaf:          cfg.MinLeaf,
+			FeaturesPerSplit: mtry,
+		}, rng)
+		f.trees = append(f.trees, tree)
+	}
+	return f
+}
+
+// Predict returns the majority-vote class for x.
+func (f *Forest) Predict(x []float64) int {
+	votes := make([]int, f.classes)
+	for _, t := range f.trees {
+		votes[t.Predict(x)]++
+	}
+	best := 0
+	for c, v := range votes {
+		if v > votes[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// PredictProba returns the vote distribution over classes for x.
+func (f *Forest) PredictProba(x []float64) []float64 {
+	votes := make([]float64, f.classes)
+	for _, t := range f.trees {
+		votes[t.Predict(x)]++
+	}
+	for c := range votes {
+		votes[c] /= float64(len(f.trees))
+	}
+	return votes
+}
+
+// Trees returns the number of trees in the ensemble.
+func (f *Forest) Trees() int { return len(f.trees) }
+
+// FeatureImportance averages the member trees' normalised Gini-decrease
+// importances — the ensemble view of which application features drive the
+// sensitivity prediction (the paper's "reveals the application features
+// affecting the application sensitivity").
+func (f *Forest) FeatureImportance() []float64 {
+	if len(f.trees) == 0 {
+		return nil
+	}
+	out := make([]float64, len(f.trees[0].features))
+	for _, t := range f.trees {
+		for i, v := range t.FeatureImportance() {
+			if i < len(out) {
+				out[i] += v
+			}
+		}
+	}
+	sum := 0.0
+	for _, v := range out {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range out {
+			out[i] /= sum
+		}
+	}
+	return out
+}
+
+// ExampleTree renders one member tree (the paper's Fig. 4 shows a single
+// decision tree drawn from the trained model).
+func (f *Forest) ExampleTree(i int, classNames []string) string {
+	if len(f.trees) == 0 {
+		return "(empty forest)"
+	}
+	return f.trees[i%len(f.trees)].Render(classNames)
+}
+
+// Accuracy returns the fraction of examples in d the forest classifies
+// correctly.
+func (f *Forest) Accuracy(d *Dataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	ok := 0
+	for i := range d.X {
+		if f.Predict(d.X[i]) == d.Y[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(d.Len())
+}
+
+// ConfusionMatrix returns M[actual][predicted] over d.
+func (f *Forest) ConfusionMatrix(d *Dataset) [][]int {
+	m := make([][]int, d.Classes)
+	for c := range m {
+		m[c] = make([]int, d.Classes)
+	}
+	for i := range d.X {
+		m[d.Y[i]][f.Predict(d.X[i])]++
+	}
+	return m
+}
+
+// PerClassRecall returns, per class, the fraction of that class's examples
+// predicted correctly (the quantity behind the paper's Figs. 12-13), and
+// the per-class support. Classes with no support report recall -1.
+func (f *Forest) PerClassRecall(d *Dataset) (recall []float64, support []int) {
+	m := f.ConfusionMatrix(d)
+	recall = make([]float64, d.Classes)
+	support = make([]int, d.Classes)
+	for c := 0; c < d.Classes; c++ {
+		tot := 0
+		for p := 0; p < d.Classes; p++ {
+			tot += m[c][p]
+		}
+		support[c] = tot
+		if tot == 0 {
+			recall[c] = -1
+			continue
+		}
+		recall[c] = float64(m[c][c]) / float64(tot)
+	}
+	return recall, support
+}

@@ -1,0 +1,281 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// xorDataset is a classic non-linearly-separable problem a depth-2 tree
+// ensemble must learn.
+func xorDataset(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &Dataset{Features: []string{"a", "b"}, Classes: 2}
+	for i := 0; i < n; i++ {
+		a := float64(rng.Intn(2))
+		b := float64(rng.Intn(2))
+		y := 0
+		if a != b {
+			y = 1
+		}
+		// jitter so thresholds are findable
+		ds.X = append(ds.X, []float64{a + 0.1*rng.Float64(), b + 0.1*rng.Float64()})
+		ds.Y = append(ds.Y, y)
+	}
+	return ds
+}
+
+func TestTreeLearnsXOR(t *testing.T) {
+	ds := xorDataset(200, 1)
+	tree := BuildTree(ds, TreeConfig{MaxDepth: 4}, nil)
+	correct := 0
+	for i := range ds.X {
+		if tree.Predict(ds.X[i]) == ds.Y[i] {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(ds.Len()); frac < 0.98 {
+		t.Fatalf("tree accuracy on training data = %.2f, want >= 0.98", frac)
+	}
+}
+
+func TestTreePureLeafShortCircuit(t *testing.T) {
+	ds := &Dataset{Features: []string{"x"}, Classes: 2}
+	for i := 0; i < 10; i++ {
+		ds.X = append(ds.X, []float64{float64(i)})
+		ds.Y = append(ds.Y, 1)
+	}
+	tree := BuildTree(ds, TreeConfig{}, nil)
+	if tree.Depth() != 0 {
+		t.Fatalf("pure dataset should produce a single leaf, depth=%d", tree.Depth())
+	}
+	if tree.Predict([]float64{42}) != 1 {
+		t.Fatalf("pure leaf predicts wrong class")
+	}
+}
+
+func TestTreeRespectsMaxDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds := &Dataset{Features: []string{"x"}, Classes: 2}
+	for i := 0; i < 500; i++ {
+		x := rng.Float64()
+		y := 0
+		if math.Sin(40*x) > 0 { // highly oscillatory: wants a deep tree
+			y = 1
+		}
+		ds.X = append(ds.X, []float64{x})
+		ds.Y = append(ds.Y, y)
+	}
+	tree := BuildTree(ds, TreeConfig{MaxDepth: 3}, nil)
+	if d := tree.Depth(); d > 3 {
+		t.Fatalf("depth %d exceeds max 3", d)
+	}
+}
+
+func TestTreeMinLeaf(t *testing.T) {
+	ds := xorDataset(64, 3)
+	tree := BuildTree(ds, TreeConfig{MinLeaf: 64}, nil)
+	if tree.Depth() != 0 {
+		t.Fatalf("min-leaf of the whole dataset should force a single leaf")
+	}
+}
+
+func TestTreeRenderNamesFeaturesAndClasses(t *testing.T) {
+	ds := xorDataset(200, 4)
+	tree := BuildTree(ds, TreeConfig{MaxDepth: 3}, nil)
+	out := tree.Render([]string{"same", "different"})
+	if !strings.Contains(out, "a <") && !strings.Contains(out, "b <") {
+		t.Fatalf("render should name features:\n%s", out)
+	}
+	if !strings.Contains(out, "same") && !strings.Contains(out, "different") {
+		t.Fatalf("render should name classes:\n%s", out)
+	}
+}
+
+func TestForestLearnsXORAndBeatsChance(t *testing.T) {
+	train := xorDataset(300, 5)
+	test := xorDataset(100, 6)
+	f := TrainForest(train, ForestConfig{Trees: 30, Seed: 7})
+	if acc := f.Accuracy(test); acc < 0.9 {
+		t.Fatalf("forest test accuracy = %.2f, want >= 0.9", acc)
+	}
+}
+
+func TestForestDeterministicGivenSeed(t *testing.T) {
+	ds := xorDataset(100, 8)
+	f1 := TrainForest(ds, ForestConfig{Trees: 10, Seed: 9})
+	f2 := TrainForest(ds, ForestConfig{Trees: 10, Seed: 9})
+	for i := range ds.X {
+		if f1.Predict(ds.X[i]) != f2.Predict(ds.X[i]) {
+			t.Fatalf("same seed should produce identical forests")
+		}
+	}
+}
+
+func TestForestPredictProbaSumsToOne(t *testing.T) {
+	ds := xorDataset(100, 10)
+	f := TrainForest(ds, ForestConfig{Trees: 20, Seed: 11})
+	probs := f.PredictProba(ds.X[0])
+	sum := 0.0
+	for _, p := range probs {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestConfusionMatrixDiagonalDominance(t *testing.T) {
+	ds := xorDataset(300, 12)
+	f := TrainForest(ds, ForestConfig{Trees: 20, Seed: 13})
+	m := f.ConfusionMatrix(ds)
+	if m[0][0] <= m[0][1] || m[1][1] <= m[1][0] {
+		t.Fatalf("confusion matrix should be diagonal-dominant on training data: %v", m)
+	}
+}
+
+func TestPerClassRecall(t *testing.T) {
+	ds := xorDataset(300, 14)
+	f := TrainForest(ds, ForestConfig{Trees: 20, Seed: 15})
+	recall, support := f.PerClassRecall(ds)
+	for c := 0; c < 2; c++ {
+		if support[c] == 0 {
+			t.Fatalf("class %d has no support", c)
+		}
+		if recall[c] < 0.9 {
+			t.Fatalf("class %d recall = %.2f", c, recall[c])
+		}
+	}
+}
+
+func TestPerClassRecallEmptyClass(t *testing.T) {
+	ds := &Dataset{Features: []string{"x"}, Classes: 3}
+	for i := 0; i < 10; i++ {
+		ds.X = append(ds.X, []float64{float64(i % 2)})
+		ds.Y = append(ds.Y, i%2)
+	}
+	f := TrainForest(ds, ForestConfig{Trees: 5, Seed: 1})
+	recall, support := f.PerClassRecall(ds)
+	if support[2] != 0 || recall[2] != -1 {
+		t.Fatalf("absent class should report support 0 and recall -1, got %v %v", support[2], recall[2])
+	}
+}
+
+func TestSubsetSharesRows(t *testing.T) {
+	ds := xorDataset(10, 16)
+	sub := ds.Subset([]int{0, 0, 5})
+	if sub.Len() != 3 {
+		t.Fatalf("subset length = %d", sub.Len())
+	}
+	if &sub.X[0][0] != &ds.X[0][0] {
+		t.Fatalf("subset should share row storage")
+	}
+	if sub.Y[2] != ds.Y[5] {
+		t.Fatalf("subset labels wrong")
+	}
+}
+
+func TestForestPredictionInRangeProperty(t *testing.T) {
+	ds := xorDataset(100, 17)
+	f := TrainForest(ds, ForestConfig{Trees: 8, Seed: 18})
+	check := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		c := f.Predict([]float64{a, b})
+		return c >= 0 && c < 2
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorrelationTable(t *testing.T) {
+	// Feature 0 is the label itself; feature 1 is its negation; feature 2
+	// is constant.
+	ds := &Dataset{Features: []string{"same", "opposite", "constant"}, Classes: 2}
+	for i := 0; i < 50; i++ {
+		y := i % 2
+		ds.X = append(ds.X, []float64{float64(y), float64(1 - y), 3})
+		ds.Y = append(ds.Y, y)
+	}
+	table := CorrelationTable(ds)
+	if math.Abs(table["same"]-1) > 1e-9 {
+		t.Errorf("same-feature correlation = %v, want 1", table["same"])
+	}
+	if math.Abs(table["opposite"]) > 1e-9 {
+		t.Errorf("opposite-feature correlation = %v, want 0", table["opposite"])
+	}
+	if table["constant"] != 0.5 {
+		t.Errorf("constant-feature correlation = %v, want 0.5", table["constant"])
+	}
+}
+
+func TestGiniHelper(t *testing.T) {
+	if g := gini([]int{5, 5}, 10); math.Abs(g-0.5) > 1e-12 {
+		t.Errorf("balanced gini = %v, want 0.5", g)
+	}
+	if g := gini([]int{10, 0}, 10); g != 0 {
+		t.Errorf("pure gini = %v, want 0", g)
+	}
+	if g := gini(nil, 0); g != 0 {
+		t.Errorf("empty gini = %v", g)
+	}
+}
+
+func TestBuildTreeHandlesConstantFeatures(t *testing.T) {
+	ds := &Dataset{Features: []string{"x"}, Classes: 2}
+	for i := 0; i < 20; i++ {
+		ds.X = append(ds.X, []float64{1})
+		ds.Y = append(ds.Y, i%2)
+	}
+	tree := BuildTree(ds, TreeConfig{}, nil)
+	// No split possible: must produce a leaf without hanging or panicking.
+	if tree.Depth() != 0 {
+		t.Fatalf("unsplittable data should produce a leaf")
+	}
+}
+
+func TestFeatureImportanceIdentifiesInformativeFeatures(t *testing.T) {
+	// Feature 0 fully determines the label; feature 1 is random noise.
+	rng := rand.New(rand.NewSource(31))
+	ds := &Dataset{Features: []string{"signal", "noise"}, Classes: 2}
+	for i := 0; i < 300; i++ {
+		y := rng.Intn(2)
+		ds.X = append(ds.X, []float64{float64(y) + 0.1*rng.Float64(), rng.Float64()})
+		ds.Y = append(ds.Y, y)
+	}
+	f := TrainForest(ds, ForestConfig{Trees: 20, Seed: 32})
+	imp := f.FeatureImportance()
+	if len(imp) != 2 {
+		t.Fatalf("importance = %v", imp)
+	}
+	if imp[0] < 0.8 {
+		t.Fatalf("signal importance = %.2f, want dominant", imp[0])
+	}
+	total := imp[0] + imp[1]
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("importances sum to %v", total)
+	}
+}
+
+func TestFeatureImportanceDegenerate(t *testing.T) {
+	// A pure dataset yields a stump with zero importances.
+	ds := &Dataset{Features: []string{"x"}, Classes: 2}
+	for i := 0; i < 10; i++ {
+		ds.X = append(ds.X, []float64{float64(i)})
+		ds.Y = append(ds.Y, 0)
+	}
+	f := TrainForest(ds, ForestConfig{Trees: 3, Seed: 1})
+	for _, v := range f.FeatureImportance() {
+		if v != 0 {
+			t.Fatalf("stump importance should be zero: %v", v)
+		}
+	}
+	empty := &Forest{}
+	if empty.FeatureImportance() != nil {
+		t.Fatal("empty forest importance should be nil")
+	}
+}

@@ -1,0 +1,294 @@
+// Package ml implements the machine-learning stack FastFIT's prediction
+// phase relies on: CART decision trees, a bootstrap-aggregated random
+// forest with feature subsampling, per-class accuracy metrics and the
+// paper's feature/sensitivity correlation measure (Eq. 1). Everything is
+// pure standard library.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Dataset is a labelled design matrix: X[i] is the feature vector of
+// example i and Y[i] its class label in [0, Classes).
+type Dataset struct {
+	X        [][]float64
+	Y        []int
+	Features []string // column names, used for rendering and importance
+	Classes  int
+}
+
+// Len returns the number of examples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Subset returns the dataset restricted to the given example indices (the
+// rows are shared, not copied).
+func (d *Dataset) Subset(idx []int) *Dataset {
+	sub := &Dataset{Features: d.Features, Classes: d.Classes}
+	for _, i := range idx {
+		sub.X = append(sub.X, d.X[i])
+		sub.Y = append(sub.Y, d.Y[i])
+	}
+	return sub
+}
+
+// TreeConfig bounds decision-tree growth.
+type TreeConfig struct {
+	MaxDepth         int // 0 means unbounded
+	MinLeaf          int // minimum examples per leaf (default 1)
+	FeaturesPerSplit int // 0 means all features (forest sets sqrt(d))
+}
+
+// Tree is a trained CART decision tree.
+type Tree struct {
+	root     *node
+	features []string
+	classes  int
+	// importance accumulates the weighted Gini decrease per feature
+	// during growth (the standard mean-decrease-in-impurity measure).
+	importance []float64
+}
+
+type node struct {
+	// internal nodes
+	feature   int
+	threshold float64
+	left      *node // feature < threshold
+	right     *node // feature >= threshold
+	// leaves
+	leaf  bool
+	class int
+	dist  []float64 // class distribution at the leaf
+}
+
+// BuildTree grows a CART tree with Gini-impurity splits. rng drives the
+// per-split feature subsampling when cfg.FeaturesPerSplit is positive; pass
+// nil to consider every feature at every split.
+func BuildTree(d *Dataset, cfg TreeConfig, rng *rand.Rand) *Tree {
+	if cfg.MinLeaf <= 0 {
+		cfg.MinLeaf = 1
+	}
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{features: d.Features, classes: d.Classes, importance: make([]float64, len(d.Features))}
+	t.root = t.grow(d, idx, cfg, rng, 0)
+	return t
+}
+
+// FeatureImportance returns the per-feature total weighted Gini decrease,
+// normalised to sum to 1 (all zeros for a stump).
+func (t *Tree) FeatureImportance() []float64 {
+	out := append([]float64(nil), t.importance...)
+	sum := 0.0
+	for _, v := range out {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range out {
+			out[i] /= sum
+		}
+	}
+	return out
+}
+
+func (t *Tree) grow(d *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand, depth int) *node {
+	dist := classDist(d, idx)
+	if len(idx) < 2*cfg.MinLeaf || (cfg.MaxDepth > 0 && depth >= cfg.MaxDepth) || pure(dist) {
+		return leafNode(dist)
+	}
+	f, thr, ok := bestSplit(d, idx, cfg, rng)
+	if !ok {
+		return leafNode(dist)
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if d.X[i][f] < thr {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) < cfg.MinLeaf || len(ri) < cfg.MinLeaf {
+		return leafNode(dist)
+	}
+	// Record the split's impurity decrease, weighted by node size.
+	parentCounts := make([]int, d.Classes)
+	leftCounts := make([]int, d.Classes)
+	rightCounts := make([]int, d.Classes)
+	for _, i := range idx {
+		parentCounts[d.Y[i]]++
+	}
+	for _, i := range li {
+		leftCounts[d.Y[i]]++
+	}
+	for _, i := range ri {
+		rightCounts[d.Y[i]]++
+	}
+	n, nl, nr := float64(len(idx)), float64(len(li)), float64(len(ri))
+	decrease := gini(parentCounts, len(idx)) - (nl*gini(leftCounts, len(li))+nr*gini(rightCounts, len(ri)))/n
+	if decrease > 0 && f < len(t.importance) {
+		t.importance[f] += decrease * n
+	}
+	return &node{
+		feature:   f,
+		threshold: thr,
+		left:      t.grow(d, li, cfg, rng, depth+1),
+		right:     t.grow(d, ri, cfg, rng, depth+1),
+	}
+}
+
+func leafNode(dist []float64) *node {
+	best, bestV := 0, -1.0
+	for c, v := range dist {
+		if v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return &node{leaf: true, class: best, dist: dist}
+}
+
+func classDist(d *Dataset, idx []int) []float64 {
+	dist := make([]float64, d.Classes)
+	for _, i := range idx {
+		dist[d.Y[i]]++
+	}
+	n := float64(len(idx))
+	if n > 0 {
+		for c := range dist {
+			dist[c] /= n
+		}
+	}
+	return dist
+}
+
+func pure(dist []float64) bool {
+	for _, v := range dist {
+		if v > 0.999999 {
+			return true
+		}
+	}
+	return false
+}
+
+func gini(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		g -= p * p
+	}
+	return g
+}
+
+// bestSplit searches the (possibly subsampled) features for the split with
+// the lowest weighted Gini impurity.
+func bestSplit(d *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand) (feature int, threshold float64, ok bool) {
+	nf := len(d.Features)
+	cand := make([]int, nf)
+	for i := range cand {
+		cand[i] = i
+	}
+	if cfg.FeaturesPerSplit > 0 && cfg.FeaturesPerSplit < nf && rng != nil {
+		rng.Shuffle(nf, func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
+		cand = cand[:cfg.FeaturesPerSplit]
+	}
+
+	bestGini := math.Inf(1)
+	type fv struct {
+		v float64
+		y int
+	}
+	vals := make([]fv, 0, len(idx))
+	for _, f := range cand {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, fv{d.X[i][f], d.Y[i]})
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i].v < vals[j].v })
+
+		leftCounts := make([]int, d.Classes)
+		rightCounts := make([]int, d.Classes)
+		for _, e := range vals {
+			rightCounts[e.y]++
+		}
+		nLeft, nRight := 0, len(vals)
+		for i := 0; i+1 < len(vals); i++ {
+			leftCounts[vals[i].y]++
+			rightCounts[vals[i].y]--
+			nLeft++
+			nRight--
+			if vals[i].v == vals[i+1].v {
+				continue // no threshold between equal values
+			}
+			g := (float64(nLeft)*gini(leftCounts, nLeft) + float64(nRight)*gini(rightCounts, nRight)) / float64(len(vals))
+			if g < bestGini {
+				bestGini = g
+				feature = f
+				threshold = (vals[i].v + vals[i+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}
+
+// Predict returns the predicted class for x.
+func (t *Tree) Predict(x []float64) int {
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] < n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.class
+}
+
+// Depth returns the tree height.
+func (t *Tree) Depth() int { return depth(t.root) }
+
+func depth(n *node) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	l, r := depth(n.left), depth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Render pretty-prints the tree (the shape of the paper's Fig. 4), naming
+// features and class labels.
+func (t *Tree) Render(classNames []string) string {
+	var sb strings.Builder
+	t.render(&sb, t.root, "", classNames)
+	return sb.String()
+}
+
+func (t *Tree) render(sb *strings.Builder, n *node, indent string, classNames []string) {
+	if n.leaf {
+		name := fmt.Sprintf("class %d", n.class)
+		if n.class < len(classNames) {
+			name = classNames[n.class]
+		}
+		fmt.Fprintf(sb, "%s-> %s\n", indent, name)
+		return
+	}
+	fname := fmt.Sprintf("f%d", n.feature)
+	if n.feature < len(t.features) {
+		fname = t.features[n.feature]
+	}
+	fmt.Fprintf(sb, "%s%s < %.3g?\n", indent, fname, n.threshold)
+	t.render(sb, n.left, indent+"  [yes] ", classNames)
+	t.render(sb, n.right, indent+"  [no]  ", classNames)
+}

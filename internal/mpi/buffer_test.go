@@ -1,0 +1,294 @@
+package mpi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func expectSegFault(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if p := recover(); p == nil {
+			t.Fatal("expected SegFault panic")
+		} else if _, ok := p.(SegFault); !ok {
+			t.Fatalf("expected SegFault, got %T: %v", p, p)
+		}
+	}()
+	fn()
+}
+
+func TestBufferTypedRoundTrips(t *testing.T) {
+	f := FromFloat64s([]float64{1.5, -2.25, 3})
+	if got := f.Float64s(); got[0] != 1.5 || got[1] != -2.25 || got[2] != 3 {
+		t.Fatalf("float64 round trip: %v", got)
+	}
+	f.SetFloat64(1, 7.5)
+	if f.Float64(1) != 7.5 {
+		t.Fatal("SetFloat64 failed")
+	}
+
+	i64 := FromInt64s([]int64{-9, 1 << 40})
+	if got := i64.Int64s(); got[0] != -9 || got[1] != 1<<40 {
+		t.Fatalf("int64 round trip: %v", got)
+	}
+	i32 := FromInt32s([]int32{-3, 7})
+	if got := i32.Int32s(); got[0] != -3 || got[1] != 7 {
+		t.Fatalf("int32 round trip: %v", got)
+	}
+	c := FromComplex128s([]complex128{complex(1, -2)})
+	if got := c.Complex128s(); got[0] != complex(1, -2) {
+		t.Fatalf("complex round trip: %v", got)
+	}
+	c.SetComplex128(0, complex(3, 4))
+	if c.Complex128(0) != complex(3, 4) {
+		t.Fatal("SetComplex128 failed")
+	}
+}
+
+func TestBufferCopyHelpers(t *testing.T) {
+	b := NewFloat64Buffer(4)
+	b.CopyFloat64s([]float64{1, 2, 3, 4})
+	if b.Float64(3) != 4 {
+		t.Fatal("CopyFloat64s failed")
+	}
+	bi := NewInt64Buffer(2)
+	bi.CopyInt64s([]int64{5, 6})
+	if bi.Int64(1) != 6 {
+		t.Fatal("CopyInt64s failed")
+	}
+	bc := NewComplex128Buffer(1)
+	bc.CopyComplex128s([]complex128{complex(7, 8)})
+	if bc.Complex128(0) != complex(7, 8) {
+		t.Fatal("CopyComplex128s failed")
+	}
+}
+
+func TestBufferStrictAccessorsFault(t *testing.T) {
+	b := NewFloat64Buffer(2)
+	expectSegFault(t, func() { b.Float64(2) })
+	expectSegFault(t, func() { b.SetFloat64(-1, 0) })
+	expectSegFault(t, func() { b.CopyFloat64s(make([]float64, 3)) })
+	var nilBuf *Buffer
+	expectSegFault(t, func() { nilBuf.access("nil", 0, 1) })
+}
+
+func TestReadAtExactAndSlack(t *testing.T) {
+	b := FromFloat64s([]float64{1, 2})
+	// Exact read returns live bytes.
+	got := b.ReadAt("t", 0, 16)
+	if loadFloat64(got) != 1 {
+		t.Fatal("exact read wrong")
+	}
+	// Overread within slack: valid prefix + zero padding, no fault.
+	over := b.ReadAt("t", 8, 16)
+	if loadFloat64(over) != 2 || loadFloat64(over[8:]) != 0 {
+		t.Fatalf("slack read wrong: % x", over)
+	}
+	// The padded copy must not alias live memory.
+	over[0] = 0xFF
+	if b.Float64(1) == loadFloat64(over) {
+		t.Fatal("slack read aliases buffer")
+	}
+	// Overread beyond slack faults.
+	expectSegFault(t, func() { b.ReadAt("t", 0, 16+ReadSlack+1) })
+	// Negative offset/length fault.
+	expectSegFault(t, func() { b.ReadAt("t", -1, 8) })
+	expectSegFault(t, func() { b.ReadAt("t", 0, -8) })
+}
+
+func TestReadAtNilBuffer(t *testing.T) {
+	var b *Buffer
+	if got := b.ReadAt("t", 0, 0); got != nil {
+		t.Fatal("zero-length read of nil buffer should be nil")
+	}
+	expectSegFault(t, func() { b.ReadAt("t", 0, 1) })
+}
+
+func TestWriteAtExactSlackAndFault(t *testing.T) {
+	b := NewFloat64Buffer(2)
+	b.WriteAt("t", 0, FromFloat64s([]float64{5}).Bytes())
+	if b.Float64(0) != 5 {
+		t.Fatal("exact write failed")
+	}
+	// Partial overhang: in-bounds prefix written, overhang dropped.
+	data := FromFloat64s([]float64{6, 7}).Bytes()
+	b.WriteAt("t", 8, data)
+	if b.Float64(1) != 6 {
+		t.Fatal("in-bounds part of straddling write lost")
+	}
+	// Fully stray write within slack: dropped silently.
+	b.WriteAt("t", 16, data)
+	if b.Float64(0) != 5 || b.Float64(1) != 6 {
+		t.Fatal("stray write corrupted live memory")
+	}
+	// Beyond slack: fault.
+	expectSegFault(t, func() { b.WriteAt("t", 16+WriteSlack, []byte{1}) })
+	expectSegFault(t, func() { b.WriteAt("t", -1, []byte{1}) })
+}
+
+func TestWriteAtNilBuffer(t *testing.T) {
+	var b *Buffer
+	b.WriteAt("t", 0, []byte{1, 2}) // stray write into slack: no fault
+	expectSegFault(t, func() { b.WriteAt("t", WriteSlack+1, []byte{1}) })
+}
+
+func TestFlipBitWrapsUniformly(t *testing.T) {
+	b := NewBuffer(2) // 16 bits
+	for bit := 0; bit < 64; bit++ {
+		before := append([]byte(nil), b.Bytes()...)
+		b.FlipBit(bit)
+		diff := 0
+		for i := range before {
+			if before[i] != b.Bytes()[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("bit %d changed %d bytes", bit, diff)
+		}
+	}
+	// Negative indices wrap too.
+	b.FlipBit(-1)
+	// Empty buffers are a no-op.
+	NewBuffer(0).FlipBit(5)
+}
+
+func TestFlipBitSelfInverseProperty(t *testing.T) {
+	f := func(seed []byte, bit int) bool {
+		if len(seed) == 0 {
+			return true
+		}
+		b := &Buffer{mem: append([]byte(nil), seed...)}
+		before := append([]byte(nil), b.Bytes()...)
+		b.FlipBit(bit)
+		b.FlipBit(bit)
+		for i := range before {
+			if before[i] != b.Bytes()[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	b := FromFloat64s([]float64{1})
+	c := b.Clone()
+	c.SetFloat64(0, 9)
+	if b.Float64(0) != 1 {
+		t.Fatal("clone shares memory")
+	}
+	var nilBuf *Buffer
+	if nilBuf.Clone() != nil {
+		t.Fatal("nil clone should be nil")
+	}
+}
+
+func TestNewBufferNegativeSize(t *testing.T) {
+	if NewBuffer(-5).Len() != 0 {
+		t.Fatal("negative size should clamp to zero")
+	}
+	var nilBuf *Buffer
+	if nilBuf.Len() != 0 {
+		t.Fatal("nil Len should be 0")
+	}
+}
+
+func TestWorkBudgetKillsRunawayLoop(t *testing.T) {
+	res := Run(RunOptions{NumRanks: 2, Seed: 1, WorkBudget: 1000}, func(r *Rank) error {
+		for {
+			r.Tick(10)
+		}
+	})
+	if _, ok := res.FirstError().(Killed); !ok {
+		t.Fatalf("runaway loop should be Killed, got %v", res.FirstError())
+	}
+}
+
+func TestWorkBudgetKillsCollectiveLoop(t *testing.T) {
+	// A loop of collectives with no app-side Tick must still die: the
+	// runtime charges each collective against the budget.
+	res := Run(RunOptions{NumRanks: 2, Seed: 1, WorkBudget: 100_000}, func(r *Rank) error {
+		for {
+			r.Barrier(CommWorld)
+		}
+	})
+	if _, ok := res.FirstError().(Killed); !ok {
+		t.Fatalf("collective runaway should be Killed, got %v", res.FirstError())
+	}
+}
+
+func TestWorkBudgetDisabled(t *testing.T) {
+	res := Run(RunOptions{NumRanks: 1, Seed: 1, WorkBudget: -1}, func(r *Rank) error {
+		for i := 0; i < 1000; i++ {
+			r.Tick(1 << 40) // astronomically over any budget
+		}
+		return nil
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatalf("disabled budget should never kill: %v", err)
+	}
+}
+
+func TestTickObservesWorldCancellation(t *testing.T) {
+	res := Run(RunOptions{NumRanks: 2, Seed: 1}, func(r *Rank) error {
+		if r.ID() == 0 {
+			panic(SegFault{Op: "injected crash"})
+		}
+		for {
+			r.Tick(1) // must notice the world died
+		}
+	})
+	if _, ok := res.FirstError().(SegFault); !ok {
+		t.Fatalf("want SegFault, got %v", res.FirstError())
+	}
+	if _, ok := res.Ranks[1].Err.(Killed); !ok {
+		t.Fatalf("compute-bound peer should be Killed, got %v", res.Ranks[1].Err)
+	}
+}
+
+func TestInvalidCommIndexIsMPIErr(t *testing.T) {
+	res := runErr(t, func(r *Rank) {
+		r.Barrier(CommWorld + 7) // handle space, unregistered index
+	})
+	wantClass(t, res, ErrComm)
+}
+
+func TestCorruptDatatypeIndexIsMPIErr(t *testing.T) {
+	res := runErr(t, func(r *Rank) {
+		send := NewFloat64Buffer(4)
+		recv := NewFloat64Buffer(4)
+		r.Allreduce(send, recv, 4, Float64+99, OpSum, CommWorld) // handle space, bad index
+	})
+	wantClass(t, res, ErrType)
+}
+
+func TestCorruptOpIndexIsMPIErr(t *testing.T) {
+	res := runErr(t, func(r *Rank) {
+		send := NewFloat64Buffer(4)
+		recv := NewFloat64Buffer(4)
+		r.Allreduce(send, recv, 4, Float64, OpSum+100, CommWorld)
+	})
+	wantClass(t, res, ErrOp)
+}
+
+func TestModerateOverCountTruncatesAtPeer(t *testing.T) {
+	// One rank's count is inflated but the read stays within heap slack:
+	// it sends an oversized message that the peer reports as
+	// MPI_ERR_TRUNCATE — not a crash.
+	res := runErr(t, func(r *Rank) {
+		send := NewFloat64Buffer(8)
+		recv := NewFloat64Buffer(8)
+		count := 8
+		if r.ID() == 0 {
+			count = 8 + 64 // 512 extra bytes, well within ReadSlack
+		}
+		r.Allreduce(send, recv, count, Float64, OpSum, CommWorld)
+	})
+	if _, ok := res.FirstError().(MPIError); !ok {
+		t.Fatalf("want MPIError (truncate), got %v", res.FirstError())
+	}
+}

@@ -1,0 +1,266 @@
+package mpi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property-based tests for the collective algorithms: for random inputs and
+// communicator sizes, the distributed results must match a sequential
+// reference computation.
+
+func runProperty(t *testing.T, n int, fn func(r *Rank) error) RunResult {
+	t.Helper()
+	res := Run(RunOptions{NumRanks: n, Seed: 77, Timeout: 20 * time.Second}, fn)
+	if err := res.FirstError(); err != nil {
+		t.Fatalf("property run failed: %v", err)
+	}
+	return res
+}
+
+func TestPropertyAllreduceMatchesSequential(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 12}
+	f := func(seed int64, sizeSel uint8, opSel uint8) bool {
+		sizes := []int{1, 2, 3, 4, 5, 7, 8, 16}
+		n := sizes[int(sizeSel)%len(sizes)]
+		ops := []Op{OpSum, OpMax, OpMin, OpProd}
+		op := ops[int(opSel)%len(ops)]
+		const count = 5
+
+		// Sequential reference.
+		rng := rand.New(rand.NewSource(seed))
+		inputs := make([][]float64, n)
+		for i := range inputs {
+			inputs[i] = make([]float64, count)
+			for j := range inputs[i] {
+				inputs[i][j] = math.Round(100 * (rng.Float64()*2 - 1)) // small ints avoid FP-order issues
+			}
+		}
+		want := append([]float64(nil), inputs[0]...)
+		for i := 1; i < n; i++ {
+			for j := 0; j < count; j++ {
+				want[j] = combineF64(op, want[j], inputs[i][j])
+			}
+		}
+
+		okAll := true
+		runProperty(t, n, func(r *Rank) error {
+			got := r.AllreduceFloat64s(inputs[r.ID()], op, CommWorld)
+			for j := range got {
+				// Product order differs across tree shapes; allow relative
+				// tolerance.
+				if math.Abs(got[j]-want[j]) > 1e-6*math.Max(1, math.Abs(want[j])) {
+					okAll = false
+				}
+			}
+			return nil
+		})
+		return okAll
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyReduceAgreesWithAllreduce(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 10}
+	f := func(seed int64, rootSel uint8) bool {
+		const n = 6
+		root := int(rootSel) % n
+		rng := rand.New(rand.NewSource(seed))
+		inputs := make([]float64, n)
+		for i := range inputs {
+			inputs[i] = math.Round(50 * rng.Float64())
+		}
+		ok := true
+		runProperty(t, n, func(r *Rank) error {
+			all := r.AllreduceFloat64(inputs[r.ID()], OpSum, CommWorld)
+			red := r.ReduceFloat64s([]float64{inputs[r.ID()]}, OpSum, root, CommWorld)
+			if r.ID() == root && math.Abs(red[0]-all) > 1e-9 {
+				ok = false
+			}
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBcastDeliversRootValueExactly(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 10}
+	f := func(vals [4]float64, rootSel uint8) bool {
+		const n = 5
+		root := int(rootSel) % n
+		for i, v := range vals {
+			if math.IsNaN(v) {
+				vals[i] = 0
+			}
+		}
+		ok := true
+		runProperty(t, n, func(r *Rank) error {
+			data := make([]float64, 4)
+			if r.ID() == root {
+				copy(data, vals[:])
+			}
+			got := r.BcastFloat64s(data, root, CommWorld)
+			for j := range got {
+				if got[j] != vals[j] {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAllgatherIsGatherEverywhere(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 8}
+	f := func(seed int64) bool {
+		const n = 6
+		rng := rand.New(rand.NewSource(seed))
+		inputs := make([]float64, n)
+		for i := range inputs {
+			inputs[i] = rng.Float64()
+		}
+		ok := true
+		runProperty(t, n, func(r *Rank) error {
+			all := r.AllgatherFloat64s([]float64{inputs[r.ID()]}, CommWorld)
+			gat := r.GatherFloat64s([]float64{inputs[r.ID()]}, 0, CommWorld)
+			for i := range all {
+				if all[i] != inputs[i] {
+					ok = false
+				}
+			}
+			if r.ID() == 0 {
+				for i := range gat {
+					if gat[i] != all[i] {
+						ok = false
+					}
+				}
+			}
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAlltoallIsTranspose(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 8}
+	f := func(seed int64, sizeSel uint8) bool {
+		sizes := []int{2, 3, 4, 8}
+		n := sizes[int(sizeSel)%len(sizes)]
+		rng := rand.New(rand.NewSource(seed))
+		// matrix[i][j] = value rank i sends to rank j
+		matrix := make([][]int64, n)
+		for i := range matrix {
+			matrix[i] = make([]int64, n)
+			for j := range matrix[i] {
+				matrix[i][j] = rng.Int63n(1000)
+			}
+		}
+		ok := true
+		runProperty(t, n, func(r *Rank) error {
+			send := FromInt64s(matrix[r.ID()])
+			recv := NewInt64Buffer(n)
+			r.Alltoall(send, recv, 1, Int64, CommWorld)
+			got := recv.Int64s()
+			for j := range got {
+				if got[j] != matrix[j][r.ID()] { // transpose
+					ok = false
+				}
+			}
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyScanPrefixConsistency(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 8}
+	f := func(seed int64) bool {
+		const n = 7
+		rng := rand.New(rand.NewSource(seed))
+		inputs := make([]int64, n)
+		for i := range inputs {
+			inputs[i] = rng.Int63n(100)
+		}
+		prefix := make([]int64, n)
+		acc := int64(0)
+		for i, v := range inputs {
+			acc += v
+			prefix[i] = acc
+		}
+		ok := true
+		runProperty(t, n, func(r *Rank) error {
+			send := FromInt64s([]int64{inputs[r.ID()]})
+			recv := NewInt64Buffer(1)
+			r.Scan(send, recv, 1, Int64, OpSum, CommWorld)
+			if recv.Int64(0) != prefix[r.ID()] {
+				ok = false
+			}
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyReduceScatterIsReduceThenScatter(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 6}
+	f := func(seed int64) bool {
+		const n = 4
+		counts := []int32{2, 1, 3, 2}
+		total := 8
+		rng := rand.New(rand.NewSource(seed))
+		inputs := make([][]float64, n)
+		for i := range inputs {
+			inputs[i] = make([]float64, total)
+			for j := range inputs[i] {
+				inputs[i][j] = math.Round(20 * rng.Float64())
+			}
+		}
+		sum := make([]float64, total)
+		for _, in := range inputs {
+			for j, v := range in {
+				sum[j] += v
+			}
+		}
+		ok := true
+		runProperty(t, n, func(r *Rank) error {
+			send := FromFloat64s(inputs[r.ID()])
+			recv := NewFloat64Buffer(int(counts[r.ID()]))
+			r.ReduceScatter(send, recv, counts, Float64, OpSum, CommWorld)
+			displ := 0
+			for p := 0; p < r.ID(); p++ {
+				displ += int(counts[p])
+			}
+			for k, v := range recv.Float64s() {
+				if math.Abs(v-sum[displ+k]) > 1e-9 {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+package mpi
+
+// The v-variant rooted collectives: MPI_Scatterv and MPI_Gatherv, with
+// per-rank counts and displacements in elements of the datatype. Like the
+// other collectives, each rank trusts its own (possibly corrupted)
+// argument set; disagreement surfaces as truncation errors, stray reads,
+// overruns or deadlock.
+
+// Scatterv distributes counts[i] elements starting at displs[i] of root's
+// send buffer to rank i's recv buffer (recvCount elements posted).
+func (r *Rank) Scatterv(send *Buffer, sendCounts, sendDispls []int32, recv *Buffer, recvCount int, dt Datatype, root int, comm Comm) {
+	args := &Args{
+		Send: send, Recv: recv, Count: int32(recvCount), Dtype: dt,
+		Root: int32(root), Comm: comm,
+		SendCounts: sendCounts, SendDispls: sendDispls,
+	}
+	call := r.beginCollective(CollScatterv, args)
+	const op = "MPI_Scatterv"
+	ci := r.commDeref(args.Comm)
+	validateCommon(r.id, op, args, ci, true, false, true)
+	me := ci.rankOf[r.id]
+	size := len(ci.members)
+	seq := r.nextSeq(args.Comm)
+	esz := args.Dtype.Size()
+
+	if me == int(args.Root) {
+		for p := 0; p < size; p++ {
+			c := int(args.SendCounts[p])
+			if c < 0 {
+				abortf(r.id, op, ErrCount, "negative count %d for peer %d", c, p)
+			}
+			payload := args.Send.ReadAt(op+" send", int(args.SendDispls[p])*esz, c*esz)
+			if p == me {
+				want := int(args.Count) * esz
+				if len(payload) > want {
+					abortf(r.id, op, ErrTruncate, "self message of %d bytes truncated to %d", len(payload), want)
+				}
+				args.Recv.WriteAt(op+" recv", 0, payload)
+			} else {
+				r.sendRaw(ci, args.Comm, p, internalTag(seq, 0), payload)
+			}
+		}
+	} else {
+		want := int(args.Count) * esz
+		data := r.recvBlock(op, args.Comm, int(args.Root), internalTag(seq, 0), want)
+		args.Recv.WriteAt(op+" recv", 0, data)
+	}
+	r.endCollective(call)
+}
+
+// Gatherv collects sendCount elements from every rank into root's recv
+// buffer at displs[i], expecting counts[i] elements from rank i.
+func (r *Rank) Gatherv(send *Buffer, sendCount int, recv *Buffer, recvCounts, recvDispls []int32, dt Datatype, root int, comm Comm) {
+	args := &Args{
+		Send: send, Recv: recv, Count: int32(sendCount), Dtype: dt,
+		Root: int32(root), Comm: comm,
+		RecvCounts: recvCounts, RecvDispls: recvDispls,
+	}
+	call := r.beginCollective(CollGatherv, args)
+	const op = "MPI_Gatherv"
+	ci := r.commDeref(args.Comm)
+	validateCommon(r.id, op, args, ci, true, false, true)
+	me := ci.rankOf[r.id]
+	size := len(ci.members)
+	seq := r.nextSeq(args.Comm)
+	esz := args.Dtype.Size()
+
+	if me == int(args.Root) {
+		for p := 0; p < size; p++ {
+			c := int(args.RecvCounts[p])
+			if c < 0 {
+				abortf(r.id, op, ErrCount, "negative count %d for peer %d", c, p)
+			}
+			want := c * esz
+			var data []byte
+			if p == me {
+				data = args.Send.ReadAt(op+" send", 0, int(args.Count)*esz)
+				if len(data) > want {
+					abortf(r.id, op, ErrTruncate, "self message of %d bytes truncated to %d", len(data), want)
+				}
+			} else {
+				data = r.recvBlock(op, args.Comm, p, internalTag(seq, 0), want)
+			}
+			args.Recv.WriteAt(op+" recv", int(args.RecvDispls[p])*esz, data)
+		}
+	} else {
+		payload := args.Send.ReadAt(op+" send", 0, int(args.Count)*esz)
+		r.sendRaw(ci, args.Comm, int(args.Root), internalTag(seq, 0), payload)
+	}
+	r.endCollective(call)
+}

@@ -1,0 +1,94 @@
+package mpi
+
+// Convenience wrappers used by the bundled applications. Each marshals Go
+// values through fresh simulated-memory buffers around a collective call;
+// the buffers are what a fault injector corrupts, and corrupted results
+// flow back into application state through the returned slices.
+
+// AllreduceFloat64s reduces vals element-wise across comm with op.
+func (r *Rank) AllreduceFloat64s(vals []float64, op Op, comm Comm) []float64 {
+	send := FromFloat64s(vals)
+	recv := NewFloat64Buffer(len(vals))
+	r.Allreduce(send, recv, len(vals), Float64, op, comm)
+	return recv.Float64s()
+}
+
+// AllreduceFloat64 reduces a single float64 across comm with op.
+func (r *Rank) AllreduceFloat64(v float64, op Op, comm Comm) float64 {
+	return r.AllreduceFloat64s([]float64{v}, op, comm)[0]
+}
+
+// AllreduceInt64s reduces vals element-wise across comm with op.
+func (r *Rank) AllreduceInt64s(vals []int64, op Op, comm Comm) []int64 {
+	send := FromInt64s(vals)
+	recv := NewInt64Buffer(len(vals))
+	r.Allreduce(send, recv, len(vals), Int64, op, comm)
+	return recv.Int64s()
+}
+
+// AllreduceInt64 reduces a single int64 across comm with op.
+func (r *Rank) AllreduceInt64(v int64, op Op, comm Comm) int64 {
+	return r.AllreduceInt64s([]int64{v}, op, comm)[0]
+}
+
+// ReduceFloat64s reduces vals to root; non-root ranks receive nil.
+func (r *Rank) ReduceFloat64s(vals []float64, op Op, root int, comm Comm) []float64 {
+	send := FromFloat64s(vals)
+	recv := NewFloat64Buffer(len(vals))
+	r.Reduce(send, recv, len(vals), Float64, op, root, comm)
+	if r.CommRank(comm) == root {
+		return recv.Float64s()
+	}
+	return nil
+}
+
+// BcastFloat64s broadcasts vals from root; every rank passes a slice of the
+// same length and receives the root's values back.
+func (r *Rank) BcastFloat64s(vals []float64, root int, comm Comm) []float64 {
+	buf := FromFloat64s(vals)
+	r.Bcast(buf, len(vals), Float64, root, comm)
+	return buf.Float64s()
+}
+
+// BcastInt64s broadcasts vals from root.
+func (r *Rank) BcastInt64s(vals []int64, root int, comm Comm) []int64 {
+	buf := FromInt64s(vals)
+	r.Bcast(buf, len(vals), Int64, root, comm)
+	return buf.Int64s()
+}
+
+// AllgatherInt64s gathers one int64 per rank into a slice indexed by rank.
+func (r *Rank) AllgatherInt64s(v int64, comm Comm) []int64 {
+	size := r.Size(comm)
+	send := FromInt64s([]int64{v})
+	recv := NewInt64Buffer(size)
+	r.Allgather(send, recv, 1, Int64, comm)
+	return recv.Int64s()
+}
+
+// AllgatherFloat64s gathers vals (same length on every rank) into a
+// rank-major slice.
+func (r *Rank) AllgatherFloat64s(vals []float64, comm Comm) []float64 {
+	size := r.Size(comm)
+	send := FromFloat64s(vals)
+	recv := NewFloat64Buffer(size * len(vals))
+	r.Allgather(send, recv, len(vals), Float64, comm)
+	return recv.Float64s()
+}
+
+// GatherFloat64s gathers vals at root; non-root ranks receive nil.
+func (r *Rank) GatherFloat64s(vals []float64, root int, comm Comm) []float64 {
+	size := r.Size(comm)
+	send := FromFloat64s(vals)
+	var recv *Buffer
+	if r.CommRank(comm) == root {
+		recv = NewFloat64Buffer(size * len(vals))
+	} else {
+		recv = NewFloat64Buffer(0)
+	}
+	r.Gather(send, recv, len(vals), Float64, root, comm)
+	if r.CommRank(comm) == root {
+		return recv.Float64s()
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+package mpi
+
+import (
+	"testing"
+)
+
+func TestAllreduceConvenienceWrappers(t *testing.T) {
+	res := runN(t, 4, func(r *Rank) error {
+		if got := r.AllreduceFloat64(2, OpSum, CommWorld); got != 8 {
+			t.Errorf("AllreduceFloat64 = %v", got)
+		}
+		got := r.AllreduceFloat64s([]float64{1, float64(r.ID())}, OpMax, CommWorld)
+		if got[0] != 1 || got[1] != 3 {
+			t.Errorf("AllreduceFloat64s = %v", got)
+		}
+		if got := r.AllreduceInt64(int64(r.ID()), OpMin, CommWorld); got != 0 {
+			t.Errorf("AllreduceInt64 = %v", got)
+		}
+		gi := r.AllreduceInt64s([]int64{1, 2}, OpSum, CommWorld)
+		if gi[0] != 4 || gi[1] != 8 {
+			t.Errorf("AllreduceInt64s = %v", gi)
+		}
+		return nil
+	})
+	requireClean(t, res)
+}
+
+func TestBcastConvenienceWrappers(t *testing.T) {
+	res := runN(t, 4, func(r *Rank) error {
+		vals := make([]float64, 3)
+		if r.ID() == 2 {
+			vals = []float64{7, 8, 9}
+		}
+		got := r.BcastFloat64s(vals, 2, CommWorld)
+		if got[0] != 7 || got[2] != 9 {
+			t.Errorf("BcastFloat64s = %v", got)
+		}
+		ivals := make([]int64, 2)
+		if r.ID() == 0 {
+			ivals = []int64{5, 6}
+		}
+		gi := r.BcastInt64s(ivals, 0, CommWorld)
+		if gi[1] != 6 {
+			t.Errorf("BcastInt64s = %v", gi)
+		}
+		return nil
+	})
+	requireClean(t, res)
+}
+
+func TestGatherAllgatherConvenienceWrappers(t *testing.T) {
+	res := runN(t, 4, func(r *Rank) error {
+		ag := r.AllgatherInt64s(int64(r.ID()+10), CommWorld)
+		for i, v := range ag {
+			if v != int64(i+10) {
+				t.Errorf("AllgatherInt64s[%d] = %d", i, v)
+			}
+		}
+		agf := r.AllgatherFloat64s([]float64{float64(r.ID()), -1}, CommWorld)
+		if len(agf) != 8 || agf[2] != 1 || agf[3] != -1 {
+			t.Errorf("AllgatherFloat64s = %v", agf)
+		}
+		g := r.GatherFloat64s([]float64{float64(r.ID() * r.ID())}, 3, CommWorld)
+		if r.ID() == 3 {
+			if len(g) != 4 || g[2] != 4 {
+				t.Errorf("GatherFloat64s = %v", g)
+			}
+		} else if g != nil {
+			t.Errorf("non-root gather result should be nil")
+		}
+		return nil
+	})
+	requireClean(t, res)
+}
+
+func TestReduceConvenienceWrapper(t *testing.T) {
+	res := runN(t, 5, func(r *Rank) error {
+		got := r.ReduceFloat64s([]float64{1, float64(r.ID())}, OpSum, 4, CommWorld)
+		if r.ID() == 4 {
+			if got[0] != 5 || got[1] != 10 {
+				t.Errorf("ReduceFloat64s = %v", got)
+			}
+		} else if got != nil {
+			t.Errorf("non-root reduce result should be nil")
+		}
+		return nil
+	})
+	requireClean(t, res)
+}
+
+func TestSendRecvFloat64sWrappers(t *testing.T) {
+	res := runN(t, 2, func(r *Rank) error {
+		if r.ID() == 0 {
+			r.SendFloat64s(CommWorld, 1, 4, []float64{2.5, -1})
+		} else {
+			got := r.RecvFloat64s(CommWorld, 0, 4)
+			if len(got) != 2 || got[0] != 2.5 || got[1] != -1 {
+				t.Errorf("RecvFloat64s = %v", got)
+			}
+		}
+		return nil
+	})
+	requireClean(t, res)
+}
+
+func TestFirstErrorPriorities(t *testing.T) {
+	mk := func(errs ...error) RunResult {
+		var res RunResult
+		for i, e := range errs {
+			res.Ranks = append(res.Ranks, RankResult{Rank: i, Err: e})
+		}
+		return res
+	}
+	// crash > MPI abort > app abort > kill
+	res := mk(Killed{Reason: "x"}, AppError{Message: "a"}, MPIError{Class: ErrCount}, SegFault{Op: "s"})
+	if _, ok := res.FirstError().(SegFault); !ok {
+		t.Fatalf("want SegFault first, got %T", res.FirstError())
+	}
+	res = mk(Killed{Reason: "x"}, AppError{Message: "a"}, MPIError{Class: ErrCount})
+	if _, ok := res.FirstError().(MPIError); !ok {
+		t.Fatalf("want MPIError, got %T", res.FirstError())
+	}
+	res = mk(Killed{Reason: "x"}, AppError{Message: "a"})
+	if _, ok := res.FirstError().(AppError); !ok {
+		t.Fatalf("want AppError, got %T", res.FirstError())
+	}
+	res = mk(Killed{Reason: "x"}, nil)
+	if _, ok := res.FirstError().(Killed); !ok {
+		t.Fatalf("want Killed, got %T", res.FirstError())
+	}
+	if mk(nil, nil).FirstError() != nil {
+		t.Fatal("clean run should have no first error")
+	}
+}
+
+func TestRunSingleRankWorld(t *testing.T) {
+	res := runN(t, 1, func(r *Rank) error {
+		r.Barrier(CommWorld)
+		if got := r.AllreduceFloat64(3, OpSum, CommWorld); got != 3 {
+			t.Errorf("single-rank allreduce = %v", got)
+		}
+		buf := FromFloat64s([]float64{9})
+		r.Bcast(buf, 1, Float64, 0, CommWorld)
+		send := FromFloat64s([]float64{4})
+		recv := NewFloat64Buffer(1)
+		r.Alltoall(send, recv, 1, Float64, CommWorld)
+		if recv.Float64(0) != 4 {
+			t.Errorf("single-rank alltoall = %v", recv.Float64(0))
+		}
+		return nil
+	})
+	requireClean(t, res)
+}
+
+func TestMailboxBackpressure(t *testing.T) {
+	// A tiny mailbox forces senders to block until the receiver drains;
+	// the run must still complete (no spurious deadlock detection).
+	res := Run(RunOptions{NumRanks: 2, Seed: 1, MailboxCap: 2}, func(r *Rank) error {
+		const msgs = 64
+		if r.ID() == 0 {
+			for i := 0; i < msgs; i++ {
+				r.Send(CommWorld, 1, 1, []byte{byte(i)})
+			}
+		} else {
+			for i := 0; i < msgs; i++ {
+				got := r.Recv(CommWorld, 0, 1)
+				if got[0] != byte(i) {
+					t.Errorf("message %d out of order: %d", i, got[0])
+				}
+			}
+		}
+		return nil
+	})
+	if err := res.FirstError(); err != nil || res.Deadlock {
+		t.Fatalf("backpressure run failed: err=%v deadlock=%v", err, res.Deadlock)
+	}
+}
+
+func TestZeroRanksDefaultsToOne(t *testing.T) {
+	res := Run(RunOptions{NumRanks: 0, Seed: 1}, func(r *Rank) error {
+		if r.NumRanks() != 1 {
+			t.Errorf("NumRanks = %d", r.NumRanks())
+		}
+		return nil
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssertHelper(t *testing.T) {
+	res := runErr(t, func(r *Rank) {
+		r.Assert(r.NumRanks() > 0, "never fires")
+		if r.ID() == 0 {
+			r.Assert(false, "fires on rank 0")
+		}
+		r.Barrier(CommWorld)
+	})
+	if ae, ok := res.FirstError().(AppError); !ok || ae.Message != "fires on rank 0" {
+		t.Fatalf("Assert should abort with its message, got %v", res.FirstError())
+	}
+}

@@ -1,0 +1,207 @@
+package mpi
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"strings"
+)
+
+// CollType enumerates the collective operations the runtime implements.
+type CollType int32
+
+const (
+	CollBarrier CollType = iota
+	CollBcast
+	CollReduce
+	CollAllreduce
+	CollScatter
+	CollGather
+	CollAllgather
+	CollAlltoall
+	CollAlltoallv
+	CollReduceScatter
+	CollScan
+	CollScatterv
+	CollGatherv
+	NumCollTypes
+)
+
+var collNames = [NumCollTypes]string{
+	"MPI_Barrier", "MPI_Bcast", "MPI_Reduce", "MPI_Allreduce", "MPI_Scatter",
+	"MPI_Gather", "MPI_Allgather", "MPI_Alltoall", "MPI_Alltoallv",
+	"MPI_Reduce_scatter", "MPI_Scan", "MPI_Scatterv", "MPI_Gatherv",
+}
+
+func (t CollType) String() string {
+	if t >= 0 && t < NumCollTypes {
+		return collNames[t]
+	}
+	return fmt.Sprintf("MPI_Collective(%d)", int32(t))
+}
+
+// Rooted reports whether the collective has a root process with a
+// communication pattern distinct from the other ranks (the semantic
+// distinction FastFIT's semantic-driven pruning exploits).
+func (t CollType) Rooted() bool {
+	switch t {
+	case CollBcast, CollReduce, CollScatter, CollGather, CollScatterv, CollGatherv:
+		return true
+	}
+	return false
+}
+
+// Args carries the mutable input parameters of one collective call on one
+// rank. A fault injector flips bits in these fields before the collective
+// algorithm consumes them.
+type Args struct {
+	Send *Buffer
+	Recv *Buffer
+
+	Count int32
+	Dtype Datatype
+	Op    Op
+	Root  int32
+	Comm  Comm
+
+	// v-variant parameter vectors (element counts / displacements per rank).
+	SendCounts []int32
+	SendDispls []int32
+	RecvCounts []int32
+	RecvDispls []int32
+}
+
+// CollectiveCall describes one invocation of a collective on one rank, with
+// the application context FastFIT profiles: call site, invocation index,
+// call stack, phase and error-handling annotation.
+type CollectiveCall struct {
+	Rank        int
+	Type        CollType
+	Site        uintptr   // PC identifying the application call site
+	Invocation  int       // 0-based count of this site's invocations on this rank
+	Stack       []uintptr // application-side call stack (innermost first)
+	StackHash   uint64
+	Phase       Phase
+	ErrHandling bool
+	Args        *Args
+}
+
+// SiteName renders the call site as "func file:line".
+func (c *CollectiveCall) SiteName() string { return describePC(c.Site) }
+
+func describePC(pc uintptr) string {
+	f := runtime.FuncForPC(pc)
+	if f == nil {
+		return fmt.Sprintf("pc:%#x", pc)
+	}
+	file, line := f.FileLine(pc)
+	if i := strings.LastIndexByte(file, '/'); i >= 0 {
+		file = file[i+1:]
+	}
+	name := f.Name()
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return fmt.Sprintf("%s %s:%d", name, file, line)
+}
+
+// Hook observes (and in the injector's case mutates) collective calls.
+// BeforeCollective runs after argument capture but before validation and
+// execution; AfterCollective runs once the collective completes normally.
+type Hook interface {
+	BeforeCollective(call *CollectiveCall)
+	AfterCollective(call *CollectiveCall)
+}
+
+// NopHook is a Hook with empty methods, convenient for embedding.
+type NopHook struct{}
+
+// BeforeCollective implements Hook.
+func (NopHook) BeforeCollective(*CollectiveCall) {}
+
+// AfterCollective implements Hook.
+func (NopHook) AfterCollective(*CollectiveCall) {}
+
+const pkgPrefix = "github.com/fastfit/fastfit/internal/mpi."
+
+// collectiveWorkCharge is the work-budget cost of entering one collective.
+// Charging collectives (not just application compute) lets the budget kill
+// runaway loops whose cost is dominated by communication — e.g. a corrupted
+// iteration count around a tight Allreduce loop.
+const collectiveWorkCharge = 2000
+
+// beginCollective captures the application context for a collective call,
+// assigns the invocation index and runs the world hook.
+func (r *Rank) beginCollective(t CollType, args *Args) *CollectiveCall {
+	r.Tick(collectiveWorkCharge)
+	var pcs [64]uintptr
+	n := runtime.Callers(2, pcs[:])
+	stack := trimToApp(pcs[:n])
+	var site uintptr
+	if len(stack) > 0 {
+		site = stack[0]
+	}
+	inv := r.invents[site]
+	r.invents[site] = inv + 1
+
+	call := &CollectiveCall{
+		Rank:        r.id,
+		Type:        t,
+		Site:        site,
+		Invocation:  inv,
+		Stack:       stack,
+		StackHash:   hashStack(stack),
+		Phase:       r.phase,
+		ErrHandling: r.errHandling,
+		Args:        args,
+	}
+	if r.world.hook != nil {
+		r.world.hook.BeforeCollective(call)
+	}
+	return call
+}
+
+func (r *Rank) endCollective(call *CollectiveCall) {
+	if r.world.hook != nil {
+		r.world.hook.AfterCollective(call)
+	}
+}
+
+// trimToApp drops the runtime frames belonging to this package, leaving the
+// application-side stack. The first entry is the precise call-site PC (it
+// identifies the static MPI call site); caller frames above it are
+// normalised to function-entry PCs, because the paper defines call-stack
+// equivalence at function granularity: "the same call stack means that the
+// active functions are the same and called in the same order", regardless
+// of the exact line within each caller.
+func trimToApp(pcs []uintptr) []uintptr {
+	out := make([]uintptr, 0, len(pcs))
+	frames := runtime.CallersFrames(pcs)
+	for {
+		fr, more := frames.Next()
+		if fr.PC != 0 && !strings.HasPrefix(fr.Function, pkgPrefix) && fr.Function != "runtime.Callers" {
+			pc := fr.PC
+			if len(out) > 0 && fr.Entry != 0 {
+				pc = fr.Entry
+			}
+			out = append(out, pc)
+		}
+		if !more {
+			break
+		}
+	}
+	return out
+}
+
+func hashStack(pcs []uintptr) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, pc := range pcs {
+		v := uint64(pc)
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,212 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+)
+
+func TestIsendIrecvRoundTrip(t *testing.T) {
+	res := runN(t, 2, func(r *Rank) error {
+		if r.ID() == 0 {
+			req := r.Isend(CommWorld, 1, 3, FromFloat64s([]float64{42}).Bytes())
+			if req.Wait() != nil {
+				t.Errorf("send wait should return nil payload")
+			}
+		} else {
+			req := r.Irecv(CommWorld, 0, 3)
+			data := req.Wait()
+			b := NewFloat64Buffer(1)
+			copy(b.Bytes(), data)
+			if b.Float64(0) != 42 {
+				t.Errorf("got %v", b.Float64(0))
+			}
+			// Waiting twice is idempotent.
+			if len(req.Wait()) != len(data) {
+				t.Errorf("second Wait differs")
+			}
+		}
+		return nil
+	})
+	requireClean(t, res)
+}
+
+func TestIrecvOverlapsComputation(t *testing.T) {
+	// The classic overlap pattern: post receives, compute, then wait.
+	res := runN(t, 4, func(r *Rank) error {
+		p := r.NumRanks()
+		left := (r.ID() - 1 + p) % p
+		right := (r.ID() + 1) % p
+		recvL := r.Irecv(CommWorld, left, 7)
+		recvR := r.Irecv(CommWorld, right, 8)
+		r.Send(CommWorld, right, 7, []byte{byte(r.ID())})
+		r.Send(CommWorld, left, 8, []byte{byte(r.ID())})
+		// "computation"
+		sum := 0
+		for i := 0; i < 1000; i++ {
+			sum += i
+		}
+		_ = sum
+		got := r.Waitall(recvL, recvR)
+		if got[0][0] != byte(left) || got[1][0] != byte(right) {
+			t.Errorf("rank %d halo wrong: %v %v", r.ID(), got[0], got[1])
+		}
+		return nil
+	})
+	requireClean(t, res)
+}
+
+func TestRequestTest(t *testing.T) {
+	res := runN(t, 2, func(r *Rank) error {
+		if r.ID() == 0 {
+			req := r.Irecv(CommWorld, 1, 9)
+			// Not delivered yet (rank 1 waits for our go-ahead).
+			if ok, _ := req.Test(); ok {
+				t.Errorf("Test should report incomplete before the send")
+			}
+			r.Send(CommWorld, 1, 10, nil) // go-ahead
+			// Poll until the payload lands.
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				if ok, data := req.Test(); ok {
+					if data[0] != 77 {
+						t.Errorf("payload = %v", data)
+					}
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Errorf("Test never completed")
+					break
+				}
+			}
+			// Completed requests keep reporting done.
+			if ok, _ := req.Test(); !ok {
+				t.Errorf("completed request regressed")
+			}
+		} else {
+			r.Recv(CommWorld, 0, 10)
+			r.Send(CommWorld, 0, 9, []byte{77})
+		}
+		return nil
+	})
+	requireClean(t, res)
+}
+
+func TestIrecvAnySource(t *testing.T) {
+	res := runN(t, 3, func(r *Rank) error {
+		if r.ID() == 0 {
+			a := r.Irecv(CommWorld, AnySource, AnyTag)
+			b := r.Irecv(CommWorld, AnySource, AnyTag)
+			va, vb := a.Wait(), b.Wait()
+			if len(va) != 1 || len(vb) != 1 || va[0] == vb[0] {
+				t.Errorf("payloads %v %v", va, vb)
+			}
+		} else {
+			r.Send(CommWorld, 0, r.ID(), []byte{byte(r.ID())})
+		}
+		return nil
+	})
+	requireClean(t, res)
+}
+
+func TestIrecvValidation(t *testing.T) {
+	res := runErr(t, func(r *Rank) {
+		r.Irecv(CommWorld, 99, 1)
+	})
+	wantClass(t, res, ErrRank)
+	res = runErr(t, func(r *Rank) {
+		r.Irecv(CommWorld, 0, maxUserTag+5)
+	})
+	wantClass(t, res, ErrTag)
+}
+
+func TestScattervGathervRoundTrip(t *testing.T) {
+	const n = 4
+	res := runN(t, n, func(r *Rank) error {
+		counts := []int32{1, 2, 3, 4}
+		displs := []int32{0, 1, 3, 6}
+		me := r.ID()
+
+		var send *Buffer
+		if me == 0 {
+			vals := make([]float64, 10)
+			for i := range vals {
+				vals[i] = float64(i)
+			}
+			send = FromFloat64s(vals)
+		} else {
+			send = NewFloat64Buffer(0)
+		}
+		recv := NewFloat64Buffer(int(counts[me]))
+		r.Scatterv(send, counts, displs, recv, int(counts[me]), Float64, 0, CommWorld)
+		mine := recv.Float64s()
+		for i, v := range mine {
+			if v != float64(int(displs[me])+i) {
+				t.Errorf("rank %d scatterv elem %d = %v", me, i, v)
+			}
+		}
+
+		var back *Buffer
+		if me == 0 {
+			back = NewFloat64Buffer(10)
+		} else {
+			back = NewFloat64Buffer(0)
+		}
+		r.Gatherv(recv, int(counts[me]), back, counts, displs, Float64, 0, CommWorld)
+		if me == 0 {
+			for i, v := range back.Float64s() {
+				if v != float64(i) {
+					t.Errorf("gatherv elem %d = %v", i, v)
+				}
+			}
+		}
+		return nil
+	})
+	requireClean(t, res)
+}
+
+func TestScattervNegativeCount(t *testing.T) {
+	res := runErr(t, func(r *Rank) {
+		counts := []int32{1, -1, 1, 1}
+		displs := []int32{0, 1, 2, 3}
+		send := NewFloat64Buffer(4)
+		recv := NewFloat64Buffer(1)
+		r.Scatterv(send, counts, displs, recv, 1, Float64, 0, CommWorld)
+	})
+	wantClass(t, res, ErrCount)
+}
+
+func TestGathervTruncation(t *testing.T) {
+	// A rank sending more than the root posted for it must surface as
+	// MPI_ERR_TRUNCATE at the root.
+	res := runErr(t, func(r *Rank) {
+		counts := []int32{1, 1, 1, 1}
+		displs := []int32{0, 1, 2, 3}
+		sendCount := 1
+		if r.ID() == 2 {
+			sendCount = 3 // corrupted: sends 3 where the root expects 1
+		}
+		send := NewFloat64Buffer(4)
+		var recv *Buffer
+		if r.ID() == 0 {
+			recv = NewFloat64Buffer(4)
+		} else {
+			recv = NewFloat64Buffer(0)
+		}
+		r.Gatherv(send, sendCount, recv, counts, displs, Float64, 0, CommWorld)
+	})
+	wantClass(t, res, ErrTruncate)
+}
+
+func TestSendrecvRingShift(t *testing.T) {
+	res := runN(t, 5, func(r *Rank) error {
+		p := r.NumRanks()
+		right := (r.ID() + 1) % p
+		left := (r.ID() - 1 + p) % p
+		got := r.Sendrecv(CommWorld, right, 6, []byte{byte(r.ID())}, left, 6)
+		if got[0] != byte(left) {
+			t.Errorf("rank %d received %d, want %d", r.ID(), got[0], left)
+		}
+		return nil
+	})
+	requireClean(t, res)
+}

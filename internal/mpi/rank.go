@@ -1,0 +1,267 @@
+package mpi
+
+import (
+	"math/rand"
+)
+
+// Phase labels the coarse execution phase of the application, one of the
+// application features FastFIT correlates with fault sensitivity.
+type Phase int32
+
+const (
+	PhaseInit    Phase = 0 // startup, option parsing, communicator setup
+	PhaseInput   Phase = 1 // problem generation / input reading
+	PhaseCompute Phase = 2 // main iteration loop
+	PhaseEnd     Phase = 3 // verification, output, teardown
+)
+
+var phaseNames = [...]string{"init", "input", "compute", "end"}
+
+func (p Phase) String() string {
+	if p >= 0 && int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// AnySource matches a message from any rank in Recv.
+const AnySource = -1
+
+// AnyTag matches a message with any user tag in Recv.
+const AnyTag = -1
+
+// maxUserTag bounds application-visible tags so internal collective traffic
+// can use a disjoint namespace.
+const maxUserTag = 1 << 20
+
+// message is one point-to-point payload in flight.
+type message struct {
+	comm Comm
+	src  int // rank within comm
+	tag  int64
+	data []byte
+}
+
+// Rank is the per-process handle an application's rank function receives.
+// It is confined to its own goroutine; the runtime performs all cross-rank
+// communication through channels.
+type Rank struct {
+	world *World
+	id    int // world rank
+
+	inbox   chan message
+	pending []message
+
+	// Rand is a deterministic per-rank random source seeded from the run
+	// options, so repeated runs are bit-for-bit reproducible.
+	Rand *rand.Rand
+
+	phase       Phase
+	errHandling bool
+
+	collSeq map[Comm]int64 // per-communicator collective sequence numbers
+	invents map[uintptr]int
+
+	work   int64 // accumulated work units (see Tick)
+	budget int64
+
+	reported []float64
+}
+
+// Tick charges units of computational work to the rank's budget. Applications
+// call it in their outer loops with a cost estimate before performing the
+// work. When a corrupted parameter inflates the workload past the budget the
+// rank dies with Killed — the simulated equivalent of the batch scheduler
+// killing a job that stopped making progress, which the classifier reports
+// as INF_LOOP. Tick also observes world cancellation, so compute-bound
+// ranks terminate promptly when a peer has already crashed.
+func (r *Rank) Tick(units int) {
+	if r.world.killed() {
+		panic(Killed{Reason: r.world.killWhy.Load().(string)})
+	}
+	r.work += int64(units)
+	if r.budget > 0 && r.work > r.budget {
+		panic(Killed{Reason: "work budget exhausted: runaway execution killed"})
+	}
+}
+
+// ID returns the world rank of this process.
+func (r *Rank) ID() int { return r.id }
+
+// NumRanks returns the size of the world communicator.
+func (r *Rank) NumRanks() int { return r.world.size }
+
+// SetPhase records the application's current execution phase.
+func (r *Rank) SetPhase(p Phase) { r.phase = p }
+
+// Phase returns the current execution phase.
+func (r *Rank) Phase() Phase { return r.phase }
+
+// SetErrHandling marks subsequent collectives as belonging to the
+// application's error-handling code (e.g. a consistency-check Allreduce).
+func (r *Rank) SetErrHandling(on bool) { r.errHandling = on }
+
+// ErrCheck runs fn with the error-handling annotation set, restoring the
+// previous value afterwards.
+func (r *Rank) ErrCheck(fn func()) {
+	prev := r.errHandling
+	r.errHandling = true
+	defer func() { r.errHandling = prev }()
+	fn()
+}
+
+// ReportResult appends values to the rank's reported output; the harness
+// compares reported outputs against a fault-free golden run to detect
+// silent data corruption (the WRONG_ANS response class).
+func (r *Rank) ReportResult(vals ...float64) {
+	r.reported = append(r.reported, vals...)
+}
+
+// Abort terminates the run the way an application's own error handling
+// does: the rank panics with AppError, which the job launcher propagates as
+// an application-detected failure (APP_DETECTED).
+func (r *Rank) Abort(msg string) {
+	panic(AppError{Rank: r.id, Message: msg})
+}
+
+// Assert aborts with msg when cond is false; a convenience for application
+// sanity checks.
+func (r *Rank) Assert(cond bool, msg string) {
+	if !cond {
+		r.Abort(msg)
+	}
+}
+
+// nextSeq allocates the next collective sequence number on comm; it keys
+// the internal tag namespace so back-to-back collectives cannot steal each
+// other's messages.
+func (r *Rank) nextSeq(c Comm) int64 {
+	if r.collSeq == nil {
+		r.collSeq = make(map[Comm]int64)
+	}
+	s := r.collSeq[c]
+	r.collSeq[c] = s + 1
+	return s
+}
+
+// Send delivers a user point-to-point message to dst (rank within comm).
+func (r *Rank) Send(comm Comm, dst, tag int, data []byte) {
+	args := r.beginP2P(P2PSend, &P2PArgs{Peer: dst, Tag: tag, Data: data, Comm: comm})
+	if args.Tag < 0 || args.Tag >= maxUserTag {
+		abortf(r.id, "MPI_Send", ErrTag, "tag %d outside [0,%d)", args.Tag, maxUserTag)
+	}
+	ci := r.commDeref(args.Comm)
+	if args.Peer < 0 || args.Peer >= len(ci.members) {
+		abortf(r.id, "MPI_Send", ErrRank, "destination %d outside communicator of size %d", args.Peer, len(ci.members))
+	}
+	r.sendRaw(ci, args.Comm, args.Peer, int64(args.Tag), args.Data)
+}
+
+// SendFloat64s is a convenience wrapper marshalling float64 values.
+func (r *Rank) SendFloat64s(comm Comm, dst, tag int, vals []float64) {
+	r.Send(comm, dst, tag, FromFloat64s(vals).Bytes())
+}
+
+// Recv blocks until a user message from src with the given tag arrives.
+// src may be AnySource and tag may be AnyTag.
+func (r *Rank) Recv(comm Comm, src, tag int) []byte {
+	args := r.beginP2P(P2PRecv, &P2PArgs{Peer: src, Tag: tag, Comm: comm})
+	if args.Tag != AnyTag && (args.Tag < 0 || args.Tag >= maxUserTag) {
+		abortf(r.id, "MPI_Recv", ErrTag, "tag %d outside [0,%d)", args.Tag, maxUserTag)
+	}
+	ci := r.commDeref(args.Comm)
+	if args.Peer != AnySource && (args.Peer < 0 || args.Peer >= len(ci.members)) {
+		abortf(r.id, "MPI_Recv", ErrRank, "source %d outside communicator of size %d", args.Peer, len(ci.members))
+	}
+	var t int64 = int64(args.Tag)
+	if args.Tag == AnyTag {
+		t = anyTagSentinel
+	}
+	m := r.recvMatch(args.Comm, args.Peer, t)
+	return m.data
+}
+
+// RecvFloat64s receives and unmarshals float64 values.
+func (r *Rank) RecvFloat64s(comm Comm, src, tag int) []float64 {
+	raw := r.Recv(comm, src, tag)
+	b := &Buffer{mem: raw}
+	return b.Float64s()
+}
+
+// Sendrecv performs the combined exchange of MPI_Sendrecv: data goes to
+// dst under sendTag while a message from src under recvTag is received,
+// without the manual ordering burden (the send is buffered eagerly, so the
+// pair cannot deadlock against a symmetric partner).
+func (r *Rank) Sendrecv(comm Comm, dst, sendTag int, data []byte, src, recvTag int) []byte {
+	r.Send(comm, dst, sendTag, data)
+	return r.Recv(comm, src, recvTag)
+}
+
+const anyTagSentinel int64 = -2
+
+// sendRaw copies data and enqueues it at the destination rank's inbox. dst
+// is a rank within ci. Blocking on a full inbox participates in quiescence
+// accounting so a jammed schedule is detected as deadlock.
+func (r *Rank) sendRaw(ci *commInfo, comm Comm, dst int, tag int64, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	me := ci.rankOf[r.id]
+	msg := message{comm: comm, src: me, tag: tag, data: cp}
+	target := r.world.ranks[ci.members[dst]]
+	select {
+	case target.inbox <- msg:
+		r.world.progress.Add(1)
+		return
+	default:
+	}
+	r.world.blocked.Add(1)
+	select {
+	case target.inbox <- msg:
+		r.world.blocked.Add(-1)
+		r.world.progress.Add(1)
+	case <-r.world.done:
+		r.world.blocked.Add(-1)
+		panic(Killed{Reason: r.world.killWhy.Load().(string)})
+	}
+}
+
+// recvMatch blocks until a message matching (comm, src, tag) is available.
+// src == AnySource matches any source; tag == anyTagSentinel matches any
+// user tag.
+func (r *Rank) recvMatch(comm Comm, src int, tag int64) message {
+	match := func(m message) bool {
+		if m.comm != comm {
+			return false
+		}
+		if src != AnySource && m.src != src {
+			return false
+		}
+		if tag == anyTagSentinel {
+			return m.tag >= 0 && m.tag < maxUserTag
+		}
+		return m.tag == tag
+	}
+	for i, m := range r.pending {
+		if match(m) {
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			return m
+		}
+	}
+	for {
+		r.world.blocked.Add(1)
+		select {
+		case m := <-r.inbox:
+			r.world.blocked.Add(-1)
+			// Draining the inbox is progress even when the message does not
+			// match: it frees sender inbox capacity.
+			r.world.progress.Add(1)
+			if match(m) {
+				return m
+			}
+			r.pending = append(r.pending, m)
+		case <-r.world.done:
+			r.world.blocked.Add(-1)
+			panic(Killed{Reason: r.world.killWhy.Load().(string)})
+		}
+	}
+}

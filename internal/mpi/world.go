@@ -1,0 +1,296 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CommWorld is the handle of the world communicator, present in every run.
+const CommWorld Comm = commKind | 0
+
+// RunOptions configures a single execution of an application on the
+// simulated runtime.
+type RunOptions struct {
+	// NumRanks is the number of MPI processes (goroutines) to launch.
+	NumRanks int
+	// Timeout bounds the wall-clock duration of the run; past it the run is
+	// cancelled and blocked ranks die with Killed. Zero means 2 seconds.
+	Timeout time.Duration
+	// DeadlockCheck enables the quiescence detector that cancels runs whose
+	// surviving ranks are all blocked with no messages in flight. Enabled
+	// unless explicitly disabled with NoDeadlockCheck.
+	NoDeadlockCheck bool
+	// Seed feeds the per-rank deterministic random generators.
+	Seed int64
+	// WorkBudget bounds the work units each rank may Tick before being
+	// killed (simulating a scheduler killing a runaway job). Zero means
+	// 10 million units; negative disables the budget.
+	WorkBudget int64
+	// Hook observes (and may mutate) every collective call. May be nil.
+	Hook Hook
+	// MailboxCap is the per-rank inbox capacity; zero means 4096 messages.
+	MailboxCap int
+}
+
+// RankResult reports how one rank finished.
+type RankResult struct {
+	Rank   int
+	Err    error     // nil on clean exit; MPIError/SegFault/AppError/Killed otherwise
+	Values []float64 // values the rank reported via ReportResult
+}
+
+// RunResult aggregates one application execution.
+type RunResult struct {
+	Ranks    []RankResult
+	Deadlock bool // the quiescence detector cancelled the run
+	TimedOut bool // the wall-clock timeout cancelled the run
+	Elapsed  time.Duration
+}
+
+// FirstError returns the highest-priority error across ranks, or nil. The
+// priority order matches how a batch system reports a job that failed for
+// several reasons at once: a crash beats an MPI abort beats an application
+// abort beats a kill.
+func (r RunResult) FirstError() error {
+	var app, mpiErr, seg, killed error
+	for _, rr := range r.Ranks {
+		switch e := rr.Err.(type) {
+		case nil:
+		case SegFault:
+			if seg == nil {
+				seg = e
+			}
+		case MPIError:
+			if mpiErr == nil {
+				mpiErr = e
+			}
+		case AppError:
+			if app == nil {
+				app = e
+			}
+		default:
+			if killed == nil {
+				killed = e
+			}
+		}
+	}
+	for _, e := range []error{seg, mpiErr, app, killed} {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// World is one simulated machine: ranks, communicators and the deadlock
+// monitor. A World lives for exactly one Run call.
+type World struct {
+	size  int
+	ranks []*Rank
+	comms []*commInfo
+	hook  Hook
+
+	commMu sync.Mutex // guards comms growth (Comm split/dup)
+
+	done     chan struct{} // closed to cancel the run
+	doneOnce sync.Once
+	killWhy  atomic.Value // string
+
+	// quiescence accounting
+	blocked  atomic.Int64 // ranks currently blocked in send/recv
+	finished atomic.Int64 // ranks that returned
+	progress atomic.Int64 // bumped on every successful message match
+}
+
+// commInfo is the runtime's communicator descriptor. The comms table is
+// indexed by the raw Comm handle with no bounds validation, mirroring how a
+// C MPI library dereferences MPI_Comm pointers; a corrupted handle therefore
+// crashes (Go's index panic -> simulated SIGSEGV) rather than erroring.
+type commInfo struct {
+	handle  Comm
+	members []int // world ranks, index = rank within this communicator
+	rankOf  map[int]int
+}
+
+func (w *World) kill(why string) {
+	w.doneOnce.Do(func() {
+		w.killWhy.Store(why)
+		close(w.done)
+	})
+}
+
+func (w *World) killed() bool {
+	select {
+	case <-w.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Run executes fn on opts.NumRanks simulated MPI processes and collects the
+// per-rank outcomes. fn must be safe for concurrent execution; each rank
+// receives its own *Rank handle.
+func Run(opts RunOptions, fn func(r *Rank) error) RunResult {
+	n := opts.NumRanks
+	if n <= 0 {
+		n = 1
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	mailbox := opts.MailboxCap
+	if mailbox <= 0 {
+		mailbox = 4096
+	}
+
+	w := &World{
+		size: n,
+		hook: opts.Hook,
+		done: make(chan struct{}),
+	}
+	members := make([]int, n)
+	rankOf := make(map[int]int, n)
+	for i := range members {
+		members[i] = i
+		rankOf[i] = i
+	}
+	w.comms = []*commInfo{{handle: CommWorld, members: members, rankOf: rankOf}}
+
+	budget := opts.WorkBudget
+	if budget == 0 {
+		budget = 10_000_000
+	}
+	if budget < 0 {
+		budget = 0 // disabled
+	}
+	w.ranks = make([]*Rank, n)
+	for i := 0; i < n; i++ {
+		w.ranks[i] = &Rank{
+			world:   w,
+			id:      i,
+			inbox:   make(chan message, mailbox),
+			Rand:    rand.New(rand.NewSource(opts.Seed*7919 + int64(i)*104729 + 1)),
+			phase:   PhaseInit,
+			invents: make(map[uintptr]int),
+			budget:  budget,
+		}
+	}
+
+	results := make([]RankResult, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(rk *Rank) {
+			defer wg.Done()
+			defer w.finished.Add(1)
+			defer func() {
+				if p := recover(); p != nil {
+					results[rk.id] = RankResult{Rank: rk.id, Err: panicToError(rk.id, p), Values: rk.reported}
+					// MPI_ERRORS_ARE_FATAL: one failed rank aborts the job,
+					// exactly as mpirun tears down its peers.
+					w.kill("job abort: rank failed")
+					return
+				}
+			}()
+			err := fn(rk)
+			results[rk.id] = RankResult{Rank: rk.id, Err: err, Values: rk.reported}
+			if err != nil {
+				w.kill("job abort: rank returned error")
+			}
+		}(w.ranks[i])
+	}
+
+	allDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(allDone)
+	}()
+
+	var deadlock, timedOut bool
+	if opts.NoDeadlockCheck {
+		select {
+		case <-allDone:
+		case <-time.After(timeout):
+			timedOut = true
+			w.kill("wall-clock timeout")
+			<-allDone
+		}
+	} else {
+		deadlock, timedOut = w.supervise(allDone, timeout)
+	}
+
+	return RunResult{
+		Ranks:    results,
+		Deadlock: deadlock,
+		TimedOut: timedOut,
+		Elapsed:  time.Since(start),
+	}
+}
+
+// supervise watches for completion, deadlock or timeout. Deadlock is
+// declared when every unfinished rank is blocked in a communication call and
+// the global progress counter has not moved across two consecutive samples.
+func (w *World) supervise(allDone chan struct{}, timeout time.Duration) (deadlock, timedOut bool) {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+
+	// The stuck window must comfortably exceed scheduler jitter: a loaded
+	// machine can leave runnable goroutines unscheduled for a few
+	// milliseconds, which must not be mistaken for quiescence.
+	const stuckWindow = 12
+
+	lastProgress := int64(-1)
+	stuckSamples := 0
+	for {
+		select {
+		case <-allDone:
+			return false, false
+		case <-deadline.C:
+			w.kill("wall-clock timeout")
+			<-allDone
+			return false, true
+		case <-tick.C:
+			fin := w.finished.Load()
+			blk := w.blocked.Load()
+			prog := w.progress.Load()
+			if fin < int64(w.size) && fin+blk == int64(w.size) && prog == lastProgress {
+				stuckSamples++
+				if stuckSamples >= stuckWindow {
+					w.kill("deadlock: all surviving ranks blocked with no progress")
+					<-allDone
+					return true, false
+				}
+			} else {
+				stuckSamples = 0
+			}
+			lastProgress = prog
+		}
+	}
+}
+
+func panicToError(rank int, p any) error {
+	switch e := p.(type) {
+	case MPIError:
+		return e
+	case SegFault:
+		return e
+	case AppError:
+		return e
+	case Killed:
+		return e
+	case error:
+		// A genuine Go runtime panic (index out of range, nil deref, ...)
+		// is the simulator-level equivalent of SIGSEGV in the MPI library.
+		return SegFault{Op: fmt.Sprintf("runtime: %v", e)}
+	default:
+		return SegFault{Op: fmt.Sprintf("runtime: %v", p)}
+	}
+}

@@ -1,0 +1,60 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/fastfit/fastfit/internal/mpi"
+)
+
+func TestReportRendersSitesAndClasses(t *testing.T) {
+	p := runProfiled(t, 4, func(r *mpi.Rank) error {
+		r.SetPhase(mpi.PhaseCompute)
+		buf := mpi.NewFloat64Buffer(2)
+		r.Bcast(buf, 2, mpi.Float64, 0, mpi.CommWorld)
+		r.ErrCheck(func() {
+			r.AllreduceFloat64(1, mpi.OpLor, mpi.CommWorld)
+		})
+		if r.ID() == 0 {
+			r.Send(mpi.CommWorld, 1, 3, []byte{1})
+		}
+		if r.ID() == 1 {
+			r.Recv(mpi.CommWorld, 0, 3)
+		}
+		return nil
+	})
+	rep := p.Report()
+	for _, want := range []string{
+		"communication profile: 4 ranks",
+		"MPI_Bcast", "MPI_Allreduce",
+		"compute",
+		"rank equivalence classes",
+		"point-to-point",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	// The bcast root (0) plus the p2p participants (0, 1) break symmetry:
+	// at least two equivalence classes must appear.
+	if strings.Count(rep, "\n  ") < 2 {
+		t.Errorf("expected multiple equivalence classes:\n%s", rep)
+	}
+}
+
+func TestRankRange(t *testing.T) {
+	cases := []struct {
+		in   []int
+		want string
+	}{
+		{nil, "(none)"},
+		{[]int{3}, "3"},
+		{[]int{0, 1, 2, 3}, "0-3"},
+		{[]int{0, 2, 3, 7}, "0,2-3,7"},
+	}
+	for _, c := range cases {
+		if got := rankRange(c.in); got != c.want {
+			t.Errorf("rankRange(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

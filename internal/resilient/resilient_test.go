@@ -1,0 +1,154 @@
+package resilient
+
+import (
+	"testing"
+	"time"
+
+	"github.com/fastfit/fastfit/internal/mpi"
+)
+
+func run(t *testing.T, n int, hook mpi.Hook, fn func(r *mpi.Rank) error) mpi.RunResult {
+	t.Helper()
+	return mpi.Run(mpi.RunOptions{NumRanks: n, Seed: 9, Hook: hook, Timeout: 10 * time.Second}, fn)
+}
+
+func TestChecksummedAllreduceCleanPath(t *testing.T) {
+	res := run(t, 4, nil, func(r *mpi.Rank) error {
+		send := mpi.FromFloat64s([]float64{float64(r.ID())})
+		recv := mpi.NewFloat64Buffer(1)
+		ChecksummedAllreduce(r, send, recv, 1, mpi.Float64, mpi.OpSum, mpi.CommWorld)
+		if recv.Float64(0) != 6 {
+			t.Errorf("sum = %v", recv.Float64(0))
+		}
+		return nil
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// flipSendHook corrupts one rank's allreduce send buffer (the paper's
+// data-buffer fault), firing only on non-error-handling calls.
+type flipSendHook struct {
+	mpi.NopHook
+	fired bool
+}
+
+func (h *flipSendHook) BeforeCollective(c *mpi.CollectiveCall) {
+	if !h.fired && c.Type == mpi.CollAllreduce && c.Rank == 2 && !c.ErrHandling && c.Args.Send.Len() >= 8 {
+		c.Args.Send.FlipBit(13)
+		h.fired = true
+	}
+}
+
+func TestChecksummedAllreduceDetectsInjectedFault(t *testing.T) {
+	res := run(t, 4, &flipSendHook{}, func(r *mpi.Rank) error {
+		send := mpi.FromFloat64s([]float64{1})
+		recv := mpi.NewFloat64Buffer(1)
+		ChecksummedAllreduce(r, send, recv, 1, mpi.Float64, mpi.OpSum, mpi.CommWorld)
+		return nil
+	})
+	err, ok := res.FirstError().(mpi.AppError)
+	if !ok {
+		t.Fatalf("checksummed allreduce should detect corruption, got %v", res.FirstError())
+	}
+	if want := (DetectedCorruption{Op: "MPI_Allreduce"}).Error(); err.Message != want {
+		t.Fatalf("message = %q", err.Message)
+	}
+}
+
+func TestChecksummedBcastCleanAndDetects(t *testing.T) {
+	res := run(t, 4, nil, func(r *mpi.Rank) error {
+		buf := mpi.NewFloat64Buffer(4)
+		if r.ID() == 0 {
+			buf.CopyFloat64s([]float64{1, 2, 3, 4})
+		}
+		ChecksummedBcast(r, buf, 4, mpi.Float64, 0, mpi.CommWorld)
+		if buf.Float64(3) != 4 {
+			t.Errorf("bcast payload wrong")
+		}
+		return nil
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt a non-root's received payload between bcast and check.
+	hook := &bcastCorrupt{}
+	res = run(t, 4, hook, func(r *mpi.Rank) error {
+		buf := mpi.NewFloat64Buffer(4)
+		if r.ID() == 0 {
+			buf.CopyFloat64s([]float64{1, 2, 3, 4})
+		}
+		ChecksummedBcast(r, buf, 4, mpi.Float64, 0, mpi.CommWorld)
+		return nil
+	})
+	if _, ok := res.FirstError().(mpi.AppError); !ok {
+		t.Fatalf("checksummed bcast should detect corruption, got %v", res.FirstError())
+	}
+}
+
+type bcastCorrupt struct {
+	mpi.NopHook
+	fired bool
+}
+
+func (h *bcastCorrupt) AfterCollective(c *mpi.CollectiveCall) {
+	// Corrupt the data bcast on rank 3, not the CRC bcast (count 1 int64
+	// = 8 bytes; the data bcast is 32 bytes).
+	if !h.fired && c.Type == mpi.CollBcast && c.Rank == 3 && c.Args.Send.Len() == 32 {
+		c.Args.Send.FlipBit(100)
+		h.fired = true
+	}
+}
+
+func TestVotedAllreduceMasksOneCorruptedExecution(t *testing.T) {
+	// Corrupt exactly one of the three redundant executions: the vote must
+	// still deliver the correct sum with no visible error.
+	hook := &nthAllreduceCorrupt{target: 1}
+	res := run(t, 4, hook, func(r *mpi.Rank) error {
+		send := mpi.FromFloat64s([]float64{float64(r.ID())})
+		recv := mpi.NewFloat64Buffer(1)
+		VotedAllreduce(r, send, recv, 1, mpi.Float64, mpi.OpSum, mpi.CommWorld)
+		if recv.Float64(0) != 6 {
+			t.Errorf("voted sum = %v, want 6", recv.Float64(0))
+		}
+		return nil
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatalf("single corrupted execution should be masked: %v", err)
+	}
+}
+
+// nthAllreduceCorrupt flips a send-buffer bit in the target-th allreduce
+// on rank 1.
+type nthAllreduceCorrupt struct {
+	mpi.NopHook
+	target int
+	seen   int
+}
+
+func (h *nthAllreduceCorrupt) BeforeCollective(c *mpi.CollectiveCall) {
+	if c.Type != mpi.CollAllreduce || c.Rank != 1 {
+		return
+	}
+	if h.seen == h.target && c.Args.Send.Len() >= 8 {
+		c.Args.Send.FlipBit(20)
+	}
+	h.seen++
+}
+
+func TestVotedAllreducePlainCorrectness(t *testing.T) {
+	res := run(t, 8, nil, func(r *mpi.Rank) error {
+		send := mpi.FromFloat64s([]float64{1, float64(r.ID())})
+		recv := mpi.NewFloat64Buffer(2)
+		VotedAllreduce(r, send, recv, 2, mpi.Float64, mpi.OpSum, mpi.CommWorld)
+		if recv.Float64(0) != 8 || recv.Float64(1) != 28 {
+			t.Errorf("voted = %v %v", recv.Float64(0), recv.Float64(1))
+		}
+		return nil
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+}
