@@ -7,6 +7,14 @@
 //
 //	fastfit -app minimd -ranks 16 -trials 40
 //	fastfit -app lu -no-ml -policy allparams -v
+//	fastfit -app lu -checkpoint lu.ckpt          # survivable campaign
+//	fastfit -app lu -checkpoint lu.ckpt -resume  # continue after Ctrl-C
+//
+// Campaigns run under a supervisor: points are injected by a worker pool,
+// every completed point is journalled to the -checkpoint file (when given),
+// and Ctrl-C stops the campaign cleanly with a resumable summary. Points
+// that repeatedly wedge the harness are quarantined and reported instead of
+// aborting the campaign.
 //
 // The Table II environment variables (NUM_INJ, INV_ID, CALL_ID, RANK_ID,
 // PARAM_ID) are honoured when -env-config is given: instead of a campaign,
@@ -15,11 +23,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"github.com/fastfit/fastfit"
@@ -27,39 +39,61 @@ import (
 	"github.com/fastfit/fastfit/internal/core"
 	"github.com/fastfit/fastfit/internal/fault"
 	"github.com/fastfit/fastfit/internal/ml"
-	"github.com/fastfit/fastfit/internal/mpi"
 )
 
+// errInterrupted marks a campaign stopped by SIGINT/SIGTERM; main exits
+// with the conventional 130 so scripts can distinguish interruption from
+// failure.
+var errInterrupted = errors.New("interrupted")
+
 func main() {
+	if err := run(); err != nil {
+		if errors.Is(err, errInterrupted) {
+			fmt.Fprintln(os.Stderr, "fastfit: interrupted")
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "fastfit:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		appName   = flag.String("app", "minimd", "workload to study (is, ft, mg, lu, minimd)")
-		ranks     = flag.Int("ranks", 0, "number of MPI ranks (0 = app default)")
-		scale     = flag.Int("scale", 0, "problem-size knob (0 = app default)")
-		iters     = flag.Int("iters", 0, "outer iterations (0 = app default)")
-		trials    = flag.Int("trials", 100, "fault-injection tests per point")
-		seed      = flag.Int64("seed", 1, "campaign seed")
-		threshold = flag.Float64("threshold", 0.65, "ML prediction-accuracy threshold")
-		levels    = flag.Int("levels", 4, "error-rate levels for the ML label")
-		policy    = flag.String("policy", "databuffer", "injection policy: databuffer or allparams")
-		noSem     = flag.Bool("no-semantic", false, "disable semantic-driven pruning")
-		noCtx     = flag.Bool("no-context", false, "disable context-driven pruning")
-		noML      = flag.Bool("no-ml", false, "disable ML-driven pruning")
-		corr      = flag.Bool("correlations", false, "print the Table IV feature correlations")
-		advise    = flag.Bool("advise", false, "print per-site protection advice (paper §III-C criterion)")
-		saveJSON  = flag.String("save", "", "write the campaign result to a JSON file")
-		envConfig = flag.Bool("env-config", false, "run a single injection from Table II env vars instead of a campaign")
-		verbose   = flag.Bool("v", false, "verbose progress")
+		appName    = flag.String("app", "minimd", "workload to study (is, ft, mg, lu, minimd)")
+		ranks      = flag.Int("ranks", 0, "number of MPI ranks (0 = app default)")
+		scale      = flag.Int("scale", 0, "problem-size knob (0 = app default)")
+		iters      = flag.Int("iters", 0, "outer iterations (0 = app default)")
+		trials     = flag.Int("trials", 100, "fault-injection tests per point")
+		seed       = flag.Int64("seed", 1, "campaign seed")
+		threshold  = flag.Float64("threshold", 0.65, "ML prediction-accuracy threshold")
+		levels     = flag.Int("levels", 4, "error-rate levels for the ML label")
+		policy     = flag.String("policy", "databuffer", "injection policy: databuffer or allparams")
+		noSem      = flag.Bool("no-semantic", false, "disable semantic-driven pruning")
+		noCtx      = flag.Bool("no-context", false, "disable context-driven pruning")
+		noML       = flag.Bool("no-ml", false, "disable ML-driven pruning")
+		corr       = flag.Bool("correlations", false, "print the Table IV feature correlations")
+		advise     = flag.Bool("advise", false, "print per-site protection advice (paper §III-C criterion)")
+		saveJSON   = flag.String("save", "", "write the campaign result to a JSON file")
+		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint journal; campaigns resume from a matching journal")
+		resume     = flag.Bool("resume", false, "require -checkpoint to exist and resume it")
+		workers    = flag.Int("workers", 0, "concurrent injection points (0 = derive from GOMAXPROCS)")
+		retries    = flag.Int("retries", 0, "harness attempts per point before quarantine (0 = default 3)")
+		pointTmo   = flag.Duration("point-timeout", 0, "per-point watchdog (0 = derive from -trials and run timeout)")
+		envConfig  = flag.Bool("env-config", false, "run a single injection from Table II env vars instead of a campaign")
+		verbose    = flag.Bool("v", false, "verbose progress")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *appName == "all" {
-		runAllApps(*ranks, *trials, *seed, *policy)
-		return
+		return runAllApps(ctx, *ranks, *trials, *seed, *policy)
 	}
 
 	app, err := fastfit.LookupApp(*appName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cfg := app.DefaultConfig()
 	if *ranks > 0 {
@@ -91,26 +125,61 @@ func main() {
 	case "allparams":
 		opts.Policy = fastfit.PolicyAllParams
 	default:
-		fatal(fmt.Errorf("unknown policy %q", *policy))
+		return fmt.Errorf("unknown policy %q", *policy)
 	}
 
 	engine := fastfit.New(app, cfg, opts)
 
 	if *envConfig {
-		runEnvConfigured(engine)
-		return
+		return runEnvConfigured(engine)
+	}
+
+	supOpts := fastfit.SupervisorOptions{
+		Checkpoint:   *checkpoint,
+		Workers:      *workers,
+		MaxAttempts:  *retries,
+		PointTimeout: *pointTmo,
 	}
 
 	start := time.Now()
 	if *verbose {
 		fmt.Printf("profiling %s (%d ranks, scale %d, %d iters)...\n", *appName, cfg.Ranks, cfg.Scale, cfg.Iters)
 	}
-	res, err := engine.RunCampaign()
-	if err != nil {
-		fatal(err)
+	var sup *fastfit.SupervisedResult
+	if *resume {
+		sup, err = fastfit.ResumeCampaign(ctx, engine, supOpts)
+	} else {
+		sup, err = fastfit.NewSupervisor(engine, supOpts).Run(ctx)
 	}
+	if err != nil {
+		return err
+	}
+	if sup.Cancelled {
+		fmt.Fprintf(os.Stderr, "\ncampaign interrupted: %d/%d points done\n", len(sup.Measured), sup.AfterContext)
+		if *checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "resume with: fastfit -app %s [same flags] -checkpoint %s -resume\n", *appName, *checkpoint)
+		} else {
+			fmt.Fprintln(os.Stderr, "partial results discarded; rerun with -checkpoint to make campaigns resumable")
+		}
+		return errInterrupted
+	}
+	res := sup.CampaignResult
+
 	fmt.Println(res.Summary())
-	fmt.Printf("campaign wall-clock: %v\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("campaign wall-clock: %v\n", time.Since(start).Round(time.Millisecond))
+	if sup.FromCheckpoint > 0 {
+		fmt.Printf("resumed %d points from checkpoint %s\n", sup.FromCheckpoint, sup.Checkpoint)
+	}
+	if sup.HarnessRetries > 0 {
+		fmt.Printf("harness retries: %d\n", sup.HarnessRetries)
+	}
+	if len(sup.Quarantined) > 0 {
+		fmt.Printf("quarantined %d poison point(s):\n", len(sup.Quarantined))
+		for _, q := range sup.Quarantined {
+			fmt.Printf("  point %d (%s): %s after %d attempts\n", q.Index, q.Point.String(), q.Err, q.Attempts)
+		}
+	}
+	fmt.Println()
 
 	agg := fastfit.OutcomeBreakdown(res.Measured)
 	fmt.Printf("outcome distribution over %d injection tests:\n", agg.Total())
@@ -158,22 +227,23 @@ func main() {
 
 	if *saveJSON != "" {
 		if err := res.SaveJSON(*saveJSON); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("\ncampaign result saved to %s\n", *saveJSON)
 	}
+	return nil
 }
 
 // runEnvConfigured performs one injection described by the Table II
 // environment variables against the profiled site list.
-func runEnvConfigured(engine *fastfit.Engine) {
+func runEnvConfigured(engine *fastfit.Engine) error {
 	cfgEnv, err := fault.ParseConfig(os.Getenv)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	prof, err := engine.Profile()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	sites := prof.SitesOnRank(cfgEnv.RankID)
 	refs := make([]fault.SiteRef, 0, len(sites))
@@ -183,11 +253,11 @@ func runEnvConfigured(engine *fastfit.Engine) {
 	rng := rand.New(rand.NewSource(1))
 	faults, err := cfgEnv.Faults(refs, rng)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if len(faults) == 0 {
 		fmt.Println("NUM_INJ is 0 or unset; nothing to inject")
-		return
+		return nil
 	}
 	var counts classify.Counts
 	for i, f := range faults {
@@ -196,17 +266,21 @@ func runEnvConfigured(engine *fastfit.Engine) {
 		fmt.Printf("injection %d: %v -> %v\n", i+1, f, outcome)
 	}
 	fmt.Printf("error rate: %.2f%%\n", 100*counts.ErrorRate())
+	return nil
 }
 
 // runAllApps executes a pruned campaign for every bundled workload and
 // prints a Table III-style summary.
-func runAllApps(ranks, trials int, seed int64, policy string) {
+func runAllApps(ctx context.Context, ranks, trials int, seed int64, policy string) error {
 	fmt.Printf("%-10s %8s %10s %9s %9s %9s %9s\n",
 		"app", "points", "injected", "semantic", "context", "ML", "total")
 	for _, name := range fastfit.AppNames() {
+		if ctx.Err() != nil {
+			return errInterrupted
+		}
 		app, err := fastfit.LookupApp(name)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		cfg := app.DefaultConfig()
 		if ranks > 0 {
@@ -219,20 +293,18 @@ func runAllApps(ranks, trials int, seed int64, policy string) {
 			opts.Policy = fastfit.PolicyAllParams
 		}
 		engine := fastfit.New(app, cfg, opts)
-		res, err := engine.RunCampaign()
+		sup, err := fastfit.NewSupervisor(engine, fastfit.SupervisorOptions{}).Run(ctx)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
+			return fmt.Errorf("%s: %w", name, err)
 		}
+		if sup.Cancelled {
+			return errInterrupted
+		}
+		res := sup.CampaignResult
 		fmt.Printf("%-10s %8d %10d %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
 			name, res.TotalPoints, res.Injected,
 			100*res.SemanticReduction, 100*res.ContextReduction,
 			100*res.MLReduction, 100*res.TotalReduction)
 	}
+	return nil
 }
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fastfit:", err)
-	os.Exit(1)
-}
-
-var _ = mpi.CommWorld // document the runtime dependency explicitly

@@ -14,18 +14,36 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"github.com/fastfit/fastfit/internal/experiments"
 )
 
+// errInterrupted marks a run stopped by SIGINT/SIGTERM; main exits with
+// the conventional 130 so scripts can tell interruption from failure.
+var errInterrupted = errors.New("interrupted")
+
 func main() {
+	if err := run(); err != nil {
+		if errors.Is(err, errInterrupted) {
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "ffexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		run     = flag.String("run", "", "experiment id (fig1..fig13, table1..table4) or 'all'")
+		runID   = flag.String("run", "", "experiment id (fig1..fig13, table1..table4) or 'all'")
 		scale   = flag.String("scale", "quick", "experiment scale: quick or paper")
 		trials  = flag.Int("trials", 0, "override trials per point (0 = scale default)")
 		ranks   = flag.Int("ranks", 0, "override rank count (0 = scale default)")
@@ -38,14 +56,17 @@ func main() {
 	)
 	flag.Parse()
 
-	if *run == "" {
+	if *runID == "" {
 		fmt.Println("available experiments:")
 		for _, id := range experiments.IDs() {
 			fmt.Printf("  %s\n", id)
 		}
 		fmt.Println("\nuse -run <id> or -run all")
-		return
+		return nil
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var sc experiments.Scale
 	switch *scale {
@@ -54,7 +75,7 @@ func main() {
 	case "paper":
 		sc = experiments.PaperScale()
 	default:
-		fatal(fmt.Errorf("unknown scale %q (quick or paper)", *scale))
+		return fmt.Errorf("unknown scale %q (quick or paper)", *scale)
 	}
 	if *trials > 0 {
 		sc.TrialsPerPoint = *trials
@@ -79,37 +100,45 @@ func main() {
 		}
 	}
 
-	ids := []string{*run}
-	if *run == "all" {
+	ids := []string{*runID}
+	if *runID == "all" {
 		ids = experiments.IDs()
 	}
-	for _, id := range ids {
+	for n, id := range ids {
+		// Checkpoint at experiment granularity: on Ctrl-C, report what
+		// completed and exactly how to resume the remainder.
+		if ctx.Err() != nil {
+			remaining := strings.Join(ids[n:], ",")
+			fmt.Fprintf(os.Stderr, "ffexp: interrupted after %d/%d experiments\n", n, len(ids))
+			fmt.Fprintf(os.Stderr, "resume the rest with: ffexp -run %s [same flags]\n", remaining)
+			return errInterrupted
+		}
 		res, err := experiments.Run(id, store)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", id, err))
+			return fmt.Errorf("%s: %w", id, err)
 		}
 		report := render(res)
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				fatal(err)
+				return err
 			}
 			path := filepath.Join(*outDir, id+".txt")
 			if err := os.WriteFile(path, []byte(report), 0o644); err != nil {
-				fatal(err)
+				return err
 			}
 			fmt.Printf("wrote %s\n", path)
 			if *csvOut {
 				csvPath := filepath.Join(*outDir, id+".csv")
 				f, err := os.Create(csvPath)
 				if err != nil {
-					fatal(err)
+					return err
 				}
 				if err := res.WriteCSV(f); err != nil {
 					f.Close()
-					fatal(err)
+					return err
 				}
 				if err := f.Close(); err != nil {
-					fatal(err)
+					return err
 				}
 				fmt.Printf("wrote %s\n", csvPath)
 			}
@@ -118,6 +147,7 @@ func main() {
 			fmt.Println()
 		}
 	}
+	return nil
 }
 
 func render(r *experiments.Result) string {
@@ -130,9 +160,4 @@ func render(r *experiments.Result) string {
 		}
 	}
 	return sb.String()
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ffexp:", err)
-	os.Exit(1)
 }

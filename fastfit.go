@@ -45,6 +45,8 @@
 package fastfit
 
 import (
+	"context"
+
 	"github.com/fastfit/fastfit/internal/apps"
 	"github.com/fastfit/fastfit/internal/apps/all"
 	"github.com/fastfit/fastfit/internal/classify"
@@ -277,6 +279,40 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 
 // New builds an engine for one application configuration.
 func New(app App, cfg Config, opts Options) *Engine { return core.New(app, cfg, opts) }
+
+// ---- campaign supervision ----
+
+// Supervisor wraps a campaign in a resilient runner: a point-level worker
+// pool, an append-only JSONL checkpoint journal for interrupt/resume, and
+// per-point watchdogs that retry and ultimately quarantine points which
+// repeatedly wedge the harness itself.
+type Supervisor = core.Supervisor
+
+// SupervisorOptions configures a supervised campaign.
+type SupervisorOptions = core.SupervisorOptions
+
+// SupervisedResult is a campaign outcome plus supervision accounting
+// (quarantined points, checkpoint restores, harness retries).
+type SupervisedResult = core.SupervisedResult
+
+// QuarantinedPoint is a poison point withdrawn from a campaign after
+// repeatedly breaking the injection harness.
+type QuarantinedPoint = core.QuarantinedPoint
+
+// ErrCheckpointMismatch reports a checkpoint journal written by a
+// different campaign (app, config, options or point space differ).
+var ErrCheckpointMismatch = core.ErrCheckpointMismatch
+
+// NewSupervisor builds a supervisor over an engine.
+func NewSupervisor(e *Engine, opts SupervisorOptions) *Supervisor {
+	return core.NewSupervisor(e, opts)
+}
+
+// ResumeCampaign resumes a supervised campaign from an existing checkpoint
+// journal, failing if the journal is missing or mismatched.
+func ResumeCampaign(ctx context.Context, e *Engine, opts SupervisorOptions) (*SupervisedResult, error) {
+	return core.ResumeCampaign(ctx, e, opts)
+}
 
 // ---- analysis helpers ----
 

@@ -33,9 +33,19 @@ type CampaignResult struct {
 	Learn          *LearnResult
 }
 
-// RunCampaign executes the full FastFIT pipeline: profile, prune, inject,
-// learn.
-func (e *Engine) RunCampaign() (*CampaignResult, error) {
+// campaignPlan is the profiled-and-pruned injection space of one campaign:
+// the points left to inject plus the pruning accounting already filled into
+// a fresh CampaignResult. Both RunCampaign and the Supervisor start from a
+// plan, so an interrupted supervised campaign resumes over exactly the
+// point list an uninterrupted run would have used.
+type campaignPlan struct {
+	res    *CampaignResult
+	points []Point
+}
+
+// planCampaign profiles the application and applies the semantic and
+// context pruning passes, returning the surviving points with accounting.
+func (e *Engine) planCampaign() (*campaignPlan, error) {
 	prof, err := e.Profile()
 	if err != nil {
 		return nil, err
@@ -59,7 +69,30 @@ func (e *Engine) RunCampaign() (*CampaignResult, error) {
 		e.logf("context pruning: %d points (%.1f%% eliminated)", len(points), 100*res.ContextReduction)
 	}
 	res.AfterContext = len(points)
+	return &campaignPlan{res: res, points: points}, nil
+}
 
+// finish fills the accounting fields that depend on injection results.
+func (p *campaignPlan) finish() *CampaignResult {
+	res := p.res
+	res.Injected = len(res.Measured)
+	res.PredictedN = len(res.Predicted)
+	if res.TotalPoints > 0 {
+		res.TotalReduction = 1 - float64(res.Injected)/float64(res.TotalPoints)
+	}
+	return res
+}
+
+// RunCampaign executes the full FastFIT pipeline: profile, prune, inject,
+// learn. Points are injected serially (parallelism lives inside each
+// point); for a cancellable, checkpointed, point-parallel campaign use a
+// Supervisor instead.
+func (e *Engine) RunCampaign() (*CampaignResult, error) {
+	plan, err := e.planCampaign()
+	if err != nil {
+		return nil, err
+	}
+	res, points := plan.res, plan.points
 	if e.opts.MLPruning {
 		lr := e.LearnCampaign(points)
 		res.Learn = &lr
@@ -72,12 +105,7 @@ func (e *Engine) RunCampaign() (*CampaignResult, error) {
 			res.Measured = append(res.Measured, e.InjectPoint(p, i, e.opts.TrialsPerPoint))
 		}
 	}
-	res.Injected = len(res.Measured)
-	res.PredictedN = len(res.Predicted)
-	if res.TotalPoints > 0 {
-		res.TotalReduction = 1 - float64(res.Injected)/float64(res.TotalPoints)
-	}
-	return res, nil
+	return plan.finish(), nil
 }
 
 // Summary renders the campaign's pruning accounting as a one-line record

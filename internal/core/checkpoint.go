@@ -1,0 +1,307 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"github.com/fastfit/fastfit/internal/apps"
+)
+
+// A campaign checkpoint is an append-only JSONL journal: a header line
+// binding the file to one campaign fingerprint, followed by one line per
+// completed (or quarantined) injection point. Appends are single writes of
+// whole lines, so a crash can at worst leave one torn trailing line, which
+// loading tolerates; the header itself is created via write-to-temp-then-
+// rename so a half-written journal is never observed under the final path.
+
+// checkpointVersion identifies the journal's on-disk schema.
+const checkpointVersion = 1
+
+// ErrCheckpointMismatch reports a checkpoint whose fingerprint does not
+// match the campaign being run — a stale journal from a different app,
+// configuration, seed or pruning setup must never be merged.
+var ErrCheckpointMismatch = errors.New("checkpoint fingerprint mismatch")
+
+// CampaignFingerprint identifies one campaign for checkpoint purposes: the
+// application, its configuration, every option that shapes the injection
+// space or the per-trial seeds, and the pruned point list itself. Raw
+// program counters and stack hashes are deliberately excluded — they are
+// stable within a process but not across rebuilds, and a checkpoint must
+// survive a restart of the tool.
+func CampaignFingerprint(appName string, cfg apps.Config, opts Options, points []Point) string {
+	o := opts.withDefaults()
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v%d|app=%s|ranks=%d|scale=%d|iters=%d|appseed=%d|", checkpointVersion,
+		appName, cfg.Ranks, cfg.Scale, cfg.Iters, cfg.Seed)
+	fmt.Fprintf(h, "trials=%d|seed=%d|policy=%d|sem=%t|ctx=%t|ml=%t|",
+		o.TrialsPerPoint, o.Seed, o.Policy, o.SemanticPruning, o.ContextPruning, o.MLPruning)
+	fmt.Fprintf(h, "acc=%g|batch=%d|mintrain=%d|levels=%d|trees=%d|depth=%d|",
+		o.AccuracyThreshold, o.MLBatch, o.MLMinTrain, o.Levels, o.ForestTrees, o.ForestDepth)
+	fmt.Fprintf(h, "npoints=%d|", len(points))
+	for _, p := range points {
+		fmt.Fprintf(h, "%d/%s/%d/%d/%d/%d|", p.Rank, p.SiteName, int(p.Type), p.Invocation, p.NInv, int(p.Phase))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+type ckptHeader struct {
+	Kind        string `json:"kind"` // "header"
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+	App         string `json:"app"`
+	Ranks       int    `json:"ranks"`
+	Total       int    `json:"totalPoints"` // points scheduled for injection
+}
+
+type ckptPoint struct {
+	Kind   string          `json:"kind"` // "point"
+	Index  int             `json:"index"`
+	Result pointResultJSON `json:"result"`
+}
+
+type ckptQuarantine struct {
+	Kind     string    `json:"kind"` // "quarantine"
+	Index    int       `json:"index"`
+	Point    pointJSON `json:"point"`
+	Attempts int       `json:"attempts"`
+	Err      string    `json:"error"`
+}
+
+// QuarantinedPoint is a poison point: one that repeatedly wedged or crashed
+// the injection harness itself (not the simulated application) and was
+// withdrawn from the campaign so the remaining points could complete.
+type QuarantinedPoint struct {
+	Point    Point
+	Index    int    // position in the campaign's injection order
+	Attempts int    // harness attempts before giving up
+	Err      string // last harness failure
+}
+
+// CheckpointState is the replayable content of a checkpoint journal.
+type CheckpointState struct {
+	Header      ckptHeader
+	Results     map[int]PointResult // completed points by injection index
+	Quarantined map[int]QuarantinedPoint
+	// TornTail reports that a torn trailing line (interrupted append) was
+	// discarded while loading.
+	TornTail bool
+	// validLen is the byte length of the journal up to and including its
+	// last complete line; OpenCheckpoint truncates a torn tail to it.
+	validLen int64
+}
+
+// Checkpoint is an open campaign journal accepting appends. Methods are
+// safe for concurrent use by the supervisor's point workers.
+type Checkpoint struct {
+	path   string
+	header ckptHeader
+
+	mu sync.Mutex
+	f  *os.File
+}
+
+// Path returns the journal's file path.
+func (c *Checkpoint) Path() string { return c.path }
+
+// CreateCheckpoint atomically creates a fresh journal at path: the header
+// is written to a temporary file in the same directory and renamed into
+// place, then the file is reopened for appends.
+func CreateCheckpoint(path, fingerprint, app string, ranks, total int) (*Checkpoint, error) {
+	hdr := ckptHeader{Kind: "header", Version: checkpointVersion, Fingerprint: fingerprint,
+		App: app, Ranks: ranks, Total: total}
+	line, err := json.Marshal(hdr)
+	if err != nil {
+		return nil, fmt.Errorf("encoding checkpoint header: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
+	if err != nil {
+		return nil, fmt.Errorf("creating checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(append(line, '\n')); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmpName, path)
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return nil, fmt.Errorf("creating checkpoint %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("reopening checkpoint %s: %w", path, err)
+	}
+	return &Checkpoint{path: path, header: hdr, f: f}, nil
+}
+
+// LoadCheckpointState reads and validates a journal, rejecting one whose
+// fingerprint does not match. A torn trailing line (the signature of a
+// crash mid-append) is discarded; corruption anywhere else is an error.
+func LoadCheckpointState(path, fingerprint string) (*CheckpointState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("checkpoint %s: empty file", path)
+	}
+	lines := strings.Split(string(data), "\n")
+	// A well-formed journal ends with "\n", leaving one empty trailing
+	// element; anything non-empty there is a torn final append.
+	torn := lines[len(lines)-1] != ""
+	validLen := int64(len(data))
+	if torn {
+		validLen -= int64(len(lines[len(lines)-1]))
+	}
+	lines = lines[:len(lines)-1]
+
+	st := &CheckpointState{
+		Results:     make(map[int]PointResult),
+		Quarantined: make(map[int]QuarantinedPoint),
+		TornTail:    torn,
+		validLen:    validLen,
+	}
+	for i, line := range lines {
+		if line == "" {
+			continue
+		}
+		var kind struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &kind); err != nil {
+			return nil, fmt.Errorf("checkpoint %s line %d: corrupt record: %w", path, i+1, err)
+		}
+		switch kind.Kind {
+		case "header":
+			if i != 0 {
+				return nil, fmt.Errorf("checkpoint %s line %d: unexpected second header", path, i+1)
+			}
+			if err := json.Unmarshal([]byte(line), &st.Header); err != nil {
+				return nil, fmt.Errorf("checkpoint %s: corrupt header: %w", path, err)
+			}
+			if st.Header.Version != checkpointVersion {
+				return nil, fmt.Errorf("checkpoint %s: unsupported version %d (want %d)", path, st.Header.Version, checkpointVersion)
+			}
+			if st.Header.Fingerprint != fingerprint {
+				return nil, fmt.Errorf("checkpoint %s was written by a different campaign (app %q, fingerprint %s, want %s): %w",
+					path, st.Header.App, st.Header.Fingerprint, fingerprint, ErrCheckpointMismatch)
+			}
+		case "point":
+			if i == 0 {
+				return nil, fmt.Errorf("checkpoint %s: missing header line", path)
+			}
+			var rec ckptPoint
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				return nil, fmt.Errorf("checkpoint %s line %d: corrupt point record: %w", path, i+1, err)
+			}
+			pr, err := pointResultFromJSON(rec.Result)
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint %s line %d: %w", path, i+1, err)
+			}
+			st.Results[rec.Index] = pr
+		case "quarantine":
+			if i == 0 {
+				return nil, fmt.Errorf("checkpoint %s: missing header line", path)
+			}
+			var rec ckptQuarantine
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				return nil, fmt.Errorf("checkpoint %s line %d: corrupt quarantine record: %w", path, i+1, err)
+			}
+			st.Quarantined[rec.Index] = QuarantinedPoint{
+				Point: pointFromJSON(rec.Point), Index: rec.Index,
+				Attempts: rec.Attempts, Err: rec.Err,
+			}
+		default:
+			return nil, fmt.Errorf("checkpoint %s line %d: unknown record kind %q", path, i+1, kind.Kind)
+		}
+	}
+	if st.Header.Kind != "header" {
+		return nil, fmt.Errorf("checkpoint %s: missing header line", path)
+	}
+	return st, nil
+}
+
+// OpenCheckpoint loads an existing journal (validating its fingerprint)
+// and reopens it for appends.
+func OpenCheckpoint(path, fingerprint string) (*Checkpoint, *CheckpointState, error) {
+	st, err := LoadCheckpointState(path, fingerprint)
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.TornTail {
+		// Discard the torn final append so the journal ends on a complete
+		// line before new records go after it.
+		if err := os.Truncate(path, st.validLen); err != nil {
+			return nil, nil, fmt.Errorf("repairing checkpoint %s: %w", path, err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reopening checkpoint %s: %w", path, err)
+	}
+	return &Checkpoint{path: path, header: st.Header, f: f}, st, nil
+}
+
+// appendLine writes one JSONL record in a single write.
+func (c *Checkpoint) appendLine(v any) error {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("encoding checkpoint record: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return fmt.Errorf("checkpoint %s: already closed", c.path)
+	}
+	if _, err := c.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("appending to checkpoint %s: %w", c.path, err)
+	}
+	return nil
+}
+
+// AppendResult journals one completed injection point.
+func (c *Checkpoint) AppendResult(index int, pr PointResult) error {
+	return c.appendLine(ckptPoint{Kind: "point", Index: index, Result: pointResultToJSON(pr)})
+}
+
+// AppendQuarantine journals one poison point.
+func (c *Checkpoint) AppendQuarantine(q QuarantinedPoint) error {
+	return c.appendLine(ckptQuarantine{Kind: "quarantine", Index: q.Index,
+		Point: pointToJSON(q.Point), Attempts: q.Attempts, Err: q.Err})
+}
+
+// Sync flushes journal appends to stable storage.
+func (c *Checkpoint) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	return c.f.Sync()
+}
+
+// Close syncs and closes the journal. The file stays on disk: deleting it
+// after a successful campaign is the caller's decision.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Sync()
+	if cerr := c.f.Close(); err == nil {
+		err = cerr
+	}
+	c.f = nil
+	return err
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/fastfit/fastfit/internal/apps"
+	"github.com/fastfit/fastfit/internal/classify"
+	"github.com/fastfit/fastfit/internal/fault"
+	"github.com/fastfit/fastfit/internal/mpi"
+)
+
+func ckptTestPoints() []Point {
+	return []Point{
+		{Rank: 0, SiteName: "main a.go:1", Type: mpi.CollAllreduce, Invocation: 0, NInv: 3},
+		{Rank: 1, SiteName: "main a.go:1", Type: mpi.CollAllreduce, Invocation: 1, NInv: 3},
+		{Rank: 0, SiteName: "main b.go:9", Type: mpi.CollBcast, Invocation: 0, NInv: 1},
+	}
+}
+
+func ckptTestResult(p Point) PointResult {
+	pr := PointResult{Point: p}
+	for i, o := range []classify.Outcome{classify.Success, classify.WrongAns} {
+		tr := TrialResult{Target: fault.TargetSendBuf, Bit: i * 3, Outcome: o}
+		pr.Trials = append(pr.Trials, tr)
+		pr.Counts.Add(o)
+	}
+	return pr
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	pts := ckptTestPoints()
+	fp := CampaignFingerprint("toy", apps.Config{Ranks: 4}, Options{}, pts)
+
+	ck, err := CreateCheckpoint(path, fp, "toy", 4, len(pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.AppendResult(0, ckptTestResult(pts[0])); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.AppendQuarantine(QuarantinedPoint{Point: pts[1], Index: 1, Attempts: 3, Err: "harness failure: runner panic: boom"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := LoadCheckpointState(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TornTail {
+		t.Fatal("clean journal reported a torn tail")
+	}
+	if len(st.Results) != 1 || len(st.Quarantined) != 1 {
+		t.Fatalf("state: %d results, %d quarantined", len(st.Results), len(st.Quarantined))
+	}
+	got := st.Results[0]
+	want := ckptTestResult(pts[0])
+	if got.Point != want.Point || got.Counts != want.Counts || len(got.Trials) != len(want.Trials) {
+		t.Fatalf("restored result differs: %+v vs %+v", got, want)
+	}
+	q := st.Quarantined[1]
+	if q.Point != pts[1] || q.Attempts != 3 || !strings.Contains(q.Err, "boom") {
+		t.Fatalf("restored quarantine differs: %+v", q)
+	}
+}
+
+func TestCheckpointRejectsMismatchedFingerprint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	pts := ckptTestPoints()
+	fp := CampaignFingerprint("toy", apps.Config{Ranks: 4}, Options{Seed: 1}, pts)
+	ck, err := CreateCheckpoint(path, fp, "toy", 4, len(pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	other := CampaignFingerprint("toy", apps.Config{Ranks: 4}, Options{Seed: 2}, pts)
+	if other == fp {
+		t.Fatal("fingerprint must depend on the campaign seed")
+	}
+	_, err = LoadCheckpointState(path, other)
+	if !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("want ErrCheckpointMismatch, got %v", err)
+	}
+}
+
+func TestCheckpointToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	pts := ckptTestPoints()
+	fp := CampaignFingerprint("toy", apps.Config{Ranks: 4}, Options{}, pts)
+	ck, err := CreateCheckpoint(path, fp, "toy", 4, len(pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.AppendResult(0, ckptTestResult(pts[0])); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	// Simulate a crash mid-append: a torn, newline-less trailing record.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"point","index":1,"resu`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ck2, st, err := OpenCheckpoint(path, fp)
+	if err != nil {
+		t.Fatalf("torn tail must be tolerated: %v", err)
+	}
+	if !st.TornTail {
+		t.Fatal("torn tail not reported")
+	}
+	if len(st.Results) != 1 {
+		t.Fatalf("results after torn tail: %d", len(st.Results))
+	}
+	// Appends after the repair must land on a fresh line and reload cleanly.
+	if err := ck2.AppendResult(1, ckptTestResult(pts[1])); err != nil {
+		t.Fatal(err)
+	}
+	ck2.Close()
+	st2, err := LoadCheckpointState(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.TornTail || len(st2.Results) != 2 {
+		t.Fatalf("post-repair reload: torn=%v results=%d", st2.TornTail, len(st2.Results))
+	}
+}
+
+func TestCheckpointRejectsCorruptMiddleLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	pts := ckptTestPoints()
+	fp := CampaignFingerprint("toy", apps.Config{Ranks: 4}, Options{}, pts)
+	ck, err := CreateCheckpoint(path, fp, "toy", 4, len(pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("{corrupt!!\n")
+	f.WriteString(`{"kind":"point","index":0,"result":{"point":{},"trials":[]}}` + "\n")
+	f.Close()
+
+	if _, err := LoadCheckpointState(path, fp); err == nil {
+		t.Fatal("corrupt middle line must fail loudly")
+	}
+}
+
+func TestCheckpointRejectsMissingHeaderAndBadRecords(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"empty":          "",
+		"no header":      `{"kind":"point","index":0,"result":{"point":{},"trials":[]}}` + "\n",
+		"unknown kind":   `{"kind":"header","version":1,"fingerprint":"fp"}` + "\n" + `{"kind":"wat"}` + "\n",
+		"bad outcome":    `{"kind":"header","version":1,"fingerprint":"fp"}` + "\n" + `{"kind":"point","index":0,"result":{"point":{},"trials":[{"outcome":99}]}}` + "\n",
+		"version skew":   `{"kind":"header","version":42,"fingerprint":"fp"}` + "\n",
+		"double header":  `{"kind":"header","version":1,"fingerprint":"fp"}` + "\n" + `{"kind":"header","version":1,"fingerprint":"fp"}` + "\n",
+		"header-is-torn": `{"kind":"header","version":1,"fingerpr`,
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, strings.ReplaceAll(name, " ", "_"))
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadCheckpointState(path, "fp"); err == nil {
+			t.Errorf("%s: want error, got none", name)
+		}
+	}
+}

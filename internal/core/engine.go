@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -75,19 +76,33 @@ func (e *Engine) Points() ([]Point, error) {
 
 // run executes the application once with the given hook.
 func (e *Engine) run(hook mpi.Hook) mpi.RunResult {
+	return e.runCtx(context.Background(), hook)
+}
+
+// runCtx executes the application once with the given hook, cancelling the
+// simulated world promptly when ctx is done.
+func (e *Engine) runCtx(ctx context.Context, hook mpi.Hook) mpi.RunResult {
 	return mpi.Run(mpi.RunOptions{
 		NumRanks: e.cfg.Ranks,
 		Seed:     e.cfg.Seed,
 		Timeout:  e.opts.RunTimeout,
 		Hook:     hook,
+		Context:  ctx,
 	}, func(r *mpi.Rank) error { return e.app.Main(r, e.cfg) })
 }
 
 // RunOnce executes the application with the given faults injected and
 // classifies the outcome against the golden run.
 func (e *Engine) RunOnce(faults ...fault.Fault) (classify.Outcome, mpi.RunResult) {
+	return e.RunOnceCtx(context.Background(), faults...)
+}
+
+// RunOnceCtx is RunOnce with cancellation: when ctx is done the simulated
+// world is torn down mid-run. The classification of a cancelled run is
+// meaningless and must be discarded by the caller (check res.Cancelled).
+func (e *Engine) RunOnceCtx(ctx context.Context, faults ...fault.Fault) (classify.Outcome, mpi.RunResult) {
 	inj := fault.NewInjector(nil, faults...)
-	res := e.run(inj)
+	res := e.runCtx(ctx, inj)
 	return classify.Classify(e.golden, res), res
 }
 
@@ -104,16 +119,26 @@ func (e *Engine) trialSeed(pointIdx, trial int) int64 {
 // the corrupted parameter and bit uniformly per test (the paper's basic
 // methodology, §II).
 func (e *Engine) InjectPoint(p Point, pointIdx, n int) PointResult {
-	return e.injectPointFiltered(p, pointIdx, n, nil)
+	pr, _ := e.injectPointFiltered(context.Background(), p, pointIdx, n, nil)
+	return pr
+}
+
+// InjectPointCtx is InjectPoint with cancellation: when ctx is done, no new
+// trials start, in-flight simulated runs are torn down and ctx.Err() is
+// returned. A partially-injected point must not be recorded — its trial
+// slice is incomplete and would skew every downstream statistic.
+func (e *Engine) InjectPointCtx(ctx context.Context, p Point, pointIdx, n int) (PointResult, error) {
+	return e.injectPointFiltered(ctx, p, pointIdx, n, nil)
 }
 
 // InjectPointTarget performs n tests at a point, all on one parameter
 // (used by the per-parameter studies, paper Fig. 9).
 func (e *Engine) InjectPointTarget(p Point, pointIdx, n int, target fault.Target) PointResult {
-	return e.injectPointFiltered(p, pointIdx, n, &target)
+	pr, _ := e.injectPointFiltered(context.Background(), p, pointIdx, n, &target)
+	return pr
 }
 
-func (e *Engine) injectPointFiltered(p Point, pointIdx, n int, target *fault.Target) PointResult {
+func (e *Engine) injectPointFiltered(ctx context.Context, p Point, pointIdx, n int, target *fault.Target) (PointResult, error) {
 	pr := PointResult{Point: p, Trials: make([]TrialResult, n)}
 	par := e.opts.Parallelism
 	if par <= 0 {
@@ -122,6 +147,9 @@ func (e *Engine) injectPointFiltered(p Point, pointIdx, n int, target *fault.Tar
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
 	for t := 0; t < n; t++ {
+		if ctx.Err() != nil {
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(t int) {
@@ -137,13 +165,16 @@ func (e *Engine) injectPointFiltered(p Point, pointIdx, n int, target *fault.Tar
 			default:
 				f = fault.DataBufferFault(rng, p.Rank, p.Site, p.Invocation, p.Type)
 			}
-			outcome, _ := e.RunOnce(f)
+			outcome, _ := e.RunOnceCtx(ctx, f)
 			pr.Trials[t] = TrialResult{Target: f.Target, Bit: f.Bit, Outcome: outcome}
 		}(t)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return PointResult{Point: p}, err
+	}
 	for _, t := range pr.Trials {
 		pr.Counts.Add(t.Outcome)
 	}
-	return pr
+	return pr, nil
 }

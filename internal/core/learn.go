@@ -45,6 +45,31 @@ func (e *Engine) LearnCampaign(points []Point) LearnResult {
 // so one physical injection campaign can be replayed under many accuracy
 // thresholds.
 func (e *Engine) LearnCampaignWith(points []Point, inject func(Point, int) PointResult) LearnResult {
+	res, _ := e.learnCampaignBatched(points, func(ps []Point, idxs []int) []*PointResult {
+		out := make([]*PointResult, len(ps))
+		for i := range ps {
+			pr := inject(ps[i], idxs[i])
+			out[i] = &pr
+		}
+		return out
+	})
+	return res
+}
+
+// batchInjector injects one batch of points for the learning loop. idxs are
+// the points' positions in the shuffled campaign order (each trial's seed
+// derives from that index, so replaying the same order reproduces the same
+// results bit for bit). A nil entry marks a point the harness could not
+// measure (a supervisor's quarantined poison point); returning a nil slice
+// aborts the loop (cancellation).
+type batchInjector func(points []Point, idxs []int) []*PointResult
+
+// learnCampaignBatched is the batched core of the injection/learning
+// feedback loop. The second return reports whether the injector aborted the
+// loop; an aborted result carries the measurements so far and no
+// predictions (an immature model must not fabricate sensitivity levels for
+// a campaign that will resume later).
+func (e *Engine) learnCampaignBatched(points []Point, inject batchInjector) (LearnResult, bool) {
 	opts := e.opts
 	pts := append([]Point(nil), points...)
 	rng := newRand(opts.Seed*31 + 7)
@@ -52,20 +77,32 @@ func (e *Engine) LearnCampaignWith(points []Point, inject func(Point, int) Point
 
 	var res LearnResult
 	var forest *ml.Forest
+	aborted := false
 	i := 0
 	for i < len(pts) {
 		end := i + opts.MLBatch
 		if end > len(pts) {
 			end = len(pts)
 		}
-		batch := make([]PointResult, 0, end-i)
+		idxs := make([]int, 0, end-i)
 		for j := i; j < end; j++ {
-			batch = append(batch, inject(pts[j], j))
+			idxs = append(idxs, j)
+		}
+		injected := inject(pts[i:end], idxs)
+		if injected == nil {
+			aborted = true
+			break
+		}
+		batch := make([]PointResult, 0, len(injected))
+		for _, pr := range injected {
+			if pr != nil {
+				batch = append(batch, *pr)
+			}
 		}
 
 		// Verification: how well does the current model predict the batch
 		// it has not seen?
-		if forest != nil && len(res.Measured) >= opts.MLMinTrain {
+		if forest != nil && len(res.Measured) >= opts.MLMinTrain && len(batch) > 0 {
 			correct := 0
 			for _, pr := range batch {
 				pred := forest.Predict(pr.Point.FeatureVector())
@@ -91,6 +128,9 @@ func (e *Engine) LearnCampaignWith(points []Point, inject func(Point, int) Point
 	}
 
 	res.Forest = forest
+	if aborted {
+		return res, true
+	}
 	if i >= len(pts) {
 		res.ExhaustedPoints = res.VerifyAccuracy < opts.AccuracyThreshold
 	}
@@ -105,7 +145,7 @@ func (e *Engine) LearnCampaignWith(points []Point, inject func(Point, int) Point
 	if len(pts) > 0 {
 		res.Reduction = float64(len(res.Predicted)) / float64(len(pts))
 	}
-	return res
+	return res, false
 }
 
 // trainLevelForest fits the error-rate-level forest on measured results.

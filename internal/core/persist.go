@@ -89,6 +89,33 @@ func pointFromJSON(j pointJSON) Point {
 	}
 }
 
+func pointResultToJSON(pr PointResult) pointResultJSON {
+	pj := pointResultJSON{Point: pointToJSON(pr.Point)}
+	for _, tr := range pr.Trials {
+		pj.Trials = append(pj.Trials, trialJSON{Target: int(tr.Target), Bit: tr.Bit, Outcome: int(tr.Outcome)})
+	}
+	return pj
+}
+
+// pointResultFromJSON decodes one point's results, validating every
+// enum-valued field so a corrupt or hand-edited file surfaces a
+// descriptive error instead of poisoning downstream statistics.
+func pointResultFromJSON(pj pointResultJSON) (PointResult, error) {
+	pr := PointResult{Point: pointFromJSON(pj.Point)}
+	for i, tj := range pj.Trials {
+		tr := TrialResult{Target: fault.Target(tj.Target), Bit: tj.Bit, Outcome: classify.Outcome(tj.Outcome)}
+		if tr.Outcome < 0 || tr.Outcome >= classify.NumOutcomes {
+			return PointResult{}, fmt.Errorf("trial %d: invalid outcome %d (valid range 0..%d)", i, tj.Outcome, int(classify.NumOutcomes)-1)
+		}
+		if tr.Target < 0 || tr.Target >= fault.NumTargets {
+			return PointResult{}, fmt.Errorf("trial %d: invalid fault target %d (valid range 0..%d)", i, tj.Target, int(fault.NumTargets)-1)
+		}
+		pr.Trials = append(pr.Trials, tr)
+		pr.Counts.Add(tr.Outcome)
+	}
+	return pr, nil
+}
+
 // WriteJSON serialises the campaign result.
 func (r *CampaignResult) WriteJSON(w io.Writer) error {
 	out := campaignJSON{
@@ -109,11 +136,7 @@ func (r *CampaignResult) WriteJSON(w io.Writer) error {
 		VerifyAccuracy:    r.VerifyAccuracy,
 	}
 	for _, pr := range r.Measured {
-		pj := pointResultJSON{Point: pointToJSON(pr.Point)}
-		for _, tr := range pr.Trials {
-			pj.Trials = append(pj.Trials, trialJSON{Target: int(tr.Target), Bit: tr.Bit, Outcome: int(tr.Outcome)})
-		}
-		out.Measured = append(out.Measured, pj)
+		out.Measured = append(out.Measured, pointResultToJSON(pr))
 	}
 	for _, p := range r.Predicted {
 		out.Predictions = append(out.Predictions, predictionJSON{Point: pointToJSON(p.Point), Level: p.Level})
@@ -133,14 +156,28 @@ func (r *CampaignResult) SaveJSON(path string) error {
 	return r.WriteJSON(f)
 }
 
-// ReadCampaignJSON deserialises a campaign result written by WriteJSON.
+// ReadCampaignJSON deserialises a campaign result written by WriteJSON. It
+// fails with a descriptive error on truncated, corrupt or
+// version-mismatched input rather than silently mis-loading it.
 func ReadCampaignJSON(rd io.Reader) (*CampaignResult, error) {
+	dec := json.NewDecoder(rd)
 	var in campaignJSON
-	if err := json.NewDecoder(rd).Decode(&in); err != nil {
+	switch err := dec.Decode(&in); {
+	case err == io.EOF:
+		return nil, fmt.Errorf("decoding campaign: empty input")
+	case err == io.ErrUnexpectedEOF:
+		return nil, fmt.Errorf("decoding campaign: truncated JSON (file cut off mid-document?)")
+	case err != nil:
 		return nil, fmt.Errorf("decoding campaign: %w", err)
 	}
-	if in.Version != persistVersion {
+	switch {
+	case in.Version == 0:
+		return nil, fmt.Errorf("campaign JSON has no version field — not a file written by SaveJSON?")
+	case in.Version != persistVersion:
 		return nil, fmt.Errorf("unsupported campaign schema version %d (want %d)", in.Version, persistVersion)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("decoding campaign: trailing data after the campaign document")
 	}
 	res := &CampaignResult{
 		AppName: in.App,
@@ -158,15 +195,10 @@ func ReadCampaignJSON(rd io.Reader) (*CampaignResult, error) {
 		TotalReduction:    in.TotalReduction,
 		VerifyAccuracy:    in.VerifyAccuracy,
 	}
-	for _, pj := range in.Measured {
-		pr := PointResult{Point: pointFromJSON(pj.Point)}
-		for _, tj := range pj.Trials {
-			tr := TrialResult{Target: fault.Target(tj.Target), Bit: tj.Bit, Outcome: classify.Outcome(tj.Outcome)}
-			if tr.Outcome < 0 || tr.Outcome >= classify.NumOutcomes {
-				return nil, fmt.Errorf("invalid outcome %d in campaign file", tj.Outcome)
-			}
-			pr.Trials = append(pr.Trials, tr)
-			pr.Counts.Add(tr.Outcome)
+	for i, pj := range in.Measured {
+		pr, err := pointResultFromJSON(pj)
+		if err != nil {
+			return nil, fmt.Errorf("campaign file measured[%d]: %w", i, err)
 		}
 		res.Measured = append(res.Measured, pr)
 	}
@@ -176,12 +208,17 @@ func ReadCampaignJSON(rd io.Reader) (*CampaignResult, error) {
 	return res, nil
 }
 
-// LoadCampaignJSON reads a campaign result from a file.
+// LoadCampaignJSON reads a campaign result from a file, annotating decode
+// failures with the file path.
 func LoadCampaignJSON(path string) (*CampaignResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return ReadCampaignJSON(f)
+	res, err := ReadCampaignJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("loading campaign %s: %w", path, err)
+	}
+	return res, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -88,18 +89,60 @@ func TestCampaignJSONFileRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCampaignJSONRejectsBadInput feeds ReadCampaignJSON mangled files and
+// checks each failure carries a diagnosis, not a bare decode error.
 func TestCampaignJSONRejectsBadInput(t *testing.T) {
-	if _, err := ReadCampaignJSON(strings.NewReader("{not json")); err == nil {
-		t.Fatal("garbage should fail")
+	// A valid document to mutilate.
+	var buf bytes.Buffer
+	if err := sampleCampaign().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
 	}
-	if _, err := ReadCampaignJSON(strings.NewReader(`{"version": 99}`)); err == nil {
-		t.Fatal("wrong version should fail")
+	valid := buf.String()
+
+	cases := []struct {
+		name    string
+		input   string
+		wantErr string
+	}{
+		{"empty input", "", "empty input"},
+		{"truncated mid-document", valid[:len(valid)/2], "truncated"},
+		{"garbage", "{not json", "decoding campaign"},
+		{"missing version", `{"app":"toy"}`, "no version field"},
+		{"future version", `{"version": 99}`, "unsupported campaign schema version 99"},
+		{"invalid outcome", `{"version":1,"measured":[{"point":{},"trials":[{"outcome":42}]}]}`, "invalid outcome 42"},
+		{"negative outcome", `{"version":1,"measured":[{"point":{},"trials":[{"outcome":-1}]}]}`, "invalid outcome -1"},
+		{"invalid target", `{"version":1,"measured":[{"point":{},"trials":[{"target":77}]}]}`, "invalid fault target 77"},
+		{"trailing garbage", strings.TrimRight(valid, "\n") + `{"version":1}`, "trailing data"},
 	}
-	if _, err := ReadCampaignJSON(strings.NewReader(
-		`{"version":1,"measured":[{"point":{},"trials":[{"outcome":42}]}]}`)); err == nil {
-		t.Fatal("invalid outcome should fail")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadCampaignJSON(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatal("want error, got none")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
 	}
-	if _, err := LoadCampaignJSON(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+}
+
+// TestLoadCampaignJSONAnnotatesPath: file-level failures must name the file
+// so campaign scripts loading many results can tell which one is bad.
+func TestLoadCampaignJSONAnnotatesPath(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadCampaignJSON(filepath.Join(dir, "missing.json")); err == nil {
 		t.Fatal("missing file should fail")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadCampaignJSON(bad)
+	if err == nil {
+		t.Fatal("bad file should fail")
+	}
+	if !strings.Contains(err.Error(), bad) || !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("error %q should name the file and the cause", err)
 	}
 }

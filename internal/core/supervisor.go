@@ -1,0 +1,449 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Supervisor wraps the profile→prune→inject pipeline in a resilient
+// runner: a point-level worker pool spreads a campaign across all cores
+// (RunCampaign parallelises only within a point), a JSONL checkpoint
+// journal makes an interrupted campaign resumable exactly where it
+// stopped, and per-point watchdogs with bounded retries classify *harness*
+// failures — a panicking runner, a wedged profile — separately from
+// injected-fault outcomes, quarantining points that repeatedly break the
+// harness so the campaign degrades to a complete-with-skips report instead
+// of aborting. The FINJ tool (Netti et al.) demonstrates exactly this
+// supervision layer for production fault-injection campaigns.
+type Supervisor struct {
+	eng  *Engine
+	opts SupervisorOptions
+}
+
+// SupervisorOptions configures a supervised campaign.
+type SupervisorOptions struct {
+	// Workers is the number of points injected concurrently. Zero picks a
+	// default from GOMAXPROCS. Each point additionally parallelises its
+	// trials per Options.Parallelism.
+	Workers int
+	// Checkpoint is the JSONL journal path. Empty disables persistence
+	// (the campaign is still cancellable and watchdogged). If the file
+	// exists and its fingerprint matches, the campaign resumes from it;
+	// a mismatched journal is rejected with ErrCheckpointMismatch.
+	Checkpoint string
+	// MaxAttempts bounds harness attempts per point (first try included)
+	// before the point is quarantined. Zero means 3.
+	MaxAttempts int
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// attempt. Zero means 100ms.
+	RetryBackoff time.Duration
+	// PointTimeout is the per-attempt watchdog: a point whose injection
+	// takes longer is declared wedged and retried (then quarantined).
+	// Zero derives a generous bound from TrialsPerPoint and RunTimeout.
+	PointTimeout time.Duration
+	// OnPoint, when set, observes every completed point in completion
+	// order (concurrent workers: the callback is serialised but the
+	// order across workers is nondeterministic). Useful for progress
+	// reporting and for tests that cancel after N points.
+	OnPoint func(index, completed, total int)
+	// Inject overrides the injection function — the seam tests use to
+	// simulate harness panics and hangs deterministically. Nil uses the
+	// engine's InjectPointCtx.
+	Inject func(ctx context.Context, p Point, pointIdx, trials int) (PointResult, error)
+}
+
+func (o SupervisorOptions) withDefaults(eng *Engine) SupervisorOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)/2 + 1
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 100 * time.Millisecond
+	}
+	if o.PointTimeout <= 0 {
+		// Worst case a point runs all trials serially against the
+		// per-run timeout; pad generously — the watchdog exists to catch
+		// a wedged harness, not to race healthy points.
+		opts := eng.Options()
+		o.PointTimeout = 2*time.Duration(opts.TrialsPerPoint)*opts.RunTimeout + 30*time.Second
+	}
+	return o
+}
+
+// SupervisedResult is a campaign outcome plus the supervision accounting.
+type SupervisedResult struct {
+	*CampaignResult
+	// Quarantined lists the poison points withdrawn from the campaign,
+	// in injection order. They are excluded from Measured and from the
+	// Injected count.
+	Quarantined []QuarantinedPoint
+	// FromCheckpoint is the number of points restored from the journal
+	// rather than injected in this run.
+	FromCheckpoint int
+	// HarnessRetries counts harness-failure retries across all points.
+	HarnessRetries int
+	// Cancelled reports the campaign stopped early on context
+	// cancellation; the result is partial and resumable from Checkpoint.
+	Cancelled bool
+	// Checkpoint is the journal path in use ("" if persistence was off).
+	Checkpoint string
+}
+
+// NewSupervisor builds a supervisor over an engine.
+func NewSupervisor(e *Engine, opts SupervisorOptions) *Supervisor {
+	return &Supervisor{eng: e, opts: opts.withDefaults(e)}
+}
+
+// ResumeCampaign resumes a supervised campaign from an existing checkpoint
+// journal, failing if the journal is missing rather than silently starting
+// over.
+func ResumeCampaign(ctx context.Context, e *Engine, opts SupervisorOptions) (*SupervisedResult, error) {
+	if opts.Checkpoint == "" {
+		return nil, fmt.Errorf("resume: no checkpoint path given")
+	}
+	if _, err := os.Stat(opts.Checkpoint); err != nil {
+		return nil, fmt.Errorf("resume: checkpoint %s not found: %w", opts.Checkpoint, err)
+	}
+	return NewSupervisor(e, opts).Run(ctx)
+}
+
+// harnessError is a failure of the injection harness itself — a runner
+// panic or a watchdog expiry — as opposed to an injected-fault outcome,
+// which is ordinary data. The two must never be conflated: a harness
+// failure says nothing about the application's sensitivity.
+type harnessError struct {
+	Reason string
+}
+
+func (h harnessError) Error() string { return "harness failure: " + h.Reason }
+
+// Run executes (or resumes) the supervised campaign. On context
+// cancellation it returns the partial result with Cancelled set and a nil
+// error; the checkpoint journal, if any, holds everything completed so far.
+func (s *Supervisor) Run(ctx context.Context) (*SupervisedResult, error) {
+	e := s.eng
+
+	// Profiling is a harness action: retry a hung or failed profile run
+	// with backoff before giving up on the whole campaign.
+	var plan *campaignPlan
+	var err error
+	for attempt := 1; ; attempt++ {
+		plan, err = e.planCampaign()
+		if err == nil {
+			break
+		}
+		if attempt >= s.opts.MaxAttempts || ctx.Err() != nil {
+			return nil, fmt.Errorf("campaign profiling failed after %d attempts: %w", attempt, err)
+		}
+		e.logf("profiling attempt %d failed (%v); retrying", attempt, err)
+		if !sleepCtx(ctx, s.backoff(attempt)) {
+			return nil, ctx.Err()
+		}
+	}
+
+	sup := &SupervisedResult{CampaignResult: plan.res, Checkpoint: s.opts.Checkpoint}
+
+	// Open or create the checkpoint journal and restore prior progress.
+	var ckpt *Checkpoint
+	state := &CheckpointState{Results: map[int]PointResult{}, Quarantined: map[int]QuarantinedPoint{}}
+	if s.opts.Checkpoint != "" {
+		fp := CampaignFingerprint(e.App().Name(), e.Config(), e.Options(), plan.points)
+		if _, statErr := os.Stat(s.opts.Checkpoint); statErr == nil {
+			ckpt, state, err = OpenCheckpoint(s.opts.Checkpoint, fp)
+			if err != nil {
+				return nil, err
+			}
+			sup.FromCheckpoint = len(state.Results)
+			e.logf("resuming from checkpoint %s: %d points done, %d quarantined",
+				s.opts.Checkpoint, len(state.Results), len(state.Quarantined))
+		} else {
+			ckpt, err = CreateCheckpoint(s.opts.Checkpoint, fp, e.App().Name(), e.Config().Ranks, len(plan.points))
+			if err != nil {
+				return nil, err
+			}
+		}
+		defer ckpt.Close()
+	}
+
+	run := &supervisedRun{
+		sup:     s,
+		ckpt:    ckpt,
+		results: state.Results,
+		quar:    state.Quarantined,
+		total:   len(plan.points),
+	}
+	run.completed = len(run.results) + len(run.quar)
+
+	if e.Options().MLPruning {
+		s.runML(ctx, plan, run)
+	} else {
+		s.runDirect(ctx, plan.points, run)
+	}
+
+	if err := run.err(); err != nil {
+		return nil, err
+	}
+	sup.Cancelled = ctx.Err() != nil
+	sup.HarnessRetries = run.retries
+	for _, idx := range sortedIdxs(run.quar) {
+		sup.Quarantined = append(sup.Quarantined, run.quar[idx])
+	}
+	if !e.Options().MLPruning {
+		// Deterministic assembly: measured results in injection order,
+		// regardless of which worker finished first — a resumed campaign
+		// is bit-identical to an uninterrupted one.
+		for _, idx := range sortedIdxs(run.results) {
+			plan.res.Measured = append(plan.res.Measured, run.results[idx])
+		}
+	}
+	plan.finish()
+	return sup, nil
+}
+
+// supervisedRun is the mutable shared state of one Run call.
+type supervisedRun struct {
+	sup  *Supervisor
+	ckpt *Checkpoint
+
+	mu        sync.Mutex
+	results   map[int]PointResult
+	quar      map[int]QuarantinedPoint
+	retries   int
+	completed int
+	total     int
+	firstErr  error // checkpoint I/O failure: abort, do not lose data silently
+}
+
+func (r *supervisedRun) err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.firstErr
+}
+
+func (r *supervisedRun) fail(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.firstErr == nil {
+		r.firstErr = err
+	}
+}
+
+// record journals and stores one completed point.
+func (r *supervisedRun) record(idx int, pr PointResult) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.results[idx] = pr
+	r.completed++
+	if r.ckpt != nil {
+		if err := r.ckpt.AppendResult(idx, pr); err != nil && r.firstErr == nil {
+			r.firstErr = err
+		}
+	}
+	if cb := r.sup.opts.OnPoint; cb != nil {
+		cb(idx, r.completed, r.total)
+	}
+}
+
+// quarantine journals and stores one poison point.
+func (r *supervisedRun) quarantine(q QuarantinedPoint) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.quar[q.Index] = q
+	r.completed++
+	if r.ckpt != nil {
+		if err := r.ckpt.AppendQuarantine(q); err != nil && r.firstErr == nil {
+			r.firstErr = err
+		}
+	}
+	if cb := r.sup.opts.OnPoint; cb != nil {
+		cb(q.Index, r.completed, r.total)
+	}
+}
+
+func (r *supervisedRun) done(idx int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok1 := r.results[idx]
+	_, ok2 := r.quar[idx]
+	return ok1 || ok2
+}
+
+func (r *supervisedRun) bumpRetries() {
+	r.mu.Lock()
+	r.retries++
+	r.mu.Unlock()
+}
+
+// runDirect injects every point (no ML pruning) through the worker pool.
+func (s *Supervisor) runDirect(ctx context.Context, points []Point, run *supervisedRun) {
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < s.opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range idxCh {
+				s.runPoint(ctx, points[idx], idx, run)
+			}
+		}()
+	}
+	for idx := range points {
+		if run.done(idx) || ctx.Err() != nil {
+			continue
+		}
+		select {
+		case idxCh <- idx:
+		case <-ctx.Done():
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+}
+
+// runML drives the injection/learning feedback loop, parallelising each
+// batch through the pool and replaying checkpointed results so a resumed
+// ML campaign retraces the exact path of an uninterrupted one.
+func (s *Supervisor) runML(ctx context.Context, plan *campaignPlan, run *supervisedRun) {
+	res := plan.res
+	lr, abortedLoop := s.eng.learnCampaignBatched(plan.points, func(ps []Point, idxs []int) []*PointResult {
+		if ctx.Err() != nil {
+			return nil
+		}
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, s.opts.Workers)
+		for i, idx := range idxs {
+			if run.done(idx) {
+				continue
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(p Point, idx int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				s.runPoint(ctx, p, idx, run)
+			}(ps[i], idx)
+		}
+		wg.Wait()
+		if ctx.Err() != nil {
+			return nil
+		}
+		out := make([]*PointResult, len(ps))
+		run.mu.Lock()
+		defer run.mu.Unlock()
+		for i, idx := range idxs {
+			if pr, ok := run.results[idx]; ok {
+				out[i] = &pr
+			} // else quarantined → nil entry, skipped by the learner
+		}
+		return out
+	})
+	res.Learn = &lr
+	res.Measured = lr.Measured
+	res.Predicted = lr.Predicted
+	res.MLReduction = lr.Reduction
+	res.VerifyAccuracy = lr.VerifyAccuracy
+	_ = abortedLoop // cancellation is reported via ctx by the caller
+}
+
+// runPoint executes one point under the watchdog with bounded retries,
+// quarantining it if every attempt dies in the harness.
+func (s *Supervisor) runPoint(ctx context.Context, p Point, idx int, run *supervisedRun) {
+	var lastErr error
+	for attempt := 1; attempt <= s.opts.MaxAttempts; attempt++ {
+		pr, err := s.attempt(ctx, p, idx)
+		if err == nil {
+			run.record(idx, pr)
+			return
+		}
+		if ctx.Err() != nil {
+			return // cancelled, not a harness verdict: leave the point for resume
+		}
+		lastErr = err
+		s.eng.logf("point %d (%v) attempt %d/%d failed: %v", idx, p.String(), attempt, s.opts.MaxAttempts, err)
+		if attempt < s.opts.MaxAttempts {
+			run.bumpRetries()
+			if !sleepCtx(ctx, s.backoff(attempt)) {
+				return
+			}
+		}
+	}
+	s.eng.logf("point %d (%v) quarantined after %d attempts: %v", idx, p.String(), s.opts.MaxAttempts, lastErr)
+	run.quarantine(QuarantinedPoint{Point: p, Index: idx, Attempts: s.opts.MaxAttempts, Err: lastErr.Error()})
+}
+
+// attempt runs one injection attempt in its own goroutine, converting a
+// harness panic into an error and abandoning the attempt if the watchdog
+// expires. An abandoned goroutine's simulated runs still die at their own
+// RunTimeout; only its (meaningless) result is discarded.
+func (s *Supervisor) attempt(ctx context.Context, p Point, idx int) (PointResult, error) {
+	type outcome struct {
+		pr  PointResult
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				ch <- outcome{err: harnessError{Reason: fmt.Sprintf("runner panic: %v", rec)}}
+			}
+		}()
+		pr, err := s.inject(ctx, p, idx)
+		ch <- outcome{pr: pr, err: err}
+	}()
+
+	watchdog := time.NewTimer(s.opts.PointTimeout)
+	defer watchdog.Stop()
+	select {
+	case out := <-ch:
+		return out.pr, out.err
+	case <-watchdog.C:
+		return PointResult{}, harnessError{Reason: fmt.Sprintf("watchdog: point wedged for %v", s.opts.PointTimeout)}
+	case <-ctx.Done():
+		return PointResult{}, ctx.Err()
+	}
+}
+
+func (s *Supervisor) inject(ctx context.Context, p Point, idx int) (PointResult, error) {
+	if s.opts.Inject != nil {
+		return s.opts.Inject(ctx, p, idx, s.eng.Options().TrialsPerPoint)
+	}
+	return s.eng.InjectPointCtx(ctx, p, idx, s.eng.Options().TrialsPerPoint)
+}
+
+// backoff returns the exponential retry delay for the given attempt number.
+func (s *Supervisor) backoff(attempt int) time.Duration {
+	d := s.opts.RetryBackoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+	}
+	return d
+}
+
+// sleepCtx sleeps for d unless ctx is done first; it reports whether the
+// full sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func sortedIdxs[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for idx := range m {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -33,6 +34,11 @@ type RunOptions struct {
 	Hook Hook
 	// MailboxCap is the per-rank inbox capacity; zero means 4096 messages.
 	MailboxCap int
+	// Context, when non-nil, cancels the run early: once it is done the
+	// world is killed and blocked ranks die with Killed, exactly as on a
+	// wall-clock timeout. Campaign supervisors use this to stop in-flight
+	// injected runs promptly on Ctrl-C.
+	Context context.Context
 }
 
 // RankResult reports how one rank finished.
@@ -44,10 +50,11 @@ type RankResult struct {
 
 // RunResult aggregates one application execution.
 type RunResult struct {
-	Ranks    []RankResult
-	Deadlock bool // the quiescence detector cancelled the run
-	TimedOut bool // the wall-clock timeout cancelled the run
-	Elapsed  time.Duration
+	Ranks     []RankResult
+	Deadlock  bool // the quiescence detector cancelled the run
+	TimedOut  bool // the wall-clock timeout cancelled the run
+	Cancelled bool // RunOptions.Context was done before completion
+	Elapsed   time.Duration
 }
 
 // FirstError returns the highest-priority error across ranks, or nil. The
@@ -103,6 +110,7 @@ type World struct {
 	blocked  atomic.Int64 // ranks currently blocked in send/recv
 	finished atomic.Int64 // ranks that returned
 	progress atomic.Int64 // bumped on every successful message match
+	failed   atomic.Int64 // ranks that ended in a panic or error
 }
 
 // commInfo is the runtime's communicator descriptor. The comms table is
@@ -113,6 +121,16 @@ type commInfo struct {
 	handle  Comm
 	members []int // world ranks, index = rank within this communicator
 	rankOf  map[int]int
+}
+
+// rankFailed records that a rank ended in a panic or error. The failure
+// does NOT abort its peers: every rank must reach its own deterministic
+// fate (crash, MPI error, app abort, completion) so that a run's
+// classification depends only on the injected fault, never on which
+// failing rank the scheduler happened to run first. Peers starved by a
+// dead rank are reaped by the quiescence supervisor.
+func (w *World) rankFailed() {
+	w.failed.Add(1)
 }
 
 func (w *World) kill(why string) {
@@ -192,16 +210,14 @@ func Run(opts RunOptions, fn func(r *Rank) error) RunResult {
 			defer func() {
 				if p := recover(); p != nil {
 					results[rk.id] = RankResult{Rank: rk.id, Err: panicToError(rk.id, p), Values: rk.reported}
-					// MPI_ERRORS_ARE_FATAL: one failed rank aborts the job,
-					// exactly as mpirun tears down its peers.
-					w.kill("job abort: rank failed")
+					w.rankFailed()
 					return
 				}
 			}()
 			err := fn(rk)
 			results[rk.id] = RankResult{Rank: rk.id, Err: err, Values: rk.reported}
 			if err != nil {
-				w.kill("job abort: rank returned error")
+				w.rankFailed()
 			}
 		}(w.ranks[i])
 	}
@@ -212,7 +228,12 @@ func Run(opts RunOptions, fn func(r *Rank) error) RunResult {
 		close(allDone)
 	}()
 
-	var deadlock, timedOut bool
+	var ctxDone <-chan struct{}
+	if opts.Context != nil {
+		ctxDone = opts.Context.Done()
+	}
+
+	var deadlock, timedOut, cancelled bool
 	if opts.NoDeadlockCheck {
 		select {
 		case <-allDone:
@@ -220,23 +241,29 @@ func Run(opts RunOptions, fn func(r *Rank) error) RunResult {
 			timedOut = true
 			w.kill("wall-clock timeout")
 			<-allDone
+		case <-ctxDone:
+			cancelled = true
+			w.kill("run cancelled")
+			<-allDone
 		}
 	} else {
-		deadlock, timedOut = w.supervise(allDone, timeout)
+		deadlock, timedOut, cancelled = w.supervise(allDone, ctxDone, timeout)
 	}
 
 	return RunResult{
-		Ranks:    results,
-		Deadlock: deadlock,
-		TimedOut: timedOut,
-		Elapsed:  time.Since(start),
+		Ranks:     results,
+		Deadlock:  deadlock,
+		TimedOut:  timedOut,
+		Cancelled: cancelled,
+		Elapsed:   time.Since(start),
 	}
 }
 
-// supervise watches for completion, deadlock or timeout. Deadlock is
-// declared when every unfinished rank is blocked in a communication call and
-// the global progress counter has not moved across two consecutive samples.
-func (w *World) supervise(allDone chan struct{}, timeout time.Duration) (deadlock, timedOut bool) {
+// supervise watches for completion, deadlock, timeout or external
+// cancellation. Deadlock is declared when every unfinished rank is blocked
+// in a communication call and the global progress counter has not moved
+// across two consecutive samples.
+func (w *World) supervise(allDone chan struct{}, ctxDone <-chan struct{}, timeout time.Duration) (deadlock, timedOut, cancelled bool) {
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
 	tick := time.NewTicker(time.Millisecond)
@@ -252,11 +279,15 @@ func (w *World) supervise(allDone chan struct{}, timeout time.Duration) (deadloc
 	for {
 		select {
 		case <-allDone:
-			return false, false
+			return false, false, false
 		case <-deadline.C:
 			w.kill("wall-clock timeout")
 			<-allDone
-			return false, true
+			return false, true, false
+		case <-ctxDone:
+			w.kill("run cancelled")
+			<-allDone
+			return false, false, true
 		case <-tick.C:
 			fin := w.finished.Load()
 			blk := w.blocked.Load()
@@ -264,9 +295,19 @@ func (w *World) supervise(allDone chan struct{}, timeout time.Duration) (deadloc
 			if fin < int64(w.size) && fin+blk == int64(w.size) && prog == lastProgress {
 				stuckSamples++
 				if stuckSamples >= stuckWindow {
+					if w.failed.Load() > 0 {
+						// Not a deadlock of the application's own making:
+						// the surviving ranks are starved by a failed peer.
+						// Reap them like mpirun tearing down a job whose
+						// rank died — the failure itself is already in the
+						// results and dominates classification.
+						w.kill("job abort: peers starved by a failed rank")
+						<-allDone
+						return false, false, false
+					}
 					w.kill("deadlock: all surviving ranks blocked with no progress")
 					<-allDone
-					return true, false
+					return true, false, false
 				}
 			} else {
 				stuckSamples = 0

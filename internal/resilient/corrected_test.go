@@ -1,0 +1,112 @@
+package resilient
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"github.com/fastfit/fastfit/internal/mpi"
+)
+
+func TestChecksummedReduceCleanPath(t *testing.T) {
+	res := run(t, 4, nil, func(r *mpi.Rank) error {
+		send := mpi.FromFloat64s([]float64{float64(r.ID())})
+		recv := mpi.NewFloat64Buffer(1)
+		ChecksummedReduce(r, send, recv, 1, mpi.Float64, mpi.OpSum, 0, mpi.CommWorld)
+		if r.ID() == 0 && recv.Float64(0) != 6 {
+			t.Errorf("reduce sum = %v, want 6", recv.Float64(0))
+		}
+		return nil
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// reduceCorrupt flips a send-buffer bit in rank 2's first reduce, mirroring
+// flipSendHook for the rooted collective.
+type reduceCorrupt struct {
+	mpi.NopHook
+	fired atomic.Bool
+}
+
+func (h *reduceCorrupt) BeforeCollective(c *mpi.CollectiveCall) {
+	if c.Type == mpi.CollReduce && c.Rank == 2 && !c.ErrHandling && c.Args.Send.Len() >= 8 &&
+		h.fired.CompareAndSwap(false, true) {
+		c.Args.Send.FlipBit(13)
+	}
+}
+
+func TestChecksummedReduceDetectsInjectedFault(t *testing.T) {
+	res := run(t, 4, &reduceCorrupt{}, func(r *mpi.Rank) error {
+		send := mpi.FromFloat64s([]float64{1})
+		recv := mpi.NewFloat64Buffer(1)
+		ChecksummedReduce(r, send, recv, 1, mpi.Float64, mpi.OpSum, 0, mpi.CommWorld)
+		return nil
+	})
+	err, ok := res.FirstError().(mpi.AppError)
+	if !ok {
+		t.Fatalf("checksummed reduce should detect corruption, got %v", res.FirstError())
+	}
+	if want := (DetectedCorruption{Op: "MPI_Reduce"}).Error(); err.Message != want {
+		t.Fatalf("message = %q", err.Message)
+	}
+}
+
+func TestCorrectedAllreduceCleanPath(t *testing.T) {
+	res := run(t, 8, nil, func(r *mpi.Rank) error {
+		send := mpi.FromFloat64s([]float64{1, float64(r.ID())})
+		recv := mpi.NewFloat64Buffer(2)
+		CorrectedAllreduce(r, send, recv, 2, mpi.Float64, mpi.OpSum, mpi.CommWorld)
+		if recv.Float64(0) != 8 || recv.Float64(1) != 28 {
+			t.Errorf("corrected sum = %v %v, want 8 28", recv.Float64(0), recv.Float64(1))
+		}
+		return nil
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorrectedAllreduceRecomputesPastTransientFault(t *testing.T) {
+	// One transient send-buffer fault: detection triggers a recompute from
+	// the pristine input, the retry is clean, and the caller sees the
+	// correct sum with no visible error — correction, not just detection.
+	res := run(t, 4, &flipSendHook{}, func(r *mpi.Rank) error {
+		send := mpi.FromFloat64s([]float64{float64(r.ID())})
+		recv := mpi.NewFloat64Buffer(1)
+		CorrectedAllreduce(r, send, recv, 1, mpi.Float64, mpi.OpSum, mpi.CommWorld)
+		if recv.Float64(0) != 6 {
+			t.Errorf("corrected sum = %v, want 6", recv.Float64(0))
+		}
+		return nil
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatalf("transient fault should be corrected silently: %v", err)
+	}
+}
+
+// stickyCorrupt re-injects the fault on every data allreduce, defeating
+// recomputation.
+type stickyCorrupt struct{ mpi.NopHook }
+
+func (stickyCorrupt) BeforeCollective(c *mpi.CollectiveCall) {
+	if c.Type == mpi.CollAllreduce && c.Rank == 1 && !c.ErrHandling && c.Args.Send.Len() >= 8 {
+		c.Args.Send.FlipBit(13)
+	}
+}
+
+func TestCorrectedAllreduceGivesUpOnStickyFault(t *testing.T) {
+	res := run(t, 4, stickyCorrupt{}, func(r *mpi.Rank) error {
+		send := mpi.FromFloat64s([]float64{1})
+		recv := mpi.NewFloat64Buffer(1)
+		CorrectedAllreduce(r, send, recv, 1, mpi.Float64, mpi.OpSum, mpi.CommWorld)
+		return nil
+	})
+	err, ok := res.FirstError().(mpi.AppError)
+	if !ok {
+		t.Fatalf("sticky fault should exhaust retries and abort, got %v", res.FirstError())
+	}
+	if want := (DetectedCorruption{Op: "MPI_Allreduce (corrected)"}).Error(); err.Message != want {
+		t.Fatalf("message = %q", err.Message)
+	}
+}

@@ -1,6 +1,7 @@
 package resilient
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -28,16 +29,17 @@ func TestChecksummedAllreduceCleanPath(t *testing.T) {
 }
 
 // flipSendHook corrupts one rank's allreduce send buffer (the paper's
-// data-buffer fault), firing only on non-error-handling calls.
+// data-buffer fault), firing only on non-error-handling calls. fired is
+// atomic because hooks run on every rank's goroutine.
 type flipSendHook struct {
 	mpi.NopHook
-	fired bool
+	fired atomic.Bool
 }
 
 func (h *flipSendHook) BeforeCollective(c *mpi.CollectiveCall) {
-	if !h.fired && c.Type == mpi.CollAllreduce && c.Rank == 2 && !c.ErrHandling && c.Args.Send.Len() >= 8 {
+	if c.Type == mpi.CollAllreduce && c.Rank == 2 && !c.ErrHandling && c.Args.Send.Len() >= 8 &&
+		h.fired.CompareAndSwap(false, true) {
 		c.Args.Send.FlipBit(13)
-		h.fired = true
 	}
 }
 
@@ -90,15 +92,15 @@ func TestChecksummedBcastCleanAndDetects(t *testing.T) {
 
 type bcastCorrupt struct {
 	mpi.NopHook
-	fired bool
+	fired atomic.Bool
 }
 
 func (h *bcastCorrupt) AfterCollective(c *mpi.CollectiveCall) {
 	// Corrupt the data bcast on rank 3, not the CRC bcast (count 1 int64
 	// = 8 bytes; the data bcast is 32 bytes).
-	if !h.fired && c.Type == mpi.CollBcast && c.Rank == 3 && c.Args.Send.Len() == 32 {
+	if c.Type == mpi.CollBcast && c.Rank == 3 && c.Args.Send.Len() == 32 &&
+		h.fired.CompareAndSwap(false, true) {
 		c.Args.Send.FlipBit(100)
-		h.fired = true
 	}
 }
 
