@@ -9,6 +9,8 @@
 //	fastfit -app lu -no-ml -policy allparams -v
 //	fastfit -app lu -checkpoint lu.ckpt          # survivable campaign
 //	fastfit -app lu -checkpoint lu.ckpt -resume  # continue after Ctrl-C
+//	fastfit -app lu -progress                    # live stats line on stderr
+//	fastfit -app lu -events lu.events.jsonl      # JSONL event stream
 //
 // Campaigns run under a supervisor: points are injected by a worker pool,
 // every completed point is journalled to the -checkpoint file (when given),
@@ -27,6 +29,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -80,6 +83,8 @@ func run() error {
 		retries    = flag.Int("retries", 0, "harness attempts per point before quarantine (0 = default 3)")
 		pointTmo   = flag.Duration("point-timeout", 0, "per-point watchdog (0 = derive from -trials and run timeout)")
 		envConfig  = flag.Bool("env-config", false, "run a single injection from Table II env vars instead of a campaign")
+		progress   = flag.Bool("progress", false, "print a live progress line (outcomes, pts/s, ETA) to stderr")
+		eventsPath = flag.String("events", "", "append the campaign's typed event stream as JSONL to this file")
 		verbose    = flag.Bool("v", false, "verbose progress")
 	)
 	flag.Parse()
@@ -113,6 +118,25 @@ func run() error {
 		opts.Logf = func(format string, args ...any) {
 			fmt.Printf("[fastfit] "+format+"\n", args...)
 		}
+	}
+	var observers []fastfit.Observer
+	if *progress {
+		observers = append(observers, progressObserver(os.Stderr))
+	}
+	if *eventsPath != "" {
+		jo, err := fastfit.CreateJSONLObserver(*eventsPath)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := jo.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "fastfit: event stream %s: %v\n", *eventsPath, err)
+			}
+		}()
+		observers = append(observers, jo)
+	}
+	if len(observers) > 0 {
+		opts.Observer = fastfit.MultiObserver(observers...)
 	}
 	opts.AccuracyThreshold = *threshold
 	opts.Levels = *levels
@@ -232,6 +256,21 @@ func run() error {
 		fmt.Printf("\ncampaign result saved to %s\n", *saveJSON)
 	}
 	return nil
+}
+
+// progressObserver renders a self-overwriting live progress line from the
+// event stream: running outcome distribution, points/sec and ETA during the
+// campaign, a final summary line when it finishes.
+func progressObserver(w io.Writer) fastfit.Observer {
+	stats := fastfit.NewStreamStats()
+	return fastfit.MultiObserver(stats, fastfit.ObserverFunc(func(ev fastfit.Event) {
+		switch ev.(type) {
+		case fastfit.PointCompleted, fastfit.PointQuarantined, fastfit.PhaseChanged:
+			fmt.Fprintf(w, "\r%-79s", stats.Snapshot().ProgressLine())
+		case fastfit.CampaignFinished:
+			fmt.Fprintf(w, "\r%-79s\n", stats.Snapshot().ProgressLine())
+		}
+	}))
 }
 
 // runEnvConfigured performs one injection described by the Table II

@@ -7,6 +7,8 @@
 //	ffexp -run fig9             # regenerate one experiment
 //	ffexp -run all -scale paper # regenerate everything at paper scale
 //	ffexp -run all -out results # write each report to results/<id>.txt
+//	ffexp -run fig7 -progress   # live per-campaign stats on stderr
+//	ffexp -run all -events ev.jsonl  # JSONL event stream of every campaign
 //
 // The quick scale (default) keeps every experiment's shape observable in
 // seconds on a laptop; the paper scale matches the paper's setup (32
@@ -24,6 +26,7 @@ import (
 	"strings"
 	"syscall"
 
+	"github.com/fastfit/fastfit"
 	"github.com/fastfit/fastfit/internal/experiments"
 )
 
@@ -50,9 +53,11 @@ func run() error {
 		seed    = flag.Int64("seed", 0, "override seed (0 = scale default)")
 		fig3Inv = flag.Int("fig3-inv", 0, "override fig3 same-stack invocations (0 = scale default)")
 		fig3Tr  = flag.Int("fig3-trials", 0, "override fig3 trials per invocation (0 = scale default)")
-		outDir  = flag.String("out", "", "write each report to <out>/<id>.txt instead of stdout")
-		csvOut  = flag.Bool("csv", false, "with -out: also write <out>/<id>.csv with the data series")
-		quiet   = flag.Bool("q", false, "suppress progress logging")
+		outDir   = flag.String("out", "", "write each report to <out>/<id>.txt instead of stdout")
+		csvOut   = flag.Bool("csv", false, "with -out: also write <out>/<id>.csv with the data series")
+		progress = flag.Bool("progress", false, "print a live per-campaign progress line to stderr")
+		events   = flag.String("events", "", "append every campaign's typed event stream as JSONL to this file")
+		quiet    = flag.Bool("q", false, "suppress progress logging")
 	)
 	flag.Parse()
 
@@ -98,6 +103,34 @@ func run() error {
 		store.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "[ffexp] "+format+"\n", args...)
 		}
+	}
+
+	var observers []fastfit.Observer
+	if *progress {
+		stats := fastfit.NewStreamStats()
+		observers = append(observers, stats, fastfit.ObserverFunc(func(ev fastfit.Event) {
+			switch ev.(type) {
+			case fastfit.PointCompleted, fastfit.PointQuarantined, fastfit.PhaseChanged:
+				fmt.Fprintf(os.Stderr, "\r%-79s", stats.Snapshot().ProgressLine())
+			case fastfit.CampaignFinished:
+				fmt.Fprintf(os.Stderr, "\r%-79s\n", stats.Snapshot().ProgressLine())
+			}
+		}))
+	}
+	if *events != "" {
+		jo, err := fastfit.CreateJSONLObserver(*events)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := jo.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "ffexp: event stream %s: %v\n", *events, err)
+			}
+		}()
+		observers = append(observers, jo)
+	}
+	if len(observers) > 0 {
+		store.Observer = fastfit.MultiObserver(observers...)
 	}
 
 	ids := []string{*runID}

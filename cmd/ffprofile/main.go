@@ -19,6 +19,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ffprofile:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		appName = flag.String("app", "minimd", "workload to profile (is, ft, mg, lu, minimd)")
 		ranks   = flag.Int("ranks", 0, "number of MPI ranks (0 = app default)")
@@ -30,7 +37,7 @@ func main() {
 
 	app, err := fastfit.LookupApp(*appName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cfg := app.DefaultConfig()
 	if *ranks > 0 {
@@ -46,14 +53,14 @@ func main() {
 	engine := fastfit.New(app, cfg, fastfit.DefaultOptions())
 	prof, err := engine.Profile()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Print(prof.Report())
 
 	if *points {
 		pts, err := engine.Points()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		sem, semRed := core.SemanticPrune(prof, pts)
 		ctx, ctxRed := core.ContextPrune(sem)
@@ -63,9 +70,5 @@ func main() {
 			fmt.Printf("  %s\n", p.String())
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ffprofile:", err)
-	os.Exit(1)
+	return nil
 }

@@ -27,6 +27,22 @@ func main() {
 	opts.TrialsPerPoint = 20
 	opts.Seed = 42
 
+	// Observe the campaign live: StreamStats folds the typed event stream
+	// into running statistics (outcome distribution, progress, ETA) while
+	// the campaign executes — no waiting for the final result.
+	stats := fastfit.NewStreamStats()
+	opts.Observer = fastfit.MultiObserver(stats, fastfit.ObserverFunc(func(ev fastfit.Event) {
+		switch ev := ev.(type) {
+		case fastfit.PointCompleted:
+			sn := stats.Snapshot()
+			fmt.Printf("  [%d/%d] %s -> running error rate %.1f%%\n",
+				ev.Completed, ev.Total, ev.Result.Point.SiteName, 100*sn.ErrorRate)
+		case fastfit.BatchVerified:
+			fmt.Printf("  model verified at %.0f%% accuracy (threshold %.0f%%)\n",
+				100*ev.Accuracy, 100*ev.Threshold)
+		}
+	}))
+
 	engine := fastfit.New(app, cfg, opts)
 	result, err := engine.RunCampaign()
 	if err != nil {

@@ -46,6 +46,7 @@ package fastfit
 
 import (
 	"context"
+	"io"
 
 	"github.com/fastfit/fastfit/internal/apps"
 	"github.com/fastfit/fastfit/internal/apps/all"
@@ -279,6 +280,100 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 
 // New builds an engine for one application configuration.
 func New(app App, cfg Config, opts Options) *Engine { return core.New(app, cfg, opts) }
+
+// ---- campaign observation (typed event stream) ----
+
+// Event is one record in a campaign's observation stream — the sum type
+// whose concrete members are CampaignStarted, PhaseChanged, PointStarted,
+// PointCompleted, BatchVerified, PointRetried, PointQuarantined,
+// CheckpointAppended, CampaignFinished and Note.
+type Event = core.Event
+
+// Observer receives campaign events via Options.Observer. Delivery is
+// serialised and well-ordered: CampaignStarted first, completion events
+// with monotonically increasing Completed counts, CampaignFinished last.
+type Observer = core.Observer
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc = core.ObserverFunc
+
+// MultiObserver fans one event stream out to several observers.
+func MultiObserver(obs ...Observer) Observer { return core.MultiObserver(obs...) }
+
+// CampaignPhase names a stage of the campaign pipeline.
+type CampaignPhase = core.CampaignPhase
+
+// Campaign pipeline stages for PhaseChanged events.
+const (
+	CampaignProfiling  = core.CampaignProfiling
+	CampaignPruning    = core.CampaignPruning
+	CampaignInjecting  = core.CampaignInjecting
+	CampaignLearning   = core.CampaignLearning
+	CampaignPredicting = core.CampaignPredicting
+)
+
+// The event types. See the core package documentation for field details.
+type (
+	// CampaignStarted opens every campaign's event stream.
+	CampaignStarted = core.CampaignStarted
+	// PhaseChanged announces entry into a pipeline stage.
+	PhaseChanged = core.PhaseChanged
+	// PointStarted announces that injection of one point has begun.
+	PointStarted = core.PointStarted
+	// PointCompleted carries one point's full injection result with
+	// monotonic progress counts.
+	PointCompleted = core.PointCompleted
+	// BatchVerified reports one ML verification round with model accuracy.
+	BatchVerified = core.BatchVerified
+	// PointRetried reports one failed harness attempt that will be retried.
+	PointRetried = core.PointRetried
+	// PointQuarantined reports a poison point withdrawn from the campaign.
+	PointQuarantined = core.PointQuarantined
+	// CheckpointAppended reports a durably journalled point record.
+	CheckpointAppended = core.CheckpointAppended
+	// CampaignFinished closes the stream with the final accounting.
+	CampaignFinished = core.CampaignFinished
+	// Note is a free-text progress line.
+	Note = core.Note
+)
+
+// StreamStats is an Observer maintaining running campaign statistics with
+// O(1) updates: live outcome distribution, per-site error rates, progress,
+// throughput and ETA.
+type StreamStats = core.StreamStats
+
+// StreamSnapshot is a point-in-time view of a campaign's running
+// statistics.
+type StreamSnapshot = core.StreamSnapshot
+
+// SiteRate is one call site's running error rate.
+type SiteRate = core.SiteRate
+
+// NewStreamStats builds an empty statistics observer.
+func NewStreamStats() *StreamStats { return core.NewStreamStats() }
+
+// JSONLObserver appends every event as one JSON line for dashboards.
+type JSONLObserver = core.JSONLObserver
+
+// NewJSONLObserver streams events to w as JSONL.
+func NewJSONLObserver(w io.Writer) *JSONLObserver { return core.NewJSONLObserver(w) }
+
+// CreateJSONLObserver creates the file at path and streams events into it.
+func CreateJSONLObserver(path string) (*JSONLObserver, error) {
+	return core.CreateJSONLObserver(path)
+}
+
+// LogfObserver adapts a printf-style logger to the event stream (the
+// compatibility shim behind the deprecated Options.Logf).
+func LogfObserver(logf func(format string, args ...any)) Observer {
+	return core.LogfObserver(logf)
+}
+
+// OnPointObserver adapts the deprecated SupervisorOptions.OnPoint callback
+// to the event stream.
+func OnPointObserver(cb func(index, completed, total int)) Observer {
+	return core.OnPointObserver(cb)
+}
 
 // ---- campaign supervision ----
 

@@ -46,6 +46,7 @@ type campaignPlan struct {
 // planCampaign profiles the application and applies the semantic and
 // context pruning passes, returning the surviving points with accounting.
 func (e *Engine) planCampaign() (*campaignPlan, error) {
+	e.emit(PhaseChanged{Phase: CampaignProfiling})
 	prof, err := e.Profile()
 	if err != nil {
 		return nil, err
@@ -57,6 +58,7 @@ func (e *Engine) planCampaign() (*campaignPlan, error) {
 		TotalPoints: len(points),
 	}
 
+	e.emit(PhaseChanged{Phase: CampaignPruning, Points: len(points)})
 	e.logf("profiled %s: %d injection points", e.app.Name(), len(points))
 	if e.opts.SemanticPruning {
 		points, res.SemanticReduction = SemanticPrune(prof, points)
@@ -88,6 +90,7 @@ func (p *campaignPlan) finish() *CampaignResult {
 // point); for a cancellable, checkpointed, point-parallel campaign use a
 // Supervisor instead.
 func (e *Engine) RunCampaign() (*CampaignResult, error) {
+	e.emitCampaignStarted()
 	plan, err := e.planCampaign()
 	if err != nil {
 		return nil, err
@@ -101,11 +104,22 @@ func (e *Engine) RunCampaign() (*CampaignResult, error) {
 		res.MLReduction = lr.Reduction
 		res.VerifyAccuracy = lr.VerifyAccuracy
 	} else {
+		e.emit(PhaseChanged{Phase: CampaignInjecting, Points: len(points)})
 		for i, p := range points {
-			res.Measured = append(res.Measured, e.InjectPoint(p, i, e.opts.TrialsPerPoint))
+			e.emit(PointStarted{Index: i, Point: p})
+			pr := e.InjectPoint(p, i, e.opts.TrialsPerPoint)
+			res.Measured = append(res.Measured, pr)
+			e.emit(PointCompleted{Index: i, Result: pr, Completed: i + 1, Total: len(points)})
 		}
 	}
-	return plan.finish(), nil
+	fin := plan.finish()
+	e.emit(CampaignFinished{
+		App:       fin.AppName,
+		Injected:  fin.Injected,
+		Predicted: fin.PredictedN,
+		Counts:    OutcomeBreakdown(fin.Measured),
+	})
+	return fin, nil
 }
 
 // Summary renders the campaign's pruning accounting as a one-line record

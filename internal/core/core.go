@@ -55,8 +55,20 @@ type Options struct {
 	ForestTrees int
 	ForestDepth int
 
+	// Observer, when set, receives the campaign's typed event stream:
+	// CampaignStarted, phase changes, per-point results, ML batch
+	// verifications and CampaignFinished. This is the single observation
+	// surface shared by RunCampaign, the learn loop and the Supervisor;
+	// attach a StreamStats for running statistics or a JSONLObserver for a
+	// machine-readable journal, and combine consumers with MultiObserver.
+	Observer Observer
+
 	// Logf, when set, receives campaign progress lines (phase changes,
 	// batch completions, model verifications).
+	//
+	// Deprecated: use Observer. Logf is kept as a compatibility adapter —
+	// it is wrapped in a LogfObserver and fed from the event stream, so
+	// existing callers keep receiving the same lines.
 	Logf func(format string, args ...any)
 }
 
@@ -113,5 +125,10 @@ func (o Options) withDefaults() Options {
 
 // New builds a FastFIT engine for one application configuration.
 func New(app apps.App, cfg apps.Config, opts Options) *Engine {
-	return &Engine{app: app, cfg: cfg, opts: opts.withDefaults()}
+	e := &Engine{app: app, cfg: cfg, opts: opts.withDefaults()}
+	e.events.attach(e.opts.Observer)
+	if e.opts.Logf != nil {
+		e.events.attach(LogfObserver(e.opts.Logf))
+	}
+	return e
 }

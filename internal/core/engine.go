@@ -20,6 +20,11 @@ type Engine struct {
 	cfg  apps.Config
 	opts Options
 
+	// events is the engine's single publication point for campaign
+	// observation; New seeds it from Options.Observer (plus the deprecated
+	// Logf adapter) and the Supervisor attaches its own adapters.
+	events emitter
+
 	prof   *profile.Profile
 	golden mpi.RunResult
 }
@@ -33,11 +38,26 @@ func (e *Engine) Config() apps.Config { return e.cfg }
 // Options returns the engine's (defaulted) options.
 func (e *Engine) Options() Options { return e.opts }
 
-// logf emits a progress line when the options carry a logger.
+// emit publishes one event to the attached observers.
+func (e *Engine) emit(ev Event) { e.events.emit(ev) }
+
+// logf emits a free-text Note event; LogfObserver renders it verbatim for
+// the deprecated Options.Logf surface. Formatting is skipped when nothing
+// observes the campaign.
 func (e *Engine) logf(format string, args ...any) {
-	if e.opts.Logf != nil {
-		e.opts.Logf(format, args...)
+	if e.events.active() {
+		e.events.emit(Note{Text: fmt.Sprintf(format, args...)})
 	}
+}
+
+// emitCampaignStarted opens a campaign's event stream.
+func (e *Engine) emitCampaignStarted() {
+	e.emit(CampaignStarted{
+		App:            e.app.Name(),
+		Ranks:          e.cfg.Ranks,
+		TrialsPerPoint: e.opts.TrialsPerPoint,
+		MLPruning:      e.opts.MLPruning,
+	})
 }
 
 // Profile runs the application once fault-free, collecting the

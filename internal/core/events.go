@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/fastfit/fastfit/internal/classify"
+)
+
+// The campaign observation API. Every component that executes a campaign —
+// the serial engine (RunCampaign), the ML learn loop and the supervisor —
+// publishes its progress as a single typed stream of Event values delivered
+// to the Observer set in Options.Observer. Structured events are what turn
+// a fault-injection harness from a batch job into a measurement instrument
+// (FINJ, Netti et al., makes the same argument): running outcome
+// distributions, progress bars, JSONL journals for dashboards and any
+// future consumer all attach to this one surface instead of growing new
+// ad-hoc callbacks. The legacy Options.Logf and SupervisorOptions.OnPoint
+// hooks survive as thin adapters over this stream (LogfObserver,
+// OnPointObserver).
+
+// Event is one record in a campaign's observation stream. The concrete
+// types below form a closed sum: CampaignStarted, PhaseChanged,
+// PointStarted, PointCompleted, BatchVerified, PointRetried,
+// PointQuarantined, CheckpointAppended, CampaignFinished and Note.
+type Event interface{ event() }
+
+// Observer receives campaign events. Events are delivered serially (never
+// two OnEvent calls at once) and in a consistent order: CampaignStarted
+// first, then phase/point/batch events with monotonically increasing
+// Completed counts on completion events, then CampaignFinished. Observers
+// therefore need no locking of their own unless they are shared across
+// campaigns running concurrently. An observer must not block: it runs on
+// the campaign's critical path, serialised with point completion.
+type Observer interface {
+	OnEvent(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// OnEvent calls f(ev).
+func (f ObserverFunc) OnEvent(ev Event) { f(ev) }
+
+// MultiObserver fans one event stream out to several observers, invoking
+// them in order. Nil entries are skipped.
+func MultiObserver(obs ...Observer) Observer {
+	kept := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	return ObserverFunc(func(ev Event) {
+		for _, o := range kept {
+			o.OnEvent(ev)
+		}
+	})
+}
+
+// CampaignPhase names a stage of the campaign pipeline for PhaseChanged
+// events.
+type CampaignPhase int
+
+const (
+	// CampaignProfiling: the fault-free profiling run is executing.
+	CampaignProfiling CampaignPhase = iota
+	// CampaignPruning: semantic and context pruning are reducing the space.
+	CampaignPruning
+	// CampaignInjecting: points are being injected (no ML loop).
+	CampaignInjecting
+	// CampaignLearning: the ML injection/learning feedback loop is running.
+	CampaignLearning
+	// CampaignPredicting: the trained model is predicting remaining points.
+	CampaignPredicting
+)
+
+var campaignPhaseNames = [...]string{"profile", "prune", "inject", "learn", "predict"}
+
+func (p CampaignPhase) String() string {
+	if p >= 0 && int(p) < len(campaignPhaseNames) {
+		return campaignPhaseNames[p]
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// CampaignStarted opens every campaign's event stream.
+type CampaignStarted struct {
+	App            string
+	Ranks          int
+	TrialsPerPoint int
+	MLPruning      bool
+}
+
+// PhaseChanged announces entry into a pipeline stage. Points is the size of
+// the injection space at that stage, when known (0 otherwise): the pruned
+// point count for CampaignInjecting/CampaignLearning, the remaining
+// uninjected count for CampaignPredicting.
+type PhaseChanged struct {
+	Phase  CampaignPhase
+	Points int
+}
+
+// PointStarted announces that injection of one point has begun. Under a
+// parallel worker pool, PointStarted events from different points
+// interleave arbitrarily with other events; only completion events carry
+// the ordered Completed count.
+type PointStarted struct {
+	Index int
+	Point Point
+}
+
+// PointCompleted carries one point's full injection result. Completed is
+// the monotonically increasing count of finished points (measured,
+// quarantined and checkpoint-restored alike) and Total the number of points
+// scheduled, so Completed/Total is campaign progress. FromCheckpoint marks
+// a result replayed from a resumed journal rather than injected in this
+// run.
+type PointCompleted struct {
+	Index          int
+	Result         PointResult
+	Completed      int
+	Total          int
+	FromCheckpoint bool
+}
+
+// BatchVerified reports one verification round of the ML feedback loop:
+// the model's accuracy on a batch it had not trained on, compared against
+// the stopping threshold. Measured is the training-set size before the
+// batch joined it.
+type BatchVerified struct {
+	BatchSize int
+	Measured  int
+	Accuracy  float64
+	Threshold float64
+	Met       bool
+}
+
+// PointRetried reports one failed harness attempt at a point (panic or
+// watchdog expiry). Attempts below MaxAttempts are retried; a failure on
+// the final attempt is followed by PointQuarantined.
+type PointRetried struct {
+	Index       int
+	Point       Point
+	Attempt     int
+	MaxAttempts int
+	Err         string
+}
+
+// PointQuarantined reports a poison point withdrawn from the campaign.
+// Completed/Total advance exactly as on PointCompleted; FromCheckpoint
+// marks a quarantine restored from a resumed journal.
+type PointQuarantined struct {
+	Point          QuarantinedPoint
+	Completed      int
+	Total          int
+	FromCheckpoint bool
+}
+
+// CheckpointAppended reports that a point or quarantine record was durably
+// journalled. Records counts appends made by this run.
+type CheckpointAppended struct {
+	Path    string
+	Index   int
+	Records int
+}
+
+// CampaignFinished closes the stream of a campaign that ran to completion
+// or was cancelled (a campaign aborted by a hard error emits no finish
+// event — the error return is the signal). Counts is the outcome breakdown
+// over all measured points, byte-identical to
+// OutcomeBreakdown(result.Measured).
+type CampaignFinished struct {
+	App         string
+	Injected    int
+	Predicted   int
+	Quarantined int
+	Counts      classify.Counts
+	Cancelled   bool
+}
+
+// Note is a free-text progress line that has no structured representation
+// (profiling retries, pruning summaries). LogfObserver renders it verbatim,
+// preserving the historical Options.Logf output.
+type Note struct {
+	Text string
+}
+
+func (CampaignStarted) event()    {}
+func (PhaseChanged) event()       {}
+func (PointStarted) event()       {}
+func (PointCompleted) event()     {}
+func (BatchVerified) event()      {}
+func (PointRetried) event()       {}
+func (PointQuarantined) event()   {}
+func (CheckpointAppended) event() {}
+func (CampaignFinished) event()   {}
+func (Note) event()               {}
+
+// emitter serialises event delivery to the attached observers. It is the
+// engine's single publication point; the supervisor attaches its adapter
+// observers to the same emitter so engine- and supervisor-originated events
+// share one ordered stream.
+type emitter struct {
+	mu  sync.Mutex
+	obs []Observer
+}
+
+func (em *emitter) attach(o Observer) {
+	if o == nil {
+		return
+	}
+	em.mu.Lock()
+	em.obs = append(em.obs, o)
+	em.mu.Unlock()
+}
+
+func (em *emitter) active() bool {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	return len(em.obs) > 0
+}
+
+func (em *emitter) emit(ev Event) {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	for _, o := range em.obs {
+		o.OnEvent(ev)
+	}
+}
+
+// LogfObserver adapts a printf-style logger to the event stream, rendering
+// events into the progress lines Options.Logf historically received. It is
+// the compatibility shim behind the deprecated Options.Logf field.
+func LogfObserver(logf func(format string, args ...any)) Observer {
+	return ObserverFunc(func(ev Event) {
+		switch ev := ev.(type) {
+		case Note:
+			logf("%s", ev.Text)
+		case BatchVerified:
+			logf("ML verification: %.0f%% on batch of %d (threshold %.0f%%)",
+				100*ev.Accuracy, ev.BatchSize, 100*ev.Threshold)
+		case PointRetried:
+			logf("point %d (%v) attempt %d/%d failed: %s",
+				ev.Index, ev.Point.String(), ev.Attempt, ev.MaxAttempts, ev.Err)
+		case PointQuarantined:
+			if !ev.FromCheckpoint {
+				logf("point %d (%v) quarantined after %d attempts: %s",
+					ev.Point.Index, ev.Point.Point.String(), ev.Point.Attempts, ev.Point.Err)
+			}
+		}
+	})
+}
+
+// OnPointObserver adapts the deprecated SupervisorOptions.OnPoint callback
+// to the event stream: the callback fires for every point measured or
+// quarantined in this run, in completion order with monotonic completed
+// counts. Checkpoint-restored points are skipped, preserving the original
+// callback's semantics (it never saw restored points).
+func OnPointObserver(cb func(index, completed, total int)) Observer {
+	return ObserverFunc(func(ev Event) {
+		switch ev := ev.(type) {
+		case PointCompleted:
+			if !ev.FromCheckpoint {
+				cb(ev.Index, ev.Completed, ev.Total)
+			}
+		case PointQuarantined:
+			if !ev.FromCheckpoint {
+				cb(ev.Point.Index, ev.Completed, ev.Total)
+			}
+		}
+	})
+}

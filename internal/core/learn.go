@@ -45,11 +45,15 @@ func (e *Engine) LearnCampaign(points []Point) LearnResult {
 // so one physical injection campaign can be replayed under many accuracy
 // thresholds.
 func (e *Engine) LearnCampaignWith(points []Point, inject func(Point, int) PointResult) LearnResult {
+	completed, total := 0, len(points)
 	res, _ := e.learnCampaignBatched(points, func(ps []Point, idxs []int) []*PointResult {
 		out := make([]*PointResult, len(ps))
 		for i := range ps {
+			e.emit(PointStarted{Index: idxs[i], Point: ps[i]})
 			pr := inject(ps[i], idxs[i])
 			out[i] = &pr
+			completed++
+			e.emit(PointCompleted{Index: idxs[i], Result: pr, Completed: completed, Total: total})
 		}
 		return out
 	})
@@ -74,6 +78,7 @@ func (e *Engine) learnCampaignBatched(points []Point, inject batchInjector) (Lea
 	pts := append([]Point(nil), points...)
 	rng := newRand(opts.Seed*31 + 7)
 	rng.Shuffle(len(pts), func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+	e.emit(PhaseChanged{Phase: CampaignLearning, Points: len(pts)})
 
 	var res LearnResult
 	var forest *ml.Forest
@@ -111,8 +116,13 @@ func (e *Engine) learnCampaignBatched(points []Point, inject batchInjector) (Lea
 				}
 			}
 			res.VerifyAccuracy = float64(correct) / float64(len(batch))
-			e.logf("ML verification: %.0f%% on batch of %d (threshold %.0f%%)",
-				100*res.VerifyAccuracy, len(batch), 100*opts.AccuracyThreshold)
+			e.emit(BatchVerified{
+				BatchSize: len(batch),
+				Measured:  len(res.Measured),
+				Accuracy:  res.VerifyAccuracy,
+				Threshold: opts.AccuracyThreshold,
+				Met:       res.VerifyAccuracy >= opts.AccuracyThreshold,
+			})
 			if res.VerifyAccuracy >= opts.AccuracyThreshold {
 				res.Measured = append(res.Measured, batch...)
 				i = end
@@ -133,6 +143,9 @@ func (e *Engine) learnCampaignBatched(points []Point, inject batchInjector) (Lea
 	}
 	if i >= len(pts) {
 		res.ExhaustedPoints = res.VerifyAccuracy < opts.AccuracyThreshold
+	}
+	if i < len(pts) {
+		e.emit(PhaseChanged{Phase: CampaignPredicting, Points: len(pts) - i})
 	}
 	// Predict whatever remains uninjected.
 	for _, p := range pts[i:] {

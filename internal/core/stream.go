@@ -1,0 +1,397 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/fastfit/fastfit/internal/classify"
+)
+
+// StreamStats is an Observer that maintains running campaign statistics
+// with O(1) work per event: the live outcome distribution, per-site error
+// rates, progress, injection throughput and an ETA. It is the streaming
+// counterpart of the batch accounting in CampaignResult — when the
+// campaign finishes, Counts() is exactly OutcomeBreakdown of the returned
+// Measured slice (checkpoint-restored points included, quarantined points
+// excluded).
+//
+// A StreamStats resets itself on every CampaignStarted event, so one
+// instance can observe a sequence of campaigns (as ffexp does) and always
+// reports the current one.
+type StreamStats struct {
+	now func() time.Time // injectable clock for tests
+
+	mu             sync.Mutex
+	start          time.Time
+	app            string
+	phase          CampaignPhase
+	counts         classify.Counts
+	sites          map[string]classify.Counts
+	completed      int
+	total          int
+	injected       int // measured in this run (excludes checkpoint restores)
+	fromCheckpoint int
+	quarantined    int
+	retries        int
+	batches        int
+	verifyAccuracy float64
+	predicted      int
+	finished       bool
+	cancelled      bool
+}
+
+// NewStreamStats builds an empty statistics observer.
+func NewStreamStats() *StreamStats {
+	return &StreamStats{now: time.Now, sites: map[string]classify.Counts{}}
+}
+
+// OnEvent folds one event into the running statistics.
+func (s *StreamStats) OnEvent(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch ev := ev.(type) {
+	case CampaignStarted:
+		s.start = s.now()
+		s.app = ev.App
+		s.phase = CampaignProfiling
+		s.counts = classify.Counts{}
+		s.sites = map[string]classify.Counts{}
+		s.completed, s.total = 0, 0
+		s.injected, s.fromCheckpoint, s.quarantined, s.retries = 0, 0, 0, 0
+		s.batches, s.verifyAccuracy, s.predicted = 0, 0, 0
+		s.finished, s.cancelled = false, false
+	case PhaseChanged:
+		s.phase = ev.Phase
+		if ev.Points > 0 && (ev.Phase == CampaignInjecting || ev.Phase == CampaignLearning) {
+			s.total = ev.Points
+		}
+	case PointCompleted:
+		s.completed, s.total = ev.Completed, ev.Total
+		s.counts.Merge(ev.Result.Counts)
+		site := ev.Result.Point.SiteName
+		c := s.sites[site]
+		c.Merge(ev.Result.Counts)
+		s.sites[site] = c
+		if ev.FromCheckpoint {
+			s.fromCheckpoint++
+		} else {
+			s.injected++
+		}
+	case PointQuarantined:
+		s.completed, s.total = ev.Completed, ev.Total
+		s.quarantined++
+	case PointRetried:
+		s.retries++
+	case BatchVerified:
+		s.batches++
+		s.verifyAccuracy = ev.Accuracy
+	case CampaignFinished:
+		s.finished = true
+		s.cancelled = ev.Cancelled
+		s.predicted = ev.Predicted
+	}
+}
+
+// Counts returns the running outcome distribution over completed points.
+func (s *StreamStats) Counts() classify.Counts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts
+}
+
+// SiteCounts returns a copy of the per-call-site outcome tallies.
+func (s *StreamStats) SiteCounts() map[string]classify.Counts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]classify.Counts, len(s.sites))
+	for k, v := range s.sites {
+		out[k] = v
+	}
+	return out
+}
+
+// StreamSnapshot is a point-in-time view of a campaign's running
+// statistics.
+type StreamSnapshot struct {
+	App            string
+	Phase          CampaignPhase
+	Completed      int
+	Total          int
+	FromCheckpoint int
+	Quarantined    int
+	Retries        int
+	Predicted      int
+	Counts         classify.Counts
+	ErrorRate      float64
+	VerifyAccuracy float64
+	PointsPerSec   float64
+	ETA            time.Duration
+	Elapsed        time.Duration
+	Finished       bool
+	Cancelled      bool
+}
+
+// Snapshot captures the current statistics.
+func (s *StreamStats) Snapshot() StreamSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sn := StreamSnapshot{
+		App:            s.app,
+		Phase:          s.phase,
+		Completed:      s.completed,
+		Total:          s.total,
+		FromCheckpoint: s.fromCheckpoint,
+		Quarantined:    s.quarantined,
+		Retries:        s.retries,
+		Predicted:      s.predicted,
+		Counts:         s.counts,
+		ErrorRate:      s.counts.ErrorRate(),
+		VerifyAccuracy: s.verifyAccuracy,
+		Finished:       s.finished,
+		Cancelled:      s.cancelled,
+	}
+	if !s.start.IsZero() {
+		sn.Elapsed = s.now().Sub(s.start)
+	}
+	// Throughput counts only points injected in this run: restored points
+	// arrive in a burst at resume and would otherwise inflate the rate and
+	// collapse the ETA.
+	if sn.Elapsed > 0 && s.injected > 0 {
+		sn.PointsPerSec = float64(s.injected) / sn.Elapsed.Seconds()
+		if remaining := s.total - s.completed; remaining > 0 {
+			sn.ETA = time.Duration(float64(remaining) / sn.PointsPerSec * float64(time.Second))
+		}
+	}
+	return sn
+}
+
+// ProgressLine renders the snapshot as a one-line progress report.
+func (sn StreamSnapshot) ProgressLine() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s %s", sn.App, sn.Phase)
+	if sn.Total > 0 {
+		fmt.Fprintf(&sb, " %d/%d (%.0f%%)", sn.Completed, sn.Total, 100*float64(sn.Completed)/float64(sn.Total))
+	}
+	if sn.Counts.Total() > 0 {
+		fmt.Fprintf(&sb, " | err %.1f%%", 100*sn.ErrorRate)
+	}
+	if sn.PointsPerSec > 0 {
+		fmt.Fprintf(&sb, " | %.1f pts/s", sn.PointsPerSec)
+	}
+	if sn.ETA > 0 {
+		fmt.Fprintf(&sb, " | ETA %v", sn.ETA.Round(time.Second))
+	}
+	if sn.Quarantined > 0 {
+		fmt.Fprintf(&sb, " | quarantined %d", sn.Quarantined)
+	}
+	if sn.Finished {
+		if sn.Cancelled {
+			sb.WriteString(" | interrupted")
+		} else {
+			sb.WriteString(" | done")
+			if sn.Predicted > 0 {
+				fmt.Fprintf(&sb, " (%d predicted)", sn.Predicted)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// SiteErrorRates returns per-site error rates sorted by descending rate —
+// the live view of the paper's per-site sensitivity ranking.
+func (s *StreamStats) SiteErrorRates() []SiteRate {
+	sites := s.SiteCounts()
+	out := make([]SiteRate, 0, len(sites))
+	for name, c := range sites {
+		out = append(out, SiteRate{Site: name, ErrorRate: c.ErrorRate(), Trials: c.Total()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ErrorRate != out[j].ErrorRate {
+			return out[i].ErrorRate > out[j].ErrorRate
+		}
+		return out[i].Site < out[j].Site
+	})
+	return out
+}
+
+// SiteRate is one call site's running error rate.
+type SiteRate struct {
+	Site      string
+	ErrorRate float64
+	Trials    int
+}
+
+// JSONLObserver appends every event as one JSON line — the machine-readable
+// campaign journal live dashboards tail. Each line is an envelope
+// {"seq":N,"event":"PointCompleted","data":{...}}; seq increases by one per
+// event so consumers detect gaps. Point results are written as outcome
+// tallies rather than full trial lists to keep the stream compact.
+type JSONLObserver struct {
+	mu  sync.Mutex
+	w   io.Writer
+	c   io.Closer
+	seq int
+	err error
+}
+
+// NewJSONLObserver writes the event stream to w.
+func NewJSONLObserver(w io.Writer) *JSONLObserver {
+	return &JSONLObserver{w: w}
+}
+
+// CreateJSONLObserver creates (or truncates) the file at path and streams
+// events into it. Close flushes and closes the file.
+func CreateJSONLObserver(path string) (*JSONLObserver, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("creating event stream %s: %w", path, err)
+	}
+	return &JSONLObserver{w: f, c: f}, nil
+}
+
+// OnEvent encodes and appends one event. The first write error is retained
+// (see Err) and subsequent events are dropped: an observer must not take
+// down the campaign it is watching.
+func (o *JSONLObserver) OnEvent(ev Event) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.err != nil {
+		return
+	}
+	o.seq++
+	kind, data := eventJSON(ev)
+	line, err := json.Marshal(struct {
+		Seq   int    `json:"seq"`
+		Event string `json:"event"`
+		Data  any    `json:"data"`
+	}{o.seq, kind, data})
+	if err != nil {
+		o.err = err
+		return
+	}
+	if _, err := o.w.Write(append(line, '\n')); err != nil {
+		o.err = err
+	}
+}
+
+// Err returns the first write or encoding error, if any.
+func (o *JSONLObserver) Err() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.err
+}
+
+// Close closes the underlying file when the observer owns one.
+func (o *JSONLObserver) Close() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.c == nil {
+		return o.err
+	}
+	err := o.c.Close()
+	o.c = nil
+	if o.err == nil {
+		o.err = err
+	}
+	return o.err
+}
+
+func countsJSON(c classify.Counts) map[string]int {
+	out := make(map[string]int, len(c))
+	for o := classify.Outcome(0); o < classify.NumOutcomes; o++ {
+		if c[o] > 0 {
+			out[o.String()] = c[o]
+		}
+	}
+	return out
+}
+
+// eventJSON maps an event to its envelope name and wire representation.
+func eventJSON(ev Event) (string, any) {
+	switch ev := ev.(type) {
+	case CampaignStarted:
+		return "CampaignStarted", struct {
+			App            string `json:"app"`
+			Ranks          int    `json:"ranks"`
+			TrialsPerPoint int    `json:"trialsPerPoint"`
+			MLPruning      bool   `json:"mlPruning"`
+		}{ev.App, ev.Ranks, ev.TrialsPerPoint, ev.MLPruning}
+	case PhaseChanged:
+		return "PhaseChanged", struct {
+			Phase  string `json:"phase"`
+			Points int    `json:"points,omitempty"`
+		}{ev.Phase.String(), ev.Points}
+	case PointStarted:
+		return "PointStarted", struct {
+			Index int       `json:"index"`
+			Point pointJSON `json:"point"`
+		}{ev.Index, pointToJSON(ev.Point)}
+	case PointCompleted:
+		return "PointCompleted", struct {
+			Index          int            `json:"index"`
+			Completed      int            `json:"completed"`
+			Total          int            `json:"total"`
+			FromCheckpoint bool           `json:"fromCheckpoint,omitempty"`
+			ErrorRate      float64        `json:"errorRate"`
+			Counts         map[string]int `json:"counts"`
+			Point          pointJSON      `json:"point"`
+		}{ev.Index, ev.Completed, ev.Total, ev.FromCheckpoint,
+			ev.Result.ErrorRate(), countsJSON(ev.Result.Counts), pointToJSON(ev.Result.Point)}
+	case BatchVerified:
+		return "BatchVerified", struct {
+			BatchSize int     `json:"batchSize"`
+			Measured  int     `json:"measured"`
+			Accuracy  float64 `json:"accuracy"`
+			Threshold float64 `json:"threshold"`
+			Met       bool    `json:"met"`
+		}{ev.BatchSize, ev.Measured, ev.Accuracy, ev.Threshold, ev.Met}
+	case PointRetried:
+		return "PointRetried", struct {
+			Index       int       `json:"index"`
+			Attempt     int       `json:"attempt"`
+			MaxAttempts int       `json:"maxAttempts"`
+			Err         string    `json:"error"`
+			Point       pointJSON `json:"point"`
+		}{ev.Index, ev.Attempt, ev.MaxAttempts, ev.Err, pointToJSON(ev.Point)}
+	case PointQuarantined:
+		return "PointQuarantined", struct {
+			Index          int       `json:"index"`
+			Attempts       int       `json:"attempts"`
+			Err            string    `json:"error"`
+			Completed      int       `json:"completed"`
+			Total          int       `json:"total"`
+			FromCheckpoint bool      `json:"fromCheckpoint,omitempty"`
+			Point          pointJSON `json:"point"`
+		}{ev.Point.Index, ev.Point.Attempts, ev.Point.Err, ev.Completed, ev.Total,
+			ev.FromCheckpoint, pointToJSON(ev.Point.Point)}
+	case CheckpointAppended:
+		return "CheckpointAppended", struct {
+			Path    string `json:"path"`
+			Index   int    `json:"index"`
+			Records int    `json:"records"`
+		}{ev.Path, ev.Index, ev.Records}
+	case CampaignFinished:
+		return "CampaignFinished", struct {
+			App         string         `json:"app"`
+			Injected    int            `json:"injected"`
+			Predicted   int            `json:"predicted"`
+			Quarantined int            `json:"quarantined"`
+			Cancelled   bool           `json:"cancelled,omitempty"`
+			ErrorRate   float64        `json:"errorRate"`
+			Counts      map[string]int `json:"counts"`
+		}{ev.App, ev.Injected, ev.Predicted, ev.Quarantined, ev.Cancelled,
+			ev.Counts.ErrorRate(), countsJSON(ev.Counts)}
+	case Note:
+		return "Note", struct {
+			Text string `json:"text"`
+		}{ev.Text}
+	default:
+		return fmt.Sprintf("%T", ev), nil
+	}
+}

@@ -50,6 +50,11 @@ type SupervisorOptions struct {
 	// order (concurrent workers: the callback is serialised but the
 	// order across workers is nondeterministic). Useful for progress
 	// reporting and for tests that cancel after N points.
+	//
+	// Deprecated: use Options.Observer on the engine. OnPoint is kept as a
+	// compatibility adapter — NewSupervisor wraps it in an OnPointObserver
+	// fed from the event stream, so existing callers keep receiving the
+	// same callbacks (checkpoint-restored points excluded, as before).
 	OnPoint func(index, completed, total int)
 	// Inject overrides the injection function — the seam tests use to
 	// simulate harness panics and hangs deterministically. Nil uses the
@@ -96,9 +101,15 @@ type SupervisedResult struct {
 	Checkpoint string
 }
 
-// NewSupervisor builds a supervisor over an engine.
+// NewSupervisor builds a supervisor over an engine. The deprecated OnPoint
+// callback, when set, is attached to the engine's event stream via
+// OnPointObserver.
 func NewSupervisor(e *Engine, opts SupervisorOptions) *Supervisor {
-	return &Supervisor{eng: e, opts: opts.withDefaults(e)}
+	s := &Supervisor{eng: e, opts: opts.withDefaults(e)}
+	if cb := s.opts.OnPoint; cb != nil {
+		e.events.attach(OnPointObserver(cb))
+	}
+	return s
 }
 
 // ResumeCampaign resumes a supervised campaign from an existing checkpoint
@@ -129,6 +140,7 @@ func (h harnessError) Error() string { return "harness failure: " + h.Reason }
 // error; the checkpoint journal, if any, holds everything completed so far.
 func (s *Supervisor) Run(ctx context.Context) (*SupervisedResult, error) {
 	e := s.eng
+	e.emitCampaignStarted()
 
 	// Profiling is a harness action: retry a hung or failed profile run
 	// with backoff before giving up on the whole campaign.
@@ -179,7 +191,21 @@ func (s *Supervisor) Run(ctx context.Context) (*SupervisedResult, error) {
 		quar:    state.Quarantined,
 		total:   len(plan.points),
 	}
-	run.completed = len(run.results) + len(run.quar)
+	// Replay restored progress into the event stream (in index order, with
+	// FromCheckpoint set) so streaming consumers of a resumed campaign
+	// accumulate exactly the tallies an uninterrupted run would produce.
+	restored := append(sortedIdxs(run.results), sortedIdxs(run.quar)...)
+	sort.Ints(restored)
+	for _, idx := range restored {
+		run.completed++
+		if pr, ok := run.results[idx]; ok {
+			e.emit(PointCompleted{Index: idx, Result: pr, Completed: run.completed,
+				Total: run.total, FromCheckpoint: true})
+		} else {
+			e.emit(PointQuarantined{Point: run.quar[idx], Completed: run.completed,
+				Total: run.total, FromCheckpoint: true})
+		}
+	}
 
 	if e.Options().MLPruning {
 		s.runML(ctx, plan, run)
@@ -203,7 +229,15 @@ func (s *Supervisor) Run(ctx context.Context) (*SupervisedResult, error) {
 			plan.res.Measured = append(plan.res.Measured, run.results[idx])
 		}
 	}
-	plan.finish()
+	fin := plan.finish()
+	e.emit(CampaignFinished{
+		App:         fin.AppName,
+		Injected:    fin.Injected,
+		Predicted:   fin.PredictedN,
+		Quarantined: len(sup.Quarantined),
+		Counts:      OutcomeBreakdown(fin.Measured),
+		Cancelled:   sup.Cancelled,
+	})
 	return sup, nil
 }
 
@@ -218,6 +252,7 @@ type supervisedRun struct {
 	retries   int
 	completed int
 	total     int
+	appends   int   // journal records written by this run
 	firstErr  error // checkpoint I/O failure: abort, do not lose data silently
 }
 
@@ -235,19 +270,24 @@ func (r *supervisedRun) fail(err error) {
 	}
 }
 
-// record journals and stores one completed point.
+// record journals and stores one completed point. The PointCompleted (and
+// CheckpointAppended) events are emitted while the run lock is held, which
+// is what guarantees completion events arrive with strictly increasing
+// Completed counts even under a concurrent worker pool.
 func (r *supervisedRun) record(idx int, pr PointResult) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	e := r.sup.eng
 	r.results[idx] = pr
 	r.completed++
+	e.emit(PointCompleted{Index: idx, Result: pr, Completed: r.completed, Total: r.total})
 	if r.ckpt != nil {
 		if err := r.ckpt.AppendResult(idx, pr); err != nil && r.firstErr == nil {
 			r.firstErr = err
+		} else if err == nil {
+			r.appends++
+			e.emit(CheckpointAppended{Path: r.ckpt.Path(), Index: idx, Records: r.appends})
 		}
-	}
-	if cb := r.sup.opts.OnPoint; cb != nil {
-		cb(idx, r.completed, r.total)
 	}
 }
 
@@ -255,15 +295,17 @@ func (r *supervisedRun) record(idx int, pr PointResult) {
 func (r *supervisedRun) quarantine(q QuarantinedPoint) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	e := r.sup.eng
 	r.quar[q.Index] = q
 	r.completed++
+	e.emit(PointQuarantined{Point: q, Completed: r.completed, Total: r.total})
 	if r.ckpt != nil {
 		if err := r.ckpt.AppendQuarantine(q); err != nil && r.firstErr == nil {
 			r.firstErr = err
+		} else if err == nil {
+			r.appends++
+			e.emit(CheckpointAppended{Path: r.ckpt.Path(), Index: q.Index, Records: r.appends})
 		}
-	}
-	if cb := r.sup.opts.OnPoint; cb != nil {
-		cb(q.Index, r.completed, r.total)
 	}
 }
 
@@ -283,6 +325,7 @@ func (r *supervisedRun) bumpRetries() {
 
 // runDirect injects every point (no ML pruning) through the worker pool.
 func (s *Supervisor) runDirect(ctx context.Context, points []Point, run *supervisedRun) {
+	s.eng.emit(PhaseChanged{Phase: CampaignInjecting, Points: run.total})
 	idxCh := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < s.opts.Workers; w++ {
@@ -355,6 +398,7 @@ func (s *Supervisor) runML(ctx context.Context, plan *campaignPlan, run *supervi
 // runPoint executes one point under the watchdog with bounded retries,
 // quarantining it if every attempt dies in the harness.
 func (s *Supervisor) runPoint(ctx context.Context, p Point, idx int, run *supervisedRun) {
+	s.eng.emit(PointStarted{Index: idx, Point: p})
 	var lastErr error
 	for attempt := 1; attempt <= s.opts.MaxAttempts; attempt++ {
 		pr, err := s.attempt(ctx, p, idx)
@@ -366,7 +410,8 @@ func (s *Supervisor) runPoint(ctx context.Context, p Point, idx int, run *superv
 			return // cancelled, not a harness verdict: leave the point for resume
 		}
 		lastErr = err
-		s.eng.logf("point %d (%v) attempt %d/%d failed: %v", idx, p.String(), attempt, s.opts.MaxAttempts, err)
+		s.eng.emit(PointRetried{Index: idx, Point: p, Attempt: attempt,
+			MaxAttempts: s.opts.MaxAttempts, Err: err.Error()})
 		if attempt < s.opts.MaxAttempts {
 			run.bumpRetries()
 			if !sleepCtx(ctx, s.backoff(attempt)) {
@@ -374,7 +419,6 @@ func (s *Supervisor) runPoint(ctx context.Context, p Point, idx int, run *superv
 			}
 		}
 	}
-	s.eng.logf("point %d (%v) quarantined after %d attempts: %v", idx, p.String(), s.opts.MaxAttempts, lastErr)
 	run.quarantine(QuarantinedPoint{Point: p, Index: idx, Attempts: s.opts.MaxAttempts, Err: lastErr.Error()})
 }
 

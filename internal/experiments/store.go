@@ -22,6 +22,10 @@ type Store struct {
 	Scale Scale
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
+	// Observer, when set, receives the typed event stream of every
+	// campaign the store runs (each campaign opens with its own
+	// CampaignStarted event, so stream consumers can tell them apart).
+	Observer core.Observer
 
 	mu        sync.Mutex
 	campaigns map[string]*core.CampaignResult // full-measurement (no ML)
@@ -77,6 +81,7 @@ func (st *Store) Options() core.Options {
 	opts := core.DefaultOptions()
 	opts.TrialsPerPoint = st.Scale.TrialsPerPoint
 	opts.Seed = st.Scale.Seed
+	opts.Observer = st.Observer
 	return opts
 }
 
