@@ -68,6 +68,8 @@ func run() error {
 		iters      = flag.Int("iters", 0, "outer iterations (0 = app default)")
 		trials     = flag.Int("trials", 100, "fault-injection tests per point")
 		seed       = flag.Int64("seed", 1, "campaign seed")
+		adaptive   = flag.Bool("adaptive", false, "adaptive trial budgets: stop a point early once its outcome settles, respend savings on uncertain points")
+		confidence = flag.Float64("confidence", 0.95, "settling-rule confidence for -adaptive (in (0,1))")
 		threshold  = flag.Float64("threshold", 0.65, "ML prediction-accuracy threshold")
 		levels     = flag.Int("levels", 4, "error-rate levels for the ML label")
 		policy     = flag.String("policy", "databuffer", "injection policy: databuffer or allparams")
@@ -114,6 +116,8 @@ func run() error {
 	opts := fastfit.DefaultOptions()
 	opts.TrialsPerPoint = *trials
 	opts.Seed = *seed
+	opts.AdaptiveTrials = *adaptive
+	opts.Confidence = *confidence
 	if *verbose {
 		opts.Logf = func(format string, args ...any) {
 			fmt.Printf("[fastfit] "+format+"\n", args...)
@@ -206,6 +210,11 @@ func run() error {
 	fmt.Println()
 
 	agg := fastfit.OutcomeBreakdown(res.Measured)
+	if opts.AdaptiveTrials && res.Injected > 0 {
+		budget := res.Injected * opts.TrialsPerPoint
+		fmt.Printf("adaptive budgets: ran %d of %d budgeted tests (%.1f%% saved)\n",
+			agg.Total(), budget, 100*(1-float64(agg.Total())/float64(budget)))
+	}
 	fmt.Printf("outcome distribution over %d injection tests:\n", agg.Total())
 	for o := classify.Outcome(0); o < classify.NumOutcomes; o++ {
 		fmt.Printf("  %-13s %6.2f%%  (%d)\n", o, 100*agg.Fraction(o), agg[o])
@@ -265,7 +274,7 @@ func progressObserver(w io.Writer) fastfit.Observer {
 	stats := fastfit.NewStreamStats()
 	return fastfit.MultiObserver(stats, fastfit.ObserverFunc(func(ev fastfit.Event) {
 		switch ev.(type) {
-		case fastfit.PointCompleted, fastfit.PointQuarantined, fastfit.PhaseChanged:
+		case fastfit.PointCompleted, fastfit.PointRefined, fastfit.PointQuarantined, fastfit.PhaseChanged:
 			fmt.Fprintf(w, "\r%-79s", stats.Snapshot().ProgressLine())
 		case fastfit.CampaignFinished:
 			fmt.Fprintf(w, "\r%-79s\n", stats.Snapshot().ProgressLine())

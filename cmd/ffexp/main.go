@@ -46,18 +46,20 @@ func main() {
 
 func run() error {
 	var (
-		runID   = flag.String("run", "", "experiment id (fig1..fig13, table1..table4) or 'all'")
-		scale   = flag.String("scale", "quick", "experiment scale: quick or paper")
-		trials  = flag.Int("trials", 0, "override trials per point (0 = scale default)")
-		ranks   = flag.Int("ranks", 0, "override rank count (0 = scale default)")
-		seed    = flag.Int64("seed", 0, "override seed (0 = scale default)")
-		fig3Inv = flag.Int("fig3-inv", 0, "override fig3 same-stack invocations (0 = scale default)")
-		fig3Tr  = flag.Int("fig3-trials", 0, "override fig3 trials per invocation (0 = scale default)")
-		outDir   = flag.String("out", "", "write each report to <out>/<id>.txt instead of stdout")
-		csvOut   = flag.Bool("csv", false, "with -out: also write <out>/<id>.csv with the data series")
-		progress = flag.Bool("progress", false, "print a live per-campaign progress line to stderr")
-		events   = flag.String("events", "", "append every campaign's typed event stream as JSONL to this file")
-		quiet    = flag.Bool("q", false, "suppress progress logging")
+		runID      = flag.String("run", "", "experiment id (fig1..fig13, table1..table4) or 'all'")
+		scale      = flag.String("scale", "quick", "experiment scale: quick or paper")
+		trials     = flag.Int("trials", 0, "override trials per point (0 = scale default)")
+		ranks      = flag.Int("ranks", 0, "override rank count (0 = scale default)")
+		seed       = flag.Int64("seed", 0, "override seed (0 = scale default)")
+		fig3Inv    = flag.Int("fig3-inv", 0, "override fig3 same-stack invocations (0 = scale default)")
+		fig3Tr     = flag.Int("fig3-trials", 0, "override fig3 trials per invocation (0 = scale default)")
+		adaptive   = flag.Bool("adaptive", false, "use adaptive trial budgets (sequential early stopping) for every campaign")
+		confidence = flag.Float64("confidence", 0, "settling-rule confidence for adaptive budgets (0 = scale default: 0.95 quick, 0.999 paper)")
+		outDir     = flag.String("out", "", "write each report to <out>/<id>.txt instead of stdout")
+		csvOut     = flag.Bool("csv", false, "with -out: also write <out>/<id>.csv with the data series")
+		progress   = flag.Bool("progress", false, "print a live per-campaign progress line to stderr")
+		events     = flag.String("events", "", "append every campaign's typed event stream as JSONL to this file")
+		quiet      = flag.Bool("q", false, "suppress progress logging")
 	)
 	flag.Parse()
 
@@ -97,6 +99,12 @@ func run() error {
 	if *fig3Tr > 0 {
 		sc.Fig3Trials = *fig3Tr
 	}
+	if *adaptive {
+		sc.Adaptive = true
+	}
+	if *confidence > 0 {
+		sc.Confidence = *confidence
+	}
 
 	store := experiments.NewStore(sc)
 	if !*quiet {
@@ -110,7 +118,7 @@ func run() error {
 		stats := fastfit.NewStreamStats()
 		observers = append(observers, stats, fastfit.ObserverFunc(func(ev fastfit.Event) {
 			switch ev.(type) {
-			case fastfit.PointCompleted, fastfit.PointQuarantined, fastfit.PhaseChanged:
+			case fastfit.PointCompleted, fastfit.PointQuarantined, fastfit.PointRefined, fastfit.PhaseChanged:
 				fmt.Fprintf(os.Stderr, "\r%-79s", stats.Snapshot().ProgressLine())
 			case fastfit.CampaignFinished:
 				fmt.Fprintf(os.Stderr, "\r%-79s\n", stats.Snapshot().ProgressLine())

@@ -285,8 +285,8 @@ func New(app App, cfg Config, opts Options) *Engine { return core.New(app, cfg, 
 
 // Event is one record in a campaign's observation stream — the sum type
 // whose concrete members are CampaignStarted, PhaseChanged, PointStarted,
-// PointCompleted, BatchVerified, PointRetried, PointQuarantined,
-// CheckpointAppended, CampaignFinished and Note.
+// PointCompleted, PointSettled, PointRefined, BatchVerified, PointRetried,
+// PointQuarantined, CheckpointAppended, CampaignFinished and Note.
 type Event = core.Event
 
 // Observer receives campaign events via Options.Observer. Delivery is
@@ -310,6 +310,7 @@ const (
 	CampaignInjecting  = core.CampaignInjecting
 	CampaignLearning   = core.CampaignLearning
 	CampaignPredicting = core.CampaignPredicting
+	CampaignRefining   = core.CampaignRefining
 )
 
 // The event types. See the core package documentation for field details.
@@ -323,6 +324,12 @@ type (
 	// PointCompleted carries one point's full injection result with
 	// monotonic progress counts.
 	PointCompleted = core.PointCompleted
+	// PointSettled reports a point the adaptive settling rule stopped
+	// before its full trial budget (Options.AdaptiveTrials).
+	PointSettled = core.PointSettled
+	// PointRefined reports a point extended by the adaptive refinement
+	// pass after exhausting its budget unsettled.
+	PointRefined = core.PointRefined
 	// BatchVerified reports one ML verification round with model accuracy.
 	BatchVerified = core.BatchVerified
 	// PointRetried reports one failed harness attempt that will be retried.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -103,14 +104,21 @@ func (e *Engine) RunCampaign() (*CampaignResult, error) {
 		res.Predicted = lr.Predicted
 		res.MLReduction = lr.Reduction
 		res.VerifyAccuracy = lr.VerifyAccuracy
+		// The refinement pass runs after the learn loop so the model
+		// trains on exactly the phase-1 measurements (what a resumed
+		// campaign can reconstruct from its journal); refined records then
+		// replace the phase-1 ones in Measured in place.
+		e.refineMeasuredSerial(res.Measured, lr.MeasuredIdx)
 	} else {
 		e.emit(PhaseChanged{Phase: CampaignInjecting, Points: len(points)})
 		for i, p := range points {
 			e.emit(PointStarted{Index: i, Point: p})
-			pr := e.InjectPoint(p, i, e.opts.TrialsPerPoint)
+			pr, _ := e.injectAuto(context.Background(), p, i)
+			e.emitSettled(i, pr, false)
 			res.Measured = append(res.Measured, pr)
 			e.emit(PointCompleted{Index: i, Result: pr, Completed: i + 1, Total: len(points)})
 		}
+		e.refineMeasuredSerial(res.Measured, nil)
 	}
 	fin := plan.finish()
 	e.emit(CampaignFinished{

@@ -43,6 +43,7 @@ func CampaignFingerprint(appName string, cfg apps.Config, opts Options, points [
 		o.TrialsPerPoint, o.Seed, o.Policy, o.SemanticPruning, o.ContextPruning, o.MLPruning)
 	fmt.Fprintf(h, "acc=%g|batch=%d|mintrain=%d|levels=%d|trees=%d|depth=%d|",
 		o.AccuracyThreshold, o.MLBatch, o.MLMinTrain, o.Levels, o.ForestTrees, o.ForestDepth)
+	fmt.Fprintf(h, "adaptive=%t|conf=%g|", o.AdaptiveTrials, o.Confidence)
 	fmt.Fprintf(h, "npoints=%d|", len(points))
 	for _, p := range points {
 		fmt.Fprintf(h, "%d/%s/%d/%d/%d/%d|", p.Rank, p.SiteName, int(p.Type), p.Invocation, p.NInv, int(p.Phase))
@@ -63,6 +64,13 @@ type ckptPoint struct {
 	Kind   string          `json:"kind"` // "point"
 	Index  int             `json:"index"`
 	Result pointResultJSON `json:"result"`
+	// Base is the point's phase-1 trial count under adaptive budgets: the
+	// prefix length the settling rule stopped at (or the full budget). A
+	// refined point is journaled as a second record for the same index
+	// whose trial list extends past Base; a resumed campaign replays
+	// Trials[:Base] through the learn loop so the model retraces the
+	// uninterrupted path. Zero (legacy records) means all trials.
+	Base int `json:"baseTrials,omitempty"`
 }
 
 type ckptQuarantine struct {
@@ -88,6 +96,10 @@ type CheckpointState struct {
 	Header      ckptHeader
 	Results     map[int]PointResult // completed points by injection index
 	Quarantined map[int]QuarantinedPoint
+	// BaseTrials is each restored point's phase-1 trial count (adaptive
+	// campaigns journal refined points as longer records for the same
+	// index; duplicate indices are last-wins, like Results).
+	BaseTrials map[int]int
 	// TornTail reports that a torn trailing line (interrupted append) was
 	// discarded while loading.
 	TornTail bool
@@ -168,6 +180,7 @@ func LoadCheckpointState(path, fingerprint string) (*CheckpointState, error) {
 	st := &CheckpointState{
 		Results:     make(map[int]PointResult),
 		Quarantined: make(map[int]QuarantinedPoint),
+		BaseTrials:  make(map[int]int),
 		TornTail:    torn,
 		validLen:    validLen,
 	}
@@ -208,7 +221,16 @@ func LoadCheckpointState(path, fingerprint string) (*CheckpointState, error) {
 			if err != nil {
 				return nil, fmt.Errorf("checkpoint %s line %d: %w", path, i+1, err)
 			}
+			base := rec.Base
+			if base == 0 {
+				base = len(pr.Trials)
+			}
+			if base < 0 || base > len(pr.Trials) {
+				return nil, fmt.Errorf("checkpoint %s line %d: baseTrials %d outside trial list of %d",
+					path, i+1, rec.Base, len(pr.Trials))
+			}
 			st.Results[rec.Index] = pr
+			st.BaseTrials[rec.Index] = base
 		case "quarantine":
 			if i == 0 {
 				return nil, fmt.Errorf("checkpoint %s: missing header line", path)
@@ -269,9 +291,11 @@ func (c *Checkpoint) appendLine(v any) error {
 	return nil
 }
 
-// AppendResult journals one completed injection point.
-func (c *Checkpoint) AppendResult(index int, pr PointResult) error {
-	return c.appendLine(ckptPoint{Kind: "point", Index: index, Result: pointResultToJSON(pr)})
+// AppendResult journals one completed injection point. base is the
+// phase-1 trial count (see ckptPoint.Base); pass len(pr.Trials) for a
+// non-adaptive or unrefined record.
+func (c *Checkpoint) AppendResult(index int, pr PointResult, base int) error {
+	return c.appendLine(ckptPoint{Kind: "point", Index: index, Result: pointResultToJSON(pr), Base: base})
 }
 
 // AppendQuarantine journals one poison point.

@@ -40,7 +40,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ck.AppendResult(0, ckptTestResult(pts[0])); err != nil {
+	if err := ck.AppendResult(0, ckptTestResult(pts[0]), 2); err != nil {
 		t.Fatal(err)
 	}
 	if err := ck.AppendQuarantine(QuarantinedPoint{Point: pts[1], Index: 1, Attempts: 3, Err: "harness failure: runner panic: boom"}); err != nil {
@@ -99,7 +99,7 @@ func TestCheckpointToleratesTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ck.AppendResult(0, ckptTestResult(pts[0])); err != nil {
+	if err := ck.AppendResult(0, ckptTestResult(pts[0]), 2); err != nil {
 		t.Fatal(err)
 	}
 	ck.Close()
@@ -125,7 +125,7 @@ func TestCheckpointToleratesTornTail(t *testing.T) {
 		t.Fatalf("results after torn tail: %d", len(st.Results))
 	}
 	// Appends after the repair must land on a fresh line and reload cleanly.
-	if err := ck2.AppendResult(1, ckptTestResult(pts[1])); err != nil {
+	if err := ck2.AppendResult(1, ckptTestResult(pts[1]), 2); err != nil {
 		t.Fatal(err)
 	}
 	ck2.Close()

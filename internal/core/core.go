@@ -50,6 +50,19 @@ type Options struct {
 	// Policy selects which parameter each fault-injection test corrupts.
 	Policy FaultPolicy
 
+	// AdaptiveTrials enables sequential early stopping: a Wilson-interval
+	// settling rule (internal/stats) watches each point's outcome stream
+	// and stops injecting once the dominant outcome is statistically
+	// separated from the runner-up; the saved trials fund a refinement
+	// pass over the points whose outcome intervals are still widest. The
+	// total budget never exceeds TrialsPerPoint × points, and with a fixed
+	// Seed the campaign result is identical across the serial, supervised
+	// and interrupt/resume paths.
+	AdaptiveTrials bool
+	// Confidence is the settling rule's two-sided interval confidence in
+	// (0,1). Zero (or an out-of-range value) means 0.95.
+	Confidence float64
+
 	// ForestTrees and ForestDepth bound the random forest. Zeros pick the
 	// ml package defaults.
 	ForestTrees int
@@ -119,6 +132,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.AccuracyThreshold <= 0 {
 		o.AccuracyThreshold = 0.65
+	}
+	if o.Confidence <= 0 || o.Confidence >= 1 {
+		o.Confidence = 0.95
 	}
 	return o
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 
@@ -159,7 +160,35 @@ func (e *Engine) InjectPointTarget(p Point, pointIdx, n int, target fault.Target
 }
 
 func (e *Engine) injectPointFiltered(ctx context.Context, p Point, pointIdx, n int, target *fault.Target) (PointResult, error) {
-	pr := PointResult{Point: p, Trials: make([]TrialResult, n)}
+	trials, err := e.runTrialWave(ctx, p, pointIdx, 0, n, target)
+	if err != nil {
+		return PointResult{Point: p}, err
+	}
+	pr := PointResult{Point: p, Trials: trials}
+	for _, t := range trials {
+		pr.Counts.Add(t.Outcome)
+	}
+	return pr, nil
+}
+
+// trialFault picks the fault one trial injects, given the trial's rng.
+func (e *Engine) trialFault(rng *rand.Rand, p Point, target *fault.Target) fault.Fault {
+	switch {
+	case target != nil:
+		return fault.RandomFaultOn(rng, p.Rank, p.Site, p.Invocation, *target)
+	case e.opts.Policy == PolicyAllParams:
+		return fault.RandomFault(rng, p.Rank, p.Site, p.Invocation, p.Type)
+	default:
+		return fault.DataBufferFault(rng, p.Rank, p.Site, p.Invocation, p.Type)
+	}
+}
+
+// runTrialWave executes trials [from, from+n) of a point concurrently
+// (bounded by Options.Parallelism) and returns them in trial order. Each
+// trial's seed depends only on (pointIdx, trial index), so any partition
+// of the trial sequence into waves yields identical results.
+func (e *Engine) runTrialWave(ctx context.Context, p Point, pointIdx, from, n int, target *fault.Target) ([]TrialResult, error) {
+	trials := make([]TrialResult, n)
 	par := e.opts.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)/4 + 1
@@ -175,26 +204,15 @@ func (e *Engine) injectPointFiltered(ctx context.Context, p Point, pointIdx, n i
 		go func(t int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			rng := newRand(e.trialSeed(pointIdx, t))
-			var f fault.Fault
-			switch {
-			case target != nil:
-				f = fault.RandomFaultOn(rng, p.Rank, p.Site, p.Invocation, *target)
-			case e.opts.Policy == PolicyAllParams:
-				f = fault.RandomFault(rng, p.Rank, p.Site, p.Invocation, p.Type)
-			default:
-				f = fault.DataBufferFault(rng, p.Rank, p.Site, p.Invocation, p.Type)
-			}
+			rng := newRand(e.trialSeed(pointIdx, from+t))
+			f := e.trialFault(rng, p, target)
 			outcome, _ := e.RunOnceCtx(ctx, f)
-			pr.Trials[t] = TrialResult{Target: f.Target, Bit: f.Bit, Outcome: outcome}
+			trials[t] = TrialResult{Target: f.Target, Bit: f.Bit, Outcome: outcome}
 		}(t)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return PointResult{Point: p}, err
+		return nil, err
 	}
-	for _, t := range pr.Trials {
-		pr.Counts.Add(t.Outcome)
-	}
-	return pr, nil
+	return trials, nil
 }

@@ -21,8 +21,9 @@ import (
 
 // Event is one record in a campaign's observation stream. The concrete
 // types below form a closed sum: CampaignStarted, PhaseChanged,
-// PointStarted, PointCompleted, BatchVerified, PointRetried,
-// PointQuarantined, CheckpointAppended, CampaignFinished and Note.
+// PointStarted, PointCompleted, PointSettled, PointRefined, BatchVerified,
+// PointRetried, PointQuarantined, CheckpointAppended, CampaignFinished and
+// Note.
 type Event interface{ event() }
 
 // Observer receives campaign events. Events are delivered serially (never
@@ -73,9 +74,12 @@ const (
 	CampaignLearning
 	// CampaignPredicting: the trained model is predicting remaining points.
 	CampaignPredicting
+	// CampaignRefining: the adaptive controller is respending reclaimed
+	// trials on the points with the widest outcome confidence intervals.
+	CampaignRefining
 )
 
-var campaignPhaseNames = [...]string{"profile", "prune", "inject", "learn", "predict"}
+var campaignPhaseNames = [...]string{"profile", "prune", "inject", "learn", "predict", "refine"}
 
 func (p CampaignPhase) String() string {
 	if p >= 0 && int(p) < len(campaignPhaseNames) {
@@ -122,6 +126,35 @@ type PointCompleted struct {
 	Completed      int
 	Total          int
 	FromCheckpoint bool
+}
+
+// PointSettled reports that the sequential settling rule (adaptive trial
+// budgets, Options.AdaptiveTrials) stopped a point before its full trial
+// budget: Trials were run, Saved = Budget - Trials were reclaimed for the
+// refinement pass, and Dominant is the settled majority outcome. It
+// precedes the point's PointCompleted event; FromCheckpoint marks a
+// settled point replayed from a resumed journal.
+type PointSettled struct {
+	Index          int
+	Point          Point
+	Trials         int
+	Budget         int
+	Saved          int
+	Dominant       classify.Outcome
+	FromCheckpoint bool
+}
+
+// PointRefined reports that the refinement pass extended a point that had
+// exhausted its budget without settling: Extra additional trials were run
+// (their outcome tallies alone are in Added, so streaming consumers can
+// merge without double counting) and Result is the point's complete record
+// after refinement, superseding the one its PointCompleted carried.
+type PointRefined struct {
+	Index  int
+	Result PointResult
+	Added  classify.Counts
+	Trials int
+	Extra  int
 }
 
 // BatchVerified reports one verification round of the ML feedback loop:
@@ -190,6 +223,8 @@ func (CampaignStarted) event()    {}
 func (PhaseChanged) event()       {}
 func (PointStarted) event()       {}
 func (PointCompleted) event()     {}
+func (PointSettled) event()       {}
+func (PointRefined) event()       {}
 func (BatchVerified) event()      {}
 func (PointRetried) event()       {}
 func (PointQuarantined) event()   {}

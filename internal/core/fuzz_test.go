@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fuzzFingerprint is the fingerprint the fuzz targets validate against.
+// Any header carrying a different one must produce ErrCheckpointMismatch,
+// never a panic or a silently merged state.
+const fuzzFingerprint = "00000000deadbeef"
+
+// fuzzJournal builds a well-formed journal with the given point records so
+// the corpus starts from inputs that exercise the full decode path.
+func fuzzJournal(records ...string) []byte {
+	header := `{"kind":"header","version":1,"fingerprint":"` + fuzzFingerprint + `","app":"is","ranks":8,"totalPoints":4}`
+	lines := append([]string{header}, records...)
+	return []byte(strings.Join(lines, "\n") + "\n")
+}
+
+const fuzzPointRecord = `{"kind":"point","index":0,"result":{"point":{"rank":1,"site":7,"siteName":"allreduce","collType":2,"invocation":3,"stackHash":9,"phase":1,"errHandling":false,"isRoot":false,"nInv":4,"stackDepth":2,"nDiffStacks":1},"trials":[{"target":0,"bit":3,"outcome":0},{"target":1,"bit":9,"outcome":2}]},"baseTrials":2}`
+
+// FuzzLoadCheckpoint: the journal loader must never panic on arbitrary
+// bytes — torn tails, duplicate indices, out-of-range enums, wrong
+// fingerprints and garbage must all surface as descriptive errors (or a
+// tolerated torn tail), never as a crash.
+func FuzzLoadCheckpoint(f *testing.F) {
+	// Valid journal with one point and one quarantine record.
+	f.Add(fuzzJournal(fuzzPointRecord,
+		`{"kind":"quarantine","index":1,"point":{"rank":0,"siteName":"bcast"},"attempts":2,"error":"wedged"}`))
+	// Torn tail: crash mid-append.
+	valid := fuzzJournal(fuzzPointRecord)
+	f.Add(valid[:len(valid)-10])
+	// Duplicate index (refined record, last-wins).
+	f.Add(fuzzJournal(fuzzPointRecord, fuzzPointRecord))
+	// Wrong fingerprint.
+	f.Add([]byte(`{"kind":"header","version":1,"fingerprint":"ffffffffffffffff","app":"is","ranks":8,"totalPoints":4}` + "\n"))
+	// Unsupported version.
+	f.Add([]byte(`{"kind":"header","version":99,"fingerprint":"` + fuzzFingerprint + `","app":"is","ranks":8,"totalPoints":4}` + "\n"))
+	// Out-of-range outcome enum and negative baseTrials.
+	f.Add(fuzzJournal(`{"kind":"point","index":0,"result":{"point":{},"trials":[{"target":0,"bit":0,"outcome":999}]}}`))
+	f.Add(fuzzJournal(`{"kind":"point","index":0,"result":{"point":{},"trials":[]},"baseTrials":-1}`))
+	// Missing header, unknown kind, plain garbage, empty file.
+	f.Add([]byte(fuzzPointRecord + "\n"))
+	f.Add(fuzzJournal(`{"kind":"gremlin"}`))
+	f.Add([]byte("not json at all\n"))
+	f.Add([]byte{})
+	f.Add([]byte("\x00\x01\x02"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.ckpt")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := LoadCheckpointState(path, fuzzFingerprint)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("error with empty message")
+			}
+			return
+		}
+		// A journal that loads must be internally consistent: the header
+		// validated, and every restored base within its trial list.
+		if st.Header.Fingerprint != fuzzFingerprint {
+			t.Fatalf("accepted journal with foreign fingerprint %q", st.Header.Fingerprint)
+		}
+		for idx, base := range st.BaseTrials {
+			pr, ok := st.Results[idx]
+			if !ok {
+				t.Fatalf("base recorded for index %d with no result", idx)
+			}
+			if base < 0 || base > len(pr.Trials) {
+				t.Fatalf("index %d: base %d outside trial list of %d", idx, base, len(pr.Trials))
+			}
+		}
+	})
+}
+
+// FuzzLoadCampaignJSON: the campaign file loader must never panic, and
+// anything it accepts must round-trip through WriteJSON.
+func FuzzLoadCampaignJSON(f *testing.F) {
+	f.Add([]byte(`{"version":1,"app":"is","ranks":8,"totalPoints":4,"afterSemantic":2,"afterContext":2,"injected":2,"measured":[{"point":{"rank":1,"siteName":"allreduce"},"trials":[{"target":0,"bit":3,"outcome":0}]}]}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":99}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"measured":[{"point":{},"trials":[{"outcome":-5}]}]}`))
+	f.Add([]byte(`{"version":1,"measured":[{"point":{},"trials":[{"target":77}]}]}`))
+	f.Add([]byte(`{"version":1}{"version":1}`)) // trailing data
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`"just a string"`))
+	f.Add([]byte("{\"version\":1,\"app\":\"\x00\""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := ReadCampaignJSON(bytes.NewReader(data))
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("error with empty message")
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted campaign fails to re-serialise: %v", err)
+		}
+		if _, err := ReadCampaignJSON(&buf); err != nil {
+			t.Fatalf("accepted campaign fails to round-trip: %v", err)
+		}
+	})
+}

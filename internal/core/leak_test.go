@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"testing"
 	"time"
@@ -38,5 +39,52 @@ func TestGoroutineLeakAcrossInjectedRuns(t *testing.T) {
 	t.Logf("goroutines: base=%d after=%d; heap: %d -> %d MB", base, after, m0.HeapAlloc>>20, m1.HeapAlloc>>20)
 	if after > base+20 {
 		t.Fatalf("goroutine leak: %d -> %d", base, after)
+	}
+}
+
+// TestGoroutineLeakAdaptiveEarlySettle: when the settling rule fires while
+// sibling trial workers of the same wave are still mid-run, their results
+// are discarded — the workers themselves must still drain. A campaign with
+// wide intra-point parallelism and aggressive early settling must leave no
+// goroutines behind.
+func TestGoroutineLeakAdaptiveEarlySettle(t *testing.T) {
+	app := lu.New()
+	cfg := app.DefaultConfig()
+	cfg.Ranks = 4
+	cfg.Scale = 32
+	opts := DefaultOptions()
+	opts.TrialsPerPoint = 64 // plenty of headroom for the rule to cut into
+	opts.AdaptiveTrials = true
+	opts.Parallelism = 16 // waves much wider than the typical stopping index
+	opts.MLPruning = false
+	opts.RunTimeout = 10 * time.Second
+	e := New(app, cfg, opts)
+	if _, err := e.Profile(); err != nil {
+		t.Fatal(err)
+	}
+	points, _ := e.Points()
+	if len(points) == 0 {
+		t.Fatal("no injection points")
+	}
+	base := runtime.NumGoroutine()
+	settled := 0
+	for i, p := range points {
+		pr, err := e.InjectPointAdaptive(context.Background(), p, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pr.Trials) < opts.TrialsPerPoint {
+			settled++
+		}
+	}
+	if settled == 0 {
+		t.Fatal("no point settled early; the discard path was never exercised")
+	}
+	time.Sleep(200 * time.Millisecond)
+	runtime.GC()
+	after := runtime.NumGoroutine()
+	t.Logf("goroutines: base=%d after=%d (%d/%d points settled early)", base, after, settled, len(points))
+	if after > base+20 {
+		t.Fatalf("goroutine leak after early settles: %d -> %d", base, after)
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"github.com/fastfit/fastfit/internal/classify"
 	"github.com/fastfit/fastfit/internal/ml"
 )
@@ -15,9 +17,14 @@ type Prediction struct {
 // LearnResult is the outcome of the injection/learning feedback loop
 // (paper §III-C and §IV-D).
 type LearnResult struct {
-	Measured  []PointResult
-	Predicted []Prediction
-	Forest    *ml.Forest
+	Measured []PointResult
+	// MeasuredIdx gives each Measured entry's index in the shuffled
+	// campaign order — the index its trial seeds derive from. The adaptive
+	// refinement pass needs it to extend a point's trial sequence
+	// deterministically after the loop has finished.
+	MeasuredIdx []int
+	Predicted   []Prediction
+	Forest      *ml.Forest
 	// VerifyAccuracy is the accuracy on the last verification batch, the
 	// quantity compared against Options.AccuracyThreshold.
 	VerifyAccuracy float64
@@ -36,7 +43,8 @@ type LearnResult struct {
 // remaining points instead of injecting them.
 func (e *Engine) LearnCampaign(points []Point) LearnResult {
 	return e.LearnCampaignWith(points, func(p Point, idx int) PointResult {
-		return e.InjectPoint(p, idx, e.opts.TrialsPerPoint)
+		pr, _ := e.injectAuto(context.Background(), p, idx)
+		return pr
 	})
 }
 
@@ -53,6 +61,7 @@ func (e *Engine) LearnCampaignWith(points []Point, inject func(Point, int) Point
 			pr := inject(ps[i], idxs[i])
 			out[i] = &pr
 			completed++
+			e.emitSettled(idxs[i], pr, false)
 			e.emit(PointCompleted{Index: idxs[i], Result: pr, Completed: completed, Total: total})
 		}
 		return out
@@ -99,9 +108,11 @@ func (e *Engine) learnCampaignBatched(points []Point, inject batchInjector) (Lea
 			break
 		}
 		batch := make([]PointResult, 0, len(injected))
-		for _, pr := range injected {
+		batchIdxs := make([]int, 0, len(injected))
+		for j, pr := range injected {
 			if pr != nil {
 				batch = append(batch, *pr)
+				batchIdxs = append(batchIdxs, idxs[j])
 			}
 		}
 
@@ -125,12 +136,14 @@ func (e *Engine) learnCampaignBatched(points []Point, inject batchInjector) (Lea
 			})
 			if res.VerifyAccuracy >= opts.AccuracyThreshold {
 				res.Measured = append(res.Measured, batch...)
+				res.MeasuredIdx = append(res.MeasuredIdx, batchIdxs...)
 				i = end
 				break
 			}
 		}
 
 		res.Measured = append(res.Measured, batch...)
+		res.MeasuredIdx = append(res.MeasuredIdx, batchIdxs...)
 		i = end
 		if len(res.Measured) >= opts.MLMinTrain {
 			forest = e.trainLevelForest(res.Measured)

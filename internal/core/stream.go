@@ -42,6 +42,10 @@ type StreamStats struct {
 	batches        int
 	verifyAccuracy float64
 	predicted      int
+	settled        int // points the settling rule stopped early
+	trialsSaved    int // budgeted trials reclaimed by early stopping
+	refined        int // points extended by the refinement pass
+	trialsRefined  int // extra trials respent by the refinement pass
 	finished       bool
 	cancelled      bool
 }
@@ -65,6 +69,7 @@ func (s *StreamStats) OnEvent(ev Event) {
 		s.completed, s.total = 0, 0
 		s.injected, s.fromCheckpoint, s.quarantined, s.retries = 0, 0, 0, 0
 		s.batches, s.verifyAccuracy, s.predicted = 0, 0, 0
+		s.settled, s.trialsSaved, s.refined, s.trialsRefined = 0, 0, 0, 0
 		s.finished, s.cancelled = false, false
 	case PhaseChanged:
 		s.phase = ev.Phase
@@ -83,6 +88,19 @@ func (s *StreamStats) OnEvent(ev Event) {
 		} else {
 			s.injected++
 		}
+	case PointSettled:
+		s.settled++
+		s.trialsSaved += ev.Saved
+	case PointRefined:
+		// Added holds only the extra trials, so merging keeps Counts equal
+		// to OutcomeBreakdown over the final Measured slice.
+		s.counts.Merge(ev.Added)
+		site := ev.Result.Point.SiteName
+		c := s.sites[site]
+		c.Merge(ev.Added)
+		s.sites[site] = c
+		s.refined++
+		s.trialsRefined += ev.Extra
 	case PointQuarantined:
 		s.completed, s.total = ev.Completed, ev.Total
 		s.quarantined++
@@ -127,6 +145,10 @@ type StreamSnapshot struct {
 	Quarantined    int
 	Retries        int
 	Predicted      int
+	Settled        int // points stopped early by the settling rule
+	TrialsSaved    int // budgeted trials reclaimed by early stopping
+	Refined        int // points extended by the refinement pass
+	TrialsRefined  int // extra trials respent by the refinement pass
 	Counts         classify.Counts
 	ErrorRate      float64
 	VerifyAccuracy float64
@@ -150,6 +172,10 @@ func (s *StreamStats) Snapshot() StreamSnapshot {
 		Quarantined:    s.quarantined,
 		Retries:        s.retries,
 		Predicted:      s.predicted,
+		Settled:        s.settled,
+		TrialsSaved:    s.trialsSaved,
+		Refined:        s.refined,
+		TrialsRefined:  s.trialsRefined,
 		Counts:         s.counts,
 		ErrorRate:      s.counts.ErrorRate(),
 		VerifyAccuracy: s.verifyAccuracy,
@@ -186,6 +212,9 @@ func (sn StreamSnapshot) ProgressLine() string {
 	}
 	if sn.ETA > 0 {
 		fmt.Fprintf(&sb, " | ETA %v", sn.ETA.Round(time.Second))
+	}
+	if sn.Settled > 0 {
+		fmt.Fprintf(&sb, " | settled %d (saved %d)", sn.Settled, sn.TrialsSaved-sn.TrialsRefined)
 	}
 	if sn.Quarantined > 0 {
 		fmt.Fprintf(&sb, " | quarantined %d", sn.Quarantined)
@@ -343,6 +372,27 @@ func eventJSON(ev Event) (string, any) {
 			Point          pointJSON      `json:"point"`
 		}{ev.Index, ev.Completed, ev.Total, ev.FromCheckpoint,
 			ev.Result.ErrorRate(), countsJSON(ev.Result.Counts), pointToJSON(ev.Result.Point)}
+	case PointSettled:
+		return "PointSettled", struct {
+			Index          int       `json:"index"`
+			Trials         int       `json:"trials"`
+			Budget         int       `json:"budget"`
+			Saved          int       `json:"saved"`
+			Dominant       string    `json:"dominant"`
+			FromCheckpoint bool      `json:"fromCheckpoint,omitempty"`
+			Point          pointJSON `json:"point"`
+		}{ev.Index, ev.Trials, ev.Budget, ev.Saved, ev.Dominant.String(),
+			ev.FromCheckpoint, pointToJSON(ev.Point)}
+	case PointRefined:
+		return "PointRefined", struct {
+			Index     int            `json:"index"`
+			Trials    int            `json:"trials"`
+			Extra     int            `json:"extra"`
+			ErrorRate float64        `json:"errorRate"`
+			Added     map[string]int `json:"added"`
+			Point     pointJSON      `json:"point"`
+		}{ev.Index, ev.Trials, ev.Extra, ev.Result.ErrorRate(),
+			countsJSON(ev.Added), pointToJSON(ev.Result.Point)}
 	case BatchVerified:
 		return "BatchVerified", struct {
 			BatchSize int     `json:"batchSize"`

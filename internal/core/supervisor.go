@@ -184,11 +184,15 @@ func (s *Supervisor) Run(ctx context.Context) (*SupervisedResult, error) {
 		defer ckpt.Close()
 	}
 
+	if state.BaseTrials == nil {
+		state.BaseTrials = map[int]int{}
+	}
 	run := &supervisedRun{
 		sup:     s,
 		ckpt:    ckpt,
 		results: state.Results,
 		quar:    state.Quarantined,
+		base:    state.BaseTrials,
 		total:   len(plan.points),
 	}
 	// Replay restored progress into the event stream (in index order, with
@@ -199,11 +203,21 @@ func (s *Supervisor) Run(ctx context.Context) (*SupervisedResult, error) {
 	for _, idx := range restored {
 		run.completed++
 		if pr, ok := run.results[idx]; ok {
-			e.emit(PointCompleted{Index: idx, Result: pr, Completed: run.completed,
+			// Completion replays carry the phase-1 prefix; refined extras
+			// follow as PointRefined replays below, so streaming tallies
+			// accumulate exactly as in the uninterrupted run.
+			p1 := phase1Result(pr, run.base[idx])
+			e.emitSettled(idx, p1, true)
+			e.emit(PointCompleted{Index: idx, Result: p1, Completed: run.completed,
 				Total: run.total, FromCheckpoint: true})
 		} else {
 			e.emit(PointQuarantined{Point: run.quar[idx], Completed: run.completed,
 				Total: run.total, FromCheckpoint: true})
+		}
+	}
+	for _, idx := range restored {
+		if pr, ok := run.results[idx]; ok && run.refined(idx) {
+			e.emitRefined(idx, pr, phase1Result(pr, run.base[idx]))
 		}
 	}
 
@@ -211,6 +225,9 @@ func (s *Supervisor) Run(ctx context.Context) (*SupervisedResult, error) {
 		s.runML(ctx, plan, run)
 	} else {
 		s.runDirect(ctx, plan.points, run)
+		if e.Options().AdaptiveTrials && ctx.Err() == nil && run.err() == nil {
+			s.refinePass(ctx, run, func(idx int) Point { return plan.points[idx] }, nil)
+		}
 	}
 
 	if err := run.err(); err != nil {
@@ -249,6 +266,7 @@ type supervisedRun struct {
 	mu        sync.Mutex
 	results   map[int]PointResult
 	quar      map[int]QuarantinedPoint
+	base      map[int]int // phase-1 trial count per completed point
 	retries   int
 	completed int
 	total     int
@@ -279,16 +297,63 @@ func (r *supervisedRun) record(idx int, pr PointResult) {
 	defer r.mu.Unlock()
 	e := r.sup.eng
 	r.results[idx] = pr
+	r.base[idx] = len(pr.Trials)
 	r.completed++
+	e.emitSettled(idx, pr, false)
 	e.emit(PointCompleted{Index: idx, Result: pr, Completed: r.completed, Total: r.total})
 	if r.ckpt != nil {
-		if err := r.ckpt.AppendResult(idx, pr); err != nil && r.firstErr == nil {
+		if err := r.ckpt.AppendResult(idx, pr, len(pr.Trials)); err != nil && r.firstErr == nil {
 			r.firstErr = err
 		} else if err == nil {
 			r.appends++
 			e.emit(CheckpointAppended{Path: r.ckpt.Path(), Index: idx, Records: r.appends})
 		}
 	}
+}
+
+// recordRefined journals and stores one refined point: the same index gets
+// a second journal record (last-wins on load) whose Base stays the phase-1
+// count, so a resumed learn loop still trains on the phase-1 prefix.
+func (r *supervisedRun) recordRefined(idx int, pr, prior PointResult) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.sup.eng
+	r.results[idx] = pr
+	e.emitRefined(idx, pr, prior)
+	if r.ckpt != nil {
+		if err := r.ckpt.AppendResult(idx, pr, r.base[idx]); err != nil && r.firstErr == nil {
+			r.firstErr = err
+		} else if err == nil {
+			r.appends++
+			e.emit(CheckpointAppended{Path: r.ckpt.Path(), Index: idx, Records: r.appends})
+		}
+	}
+}
+
+// phase1 returns every completed point stripped to its phase-1 prefix —
+// the deterministic input the refinement allocation is computed from.
+func (r *supervisedRun) phase1() map[int]PointResult {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[int]PointResult, len(r.results))
+	for idx, pr := range r.results {
+		out[idx] = phase1Result(pr, r.base[idx])
+	}
+	return out
+}
+
+// refined reports whether a point already carries refinement trials
+// (restored from a journal or refined earlier in this run).
+func (r *supervisedRun) refined(idx int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.results[idx].Trials) > r.base[idx]
+}
+
+func (r *supervisedRun) result(idx int) PointResult {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.results[idx]
 }
 
 // quarantine journals and stores one poison point.
@@ -382,7 +447,11 @@ func (s *Supervisor) runML(ctx context.Context, plan *campaignPlan, run *supervi
 		defer run.mu.Unlock()
 		for i, idx := range idxs {
 			if pr, ok := run.results[idx]; ok {
-				out[i] = &pr
+				// A resumed journal may already hold the refined record;
+				// the learn loop must train on the phase-1 prefix to
+				// retrace the uninterrupted run's path.
+				p1 := phase1Result(pr, run.base[idx])
+				out[i] = &p1
 			} // else quarantined → nil entry, skipped by the learner
 		}
 		return out
@@ -392,7 +461,77 @@ func (s *Supervisor) runML(ctx context.Context, plan *campaignPlan, run *supervi
 	res.Predicted = lr.Predicted
 	res.MLReduction = lr.Reduction
 	res.VerifyAccuracy = lr.VerifyAccuracy
-	_ = abortedLoop // cancellation is reported via ctx by the caller
+
+	if s.eng.Options().AdaptiveTrials && !abortedLoop && ctx.Err() == nil && run.err() == nil {
+		// Refine over the measured subset only, then install the refined
+		// records back into Measured at their loop positions.
+		pos := make(map[int]int, len(lr.MeasuredIdx))
+		for p, idx := range lr.MeasuredIdx {
+			pos[idx] = p
+		}
+		shuffled := shuffledPoints(s.eng, plan.points)
+		s.refinePass(ctx, run, func(idx int) Point { return shuffled[idx] }, pos)
+		for idx, p := range pos {
+			lr.Measured[p] = run.result(idx)
+		}
+	}
+}
+
+// shuffledPoints reproduces the learn loop's shuffled campaign order, the
+// index space its trial seeds and journal records use.
+func shuffledPoints(e *Engine, points []Point) []Point {
+	pts := append([]Point(nil), points...)
+	rng := newRand(e.Options().Seed*31 + 7)
+	rng.Shuffle(len(pts), func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+	return pts
+}
+
+// refinePass respends the trials reclaimed by early stopping: grants are
+// computed from the phase-1 results (a pure function, so every execution
+// path allocates identically), then granted points are extended through
+// the worker pool. only, when non-nil, restricts candidates to those
+// indices (the ML path refines measured points only). Already-refined
+// points — restored from a journal or completed by an earlier interrupted
+// refinement — are skipped, which is what makes the pass idempotent under
+// interrupt/resume.
+func (s *Supervisor) refinePass(ctx context.Context, run *supervisedRun, pointAt func(int) Point, only map[int]int) {
+	e := s.eng
+	phase1 := run.phase1()
+	if only != nil {
+		for idx := range phase1 {
+			if _, ok := only[idx]; !ok {
+				delete(phase1, idx)
+			}
+		}
+	}
+	grants := e.refineGrants(phase1)
+	if len(grants) == 0 {
+		return
+	}
+	e.emit(PhaseChanged{Phase: CampaignRefining, Points: len(grants)})
+	sem := make(chan struct{}, s.opts.Workers)
+	var wg sync.WaitGroup
+	for _, g := range grants {
+		if ctx.Err() != nil {
+			break
+		}
+		if run.refined(g.Idx) {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(g refineGrant) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			prior := phase1[g.Idx]
+			pr, err := e.RefinePoint(ctx, pointAt(g.Idx), g.Idx, prior, g.Extra)
+			if err != nil {
+				return // cancelled: the point resumes unrefined
+			}
+			run.recordRefined(g.Idx, pr, prior)
+		}(g)
+	}
+	wg.Wait()
 }
 
 // runPoint executes one point under the watchdog with bounded retries,
@@ -457,6 +596,9 @@ func (s *Supervisor) attempt(ctx context.Context, p Point, idx int) (PointResult
 func (s *Supervisor) inject(ctx context.Context, p Point, idx int) (PointResult, error) {
 	if s.opts.Inject != nil {
 		return s.opts.Inject(ctx, p, idx, s.eng.Options().TrialsPerPoint)
+	}
+	if s.eng.Options().AdaptiveTrials {
+		return s.eng.InjectPointAdaptive(ctx, p, idx)
 	}
 	return s.eng.InjectPointCtx(ctx, p, idx, s.eng.Options().TrialsPerPoint)
 }

@@ -81,6 +81,8 @@ func (st *Store) Options() core.Options {
 	opts := core.DefaultOptions()
 	opts.TrialsPerPoint = st.Scale.TrialsPerPoint
 	opts.Seed = st.Scale.Seed
+	opts.AdaptiveTrials = st.Scale.Adaptive
+	opts.Confidence = st.Scale.Confidence
 	opts.Observer = st.Observer
 	return opts
 }
@@ -141,6 +143,52 @@ func (st *Store) Campaign(name string) (*core.CampaignResult, error) {
 
 	st.mu.Lock()
 	st.campaigns[name] = c
+	st.mu.Unlock()
+	return c, nil
+}
+
+// CampaignMode returns the full-measurement campaign for an app with
+// adaptive trial budgets forced on or off, reusing the store's cache when
+// the requested mode matches the store's scale and running (and caching) a
+// separate campaign otherwise. The adaptive-vs-fixed ablation needs both
+// modes side by side regardless of what the scale selects.
+func (st *Store) CampaignMode(name string, adaptive bool) (*core.CampaignResult, error) {
+	if adaptive == st.Scale.Adaptive {
+		return st.Campaign(name)
+	}
+	key := name + "|adaptive"
+	if !adaptive {
+		key = name + "|fixed"
+	}
+	st.mu.Lock()
+	if c, ok := st.campaigns[key]; ok {
+		st.mu.Unlock()
+		return c, nil
+	}
+	st.mu.Unlock()
+
+	app, cfg, err := st.AppConfig(name)
+	if err != nil {
+		return nil, err
+	}
+	opts := st.Options()
+	opts.MLPruning = false
+	opts.Policy = policyFor(name)
+	opts.AdaptiveTrials = adaptive
+	e := core.New(app, cfg, opts)
+	mode := "fixed-budget"
+	if adaptive {
+		mode = "adaptive-budget"
+	}
+	st.logf("running %s campaign for %s ...", mode, name)
+	c, err := e.RunCampaign()
+	if err != nil {
+		return nil, fmt.Errorf("%s campaign %s: %w", mode, name, err)
+	}
+	st.logf("%s", c.Summary())
+
+	st.mu.Lock()
+	st.campaigns[key] = c
 	st.mu.Unlock()
 	return c, nil
 }

@@ -1,0 +1,240 @@
+package stats
+
+import "math"
+
+// Sequential settling test for multinomial outcome streams.
+//
+// A fault-injection point repeats trials whose outcomes fall into a small
+// fixed set of classes; the quantity downstream analyses consume is the
+// dominant class (and the error rate derived from the class tallies). Once
+// the dominant class is statistically separated from the runner-up there is
+// no information left worth a full fixed budget — the sequential test below
+// detects that separation after every observation so the caller can stop
+// early and respend the saved trials on points that are still ambiguous.
+//
+// The rule: after each observation compute the Wilson score interval for
+// the dominant class's proportion and for the runner-up's. The point is
+// settled when the dominant lower bound exceeds the runner-up upper bound
+// — i.e. the two one-proportion intervals no longer overlap at the
+// configured confidence — sustained for Hold consecutive observations with
+// at least MinTrials observations total. The MinTrials floor and the hold
+// requirement are the guard against the classic peeking problem of
+// repeated significance testing: testing after every trial inflates the
+// false-stop rate far above the nominal alpha, and demanding the boundary
+// hold for several consecutive observations (rather than firing on a
+// single lucky crossing) pulls it back under. The stats test suite checks
+// the realised false-stop rate empirically.
+//
+// Determinism matters more than power here: Observe is a pure function of
+// the ordered outcome prefix, so replaying a journaled trial list through
+// a fresh SettleTest reconstructs the exact stopping decision — the
+// property that lets an interrupted adaptive campaign resume bit-identically.
+
+// SettleConfig parameterises a sequential settling test.
+type SettleConfig struct {
+	// Confidence is the two-sided Wilson interval confidence in (0,1),
+	// e.g. 0.95. Values outside (0,1) default to 0.95.
+	Confidence float64
+	// MinTrials is the minimum number of observations before the rule may
+	// fire. Values below 2 default to 2.
+	MinTrials int
+	// Hold is the number of consecutive observations the separation must
+	// persist before the test fires. Zero defaults to 3.
+	Hold int
+}
+
+func (c SettleConfig) withDefaults() SettleConfig {
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		c.Confidence = 0.95
+	}
+	if c.MinTrials < 2 {
+		c.MinTrials = 2
+	}
+	if c.Hold <= 0 {
+		c.Hold = 3
+	}
+	return c
+}
+
+// SettleTest is a sequential settling test over a multinomial outcome
+// stream. Feed outcomes in trial order via Observe; once the test fires it
+// stays fired (further observations update the tallies but never unfire).
+type SettleTest struct {
+	cfg     SettleConfig
+	z       float64
+	counts  []int
+	n       int
+	streak  int
+	firedAt int // observation count at which the rule fired; 0 = not fired
+}
+
+// NewSettleTest builds a settling test over `classes` outcome classes.
+func NewSettleTest(classes int, cfg SettleConfig) *SettleTest {
+	if classes < 2 {
+		classes = 2
+	}
+	cfg = cfg.withDefaults()
+	alpha := 1 - cfg.Confidence
+	return &SettleTest{
+		cfg:    cfg,
+		z:      NormalQuantile(1 - alpha/2),
+		counts: make([]int, classes),
+	}
+}
+
+// Observe folds one outcome into the test and reports whether the rule
+// fired on exactly this observation (true at most once per test).
+func (t *SettleTest) Observe(class int) bool {
+	if class < 0 || class >= len(t.counts) {
+		class = 0
+	}
+	t.counts[class]++
+	t.n++
+	if t.firedAt > 0 {
+		return false
+	}
+	if t.n >= t.cfg.MinTrials && t.separated() {
+		t.streak++
+	} else {
+		t.streak = 0
+	}
+	if t.streak >= t.cfg.Hold {
+		t.firedAt = t.n
+		return true
+	}
+	return false
+}
+
+// separated reports whether the dominant class's Wilson lower bound
+// exceeds the runner-up's Wilson upper bound at the current tallies.
+func (t *SettleTest) separated() bool {
+	dom, run := t.topTwo()
+	lo, _ := wilsonZ(t.counts[dom], t.n, t.z)
+	_, hi := wilsonZ(t.counts[run], t.n, t.z)
+	return lo > hi
+}
+
+// topTwo returns the indices of the largest and second-largest tallies,
+// ties broken by the lower class index (matching the campaign's
+// majority-outcome tie-break).
+func (t *SettleTest) topTwo() (dom, run int) {
+	dom, run = 0, 1
+	if t.counts[run] > t.counts[dom] {
+		dom, run = run, dom
+	}
+	for i := 2; i < len(t.counts); i++ {
+		switch {
+		case t.counts[i] > t.counts[dom]:
+			dom, run = i, dom
+		case t.counts[i] > t.counts[run]:
+			run = i
+		}
+	}
+	return dom, run
+}
+
+// N returns the number of observations so far.
+func (t *SettleTest) N() int { return t.n }
+
+// Settled reports whether the rule has fired.
+func (t *SettleTest) Settled() bool { return t.firedAt > 0 }
+
+// SettledAt returns the observation count at which the rule fired (0 if it
+// has not).
+func (t *SettleTest) SettledAt() int { return t.firedAt }
+
+// Dominant returns the current dominant class (lowest index on ties).
+func (t *SettleTest) Dominant() int {
+	dom, _ := t.topTwo()
+	return dom
+}
+
+// DominantWidth returns the width of the dominant class's Wilson interval —
+// the uncertainty measure the refinement pass ranks unsettled points by.
+// It is 1 before any observation.
+func (t *SettleTest) DominantWidth() float64 {
+	if t.n == 0 {
+		return 1
+	}
+	dom, _ := t.topTwo()
+	lo, hi := wilsonZ(t.counts[dom], t.n, t.z)
+	return hi - lo
+}
+
+// EarliestFire returns the smallest observation count at which the rule
+// could possibly fire: the caller may run trials up to that count in one
+// parallel wave with no risk of overshooting the stopping point.
+func (t *SettleTest) EarliestFire() int {
+	return t.cfg.MinTrials + t.cfg.Hold - 1
+}
+
+// WilsonInterval returns the Wilson score confidence interval for a
+// proportion of k successes in n trials at the given two-sided confidence.
+// It returns [0,1] for n == 0.
+func WilsonInterval(k, n int, confidence float64) (lo, hi float64) {
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.95
+	}
+	alpha := 1 - confidence
+	return wilsonZ(k, n, NormalQuantile(1-alpha/2))
+}
+
+// wilsonZ is WilsonInterval with the normal quantile precomputed.
+func wilsonZ(k, n int, z float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	nf := float64(n)
+	p := float64(k) / nf
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := p + z2/(2*nf)
+	margin := z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = (center - margin) / denom
+	hi = (center + margin) / denom
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// NormalQuantile returns the inverse of the standard normal CDF at p,
+// using Acklam's rational approximation (relative error below 1.15e-9
+// across (0,1)). It returns ±Inf at the boundaries.
+func NormalQuantile(p float64) float64 {
+	switch {
+	case math.IsNaN(p) || p < 0 || p > 1:
+		return math.NaN()
+	case p == 0:
+		return math.Inf(-1)
+	case p == 1:
+		return math.Inf(1)
+	}
+	a := [...]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [...]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [...]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [...]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const plow = 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > 1-plow:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}

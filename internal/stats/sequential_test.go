@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.025, -1.959964},
+		{0.995, 2.575829},
+		{0.9, 1.281552},
+		{0.0001, -3.719016},
+	}
+	for _, c := range cases {
+		got := NormalQuantile(c.p)
+		if math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("NormalQuantile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Errorf("boundary quantiles should be infinite")
+	}
+	if !math.IsNaN(NormalQuantile(-0.1)) || !math.IsNaN(NormalQuantile(1.1)) {
+		t.Errorf("out-of-range quantiles should be NaN")
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(0, 0, 0.95)
+	if lo != 0 || hi != 1 {
+		t.Errorf("empty interval = [%g,%g], want [0,1]", lo, hi)
+	}
+	// The interval must contain the point estimate and stay inside [0,1]
+	// even at the boundaries k=0 and k=n.
+	for _, n := range []int{1, 5, 20, 100} {
+		for k := 0; k <= n; k++ {
+			lo, hi := WilsonInterval(k, n, 0.95)
+			p := float64(k) / float64(n)
+			if lo < 0 || hi > 1 || lo > p+1e-12 || hi < p-1e-12 {
+				t.Fatalf("Wilson(%d,%d) = [%g,%g] does not bracket %g in [0,1]", k, n, lo, hi, p)
+			}
+		}
+	}
+	// Known value: 50/100 at 95% is roughly [0.404, 0.596].
+	lo, hi = WilsonInterval(50, 100, 0.95)
+	if math.Abs(lo-0.4038) > 5e-3 || math.Abs(hi-0.5962) > 5e-3 {
+		t.Errorf("Wilson(50,100) = [%g,%g], want about [0.404,0.596]", lo, hi)
+	}
+	// More data narrows the interval.
+	lo1, hi1 := WilsonInterval(10, 20, 0.95)
+	lo2, hi2 := WilsonInterval(100, 200, 0.95)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Errorf("interval should narrow with n: n=20 width %g, n=200 width %g", hi1-lo1, hi2-lo2)
+	}
+}
+
+func TestSettleTestUnanimous(t *testing.T) {
+	cfg := SettleConfig{Confidence: 0.95, MinTrials: 12, Hold: 3}
+	st := NewSettleTest(6, cfg)
+	fired := -1
+	for i := 0; i < 40; i++ {
+		if st.Observe(2) && fired < 0 {
+			fired = st.SettledAt()
+		}
+	}
+	if !st.Settled() {
+		t.Fatalf("unanimous stream never settled in 40 observations")
+	}
+	if fired != st.SettledAt() {
+		t.Errorf("Observe fired at %d but SettledAt is %d", fired, st.SettledAt())
+	}
+	// With 12 unanimous observations the Wilson bounds already separate,
+	// so the hold requirement makes it fire at exactly MinTrials+Hold-1.
+	if want := cfg.MinTrials + cfg.Hold - 1; st.SettledAt() != want {
+		t.Errorf("unanimous stream settled at %d, want %d", st.SettledAt(), want)
+	}
+	if st.Dominant() != 2 {
+		t.Errorf("dominant = %d, want 2", st.Dominant())
+	}
+	if st.EarliestFire() != cfg.MinTrials+cfg.Hold-1 {
+		t.Errorf("EarliestFire = %d, want %d", st.EarliestFire(), cfg.MinTrials+cfg.Hold-1)
+	}
+}
+
+func TestSettleTestNearTieNeverSettlesEarly(t *testing.T) {
+	st := NewSettleTest(2, SettleConfig{Confidence: 0.95, MinTrials: 12, Hold: 3})
+	// Perfectly alternating outcomes: the proportions sit at 0.5 forever
+	// and the intervals always overlap.
+	for i := 0; i < 500; i++ {
+		st.Observe(i % 2)
+	}
+	if st.Settled() {
+		t.Fatalf("alternating stream settled at %d", st.SettledAt())
+	}
+	if w := st.DominantWidth(); w <= 0 || w >= 1 {
+		t.Errorf("DominantWidth = %g, want in (0,1)", w)
+	}
+}
+
+func TestSettleTestDeterministicReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	stream := make([]int, 200)
+	for i := range stream {
+		if rng.Float64() < 0.85 {
+			stream[i] = 0
+		} else {
+			stream[i] = rng.Intn(5) + 1
+		}
+	}
+	cfg := SettleConfig{Confidence: 0.95, MinTrials: 12, Hold: 3}
+	a, b := NewSettleTest(6, cfg), NewSettleTest(6, cfg)
+	for _, o := range stream {
+		a.Observe(o)
+	}
+	for _, o := range stream {
+		b.Observe(o)
+	}
+	if a.SettledAt() != b.SettledAt() || a.Dominant() != b.Dominant() {
+		t.Fatalf("replay diverged: (%d,%d) vs (%d,%d)",
+			a.SettledAt(), a.Dominant(), b.SettledAt(), b.Dominant())
+	}
+	if !a.Settled() {
+		t.Fatalf("an 85/15 stream should settle within 200 observations")
+	}
+}
+
+// TestSettleFalseStopRate checks the peeking-corrected rule empirically:
+// across many seeded streams from a distribution whose true dominant class
+// is 0, the fraction of streams that settle on a *wrong* dominant class
+// stays under the configured alpha. This is the statistical-correctness
+// half of the settling rule's contract (the campaign-level agreement
+// property lives in internal/core).
+func TestSettleFalseStopRate(t *testing.T) {
+	const (
+		confidence = 0.95
+		streams    = 600
+		length     = 200
+	)
+	cfg := SettleConfig{Confidence: confidence, MinTrials: 12, Hold: 3}
+	for _, p0 := range []float64{0.55, 0.65, 0.85} {
+		falseStops := 0
+		for s := 0; s < streams; s++ {
+			rng := rand.New(rand.NewSource(int64(1000*p0) + int64(s)))
+			st := NewSettleTest(2, cfg)
+			for i := 0; i < length && !st.Settled(); i++ {
+				o := 1
+				if rng.Float64() < p0 {
+					o = 0
+				}
+				st.Observe(o)
+			}
+			if st.Settled() && st.Dominant() != 0 {
+				falseStops++
+			}
+		}
+		rate := float64(falseStops) / float64(streams)
+		if alpha := 1 - confidence; rate >= alpha {
+			t.Errorf("p0=%.2f: false-stop rate %.3f (%d/%d) >= alpha %.2f",
+				p0, rate, falseStops, streams, alpha)
+		}
+	}
+}
