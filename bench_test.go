@@ -431,6 +431,79 @@ func syntheticMeasured(n int) []fastfit.PointResult {
 	return out
 }
 
+// ---- campaign hot-path benchmarks (the buffer arena + golden digest) ----
+
+// benchPaperTrial measures one injected trial at paper scale: LU on 32
+// ranks, injecting a data-buffer fault at a rotating point. This is the
+// operation a campaign executes tens of thousands of times; the committed
+// baseline in BENCH_alloc.json and the CI benchstat gate watch its time/op
+// and allocs/op.
+func benchPaperTrial(b *testing.B, disablePooling bool) {
+	b.Helper()
+	app, err := fastfit.LookupApp("lu")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := app.DefaultConfig()
+	cfg.Ranks = 32
+	cfg.Scale = 64
+	opts := fastfit.DefaultOptions()
+	opts.RunTimeout = 30 * time.Second
+	opts.DisablePooling = disablePooling
+	e := fastfit.New(app, cfg, opts)
+	if _, err := e.Profile(); err != nil {
+		b.Fatal(err)
+	}
+	points, err := e.Points()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := points[i%len(points)]
+		f := fault.DataBufferFault(rng, p.Rank, p.Site, p.Invocation, p.Type)
+		e.RunOnce(f)
+	}
+}
+
+func BenchmarkPaperTrialLU32(b *testing.B)       { benchPaperTrial(b, false) }
+func BenchmarkPaperTrialLU32NoPool(b *testing.B) { benchPaperTrial(b, true) }
+
+// BenchmarkGoldenDigestClassify isolates the per-trial classification cost
+// against a precomputed digest versus the full golden comparison.
+func BenchmarkGoldenDigestClassify(b *testing.B) {
+	golden := syntheticRunResult(32, 64)
+	res := syntheticRunResult(32, 64)
+	d := classify.NewDigest(golden, classify.DefaultTolerance)
+	b.Run("digest", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d.Classify(res)
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			classify.Classify(golden, res)
+		}
+	})
+}
+
+func syntheticRunResult(ranks, vals int) mpi.RunResult {
+	rng := rand.New(rand.NewSource(7))
+	res := mpi.RunResult{Ranks: make([]mpi.RankResult, ranks)}
+	for i := range res.Ranks {
+		v := make([]float64, vals)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		res.Ranks[i] = mpi.RankResult{Rank: i, Values: v}
+	}
+	return res
+}
+
 func TestMain(m *testing.M) {
 	os.Exit(m.Run())
 }

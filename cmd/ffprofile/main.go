@@ -3,19 +3,30 @@
 // table, call-stack diversity and rank-equivalence classes that the
 // semantic- and context-driven pruning techniques consume.
 //
+// With -trials it additionally drives N injected trials through the
+// engine hot path and reports per-trial wall time and memory churn, which
+// is how the numbers in EXPERIMENTS.md were gathered; -nopool disables
+// the buffer arena for before/after comparison.
+//
 // Usage:
 //
 //	ffprofile -app lu -ranks 16
 //	ffprofile -app minimd -points
+//	ffprofile -app lu -ranks 32 -trials 200
+//	ffprofile -app lu -ranks 32 -trials 200 -nopool
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"runtime"
+	"time"
 
 	"github.com/fastfit/fastfit"
 	"github.com/fastfit/fastfit/internal/core"
+	"github.com/fastfit/fastfit/internal/fault"
 )
 
 func main() {
@@ -32,6 +43,8 @@ func run() error {
 		scale   = flag.Int("scale", 0, "problem-size knob (0 = app default)")
 		iters   = flag.Int("iters", 0, "outer iterations (0 = app default)")
 		points  = flag.Bool("points", false, "also list the pruned injection points")
+		trials  = flag.Int("trials", 0, "run N injected trials and report ms/trial, allocs/trial, KB/trial")
+		nopool  = flag.Bool("nopool", false, "disable the buffer arena (per-trial allocation baseline)")
 	)
 	flag.Parse()
 
@@ -50,7 +63,9 @@ func run() error {
 		cfg.Iters = *iters
 	}
 
-	engine := fastfit.New(app, cfg, fastfit.DefaultOptions())
+	opts := fastfit.DefaultOptions()
+	opts.DisablePooling = *nopool
+	engine := fastfit.New(app, cfg, opts)
 	prof, err := engine.Profile()
 	if err != nil {
 		return err
@@ -70,5 +85,51 @@ func run() error {
 			fmt.Printf("  %s\n", p.String())
 		}
 	}
+
+	if *trials > 0 {
+		if err := measureTrials(engine, *trials, *nopool); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// measureTrials drives n injected trials through the campaign hot path and
+// reports per-trial wall time and heap churn from runtime.ReadMemStats
+// deltas. Each trial rotates over the pruned injection points with a
+// deterministic per-trial fault, matching what a campaign executes.
+func measureTrials(engine *core.Engine, n int, nopool bool) error {
+	pts, err := engine.Points()
+	if err != nil {
+		return err
+	}
+	if len(pts) == 0 {
+		return fmt.Errorf("no injection points to measure")
+	}
+
+	// One warm-up trial populates the pools so steady state is measured.
+	warm := pts[0]
+	engine.RunOnce(fault.RandomFault(rand.New(rand.NewSource(0)), warm.Rank, warm.Site, warm.Invocation, warm.Type))
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		p := pts[i%len(pts)]
+		rng := rand.New(rand.NewSource(int64(i + 1)))
+		engine.RunOnce(fault.RandomFault(rng, p.Rank, p.Site, p.Invocation, p.Type))
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	mode := "pooled"
+	if nopool {
+		mode = "nopool"
+	}
+	fmt.Printf("\ninjected trials: %d (%s)\n", n, mode)
+	fmt.Printf("  %8.3f ms/trial\n", float64(elapsed.Nanoseconds())/float64(n)/1e6)
+	fmt.Printf("  %8.0f allocs/trial\n", float64(m1.Mallocs-m0.Mallocs)/float64(n))
+	fmt.Printf("  %8.1f KB/trial\n", float64(m1.TotalAlloc-m0.TotalAlloc)/float64(n)/1024)
 	return nil
 }

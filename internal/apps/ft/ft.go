@@ -141,10 +141,12 @@ func (FT) Main(r *mpi.Rank, cfg apps.Config) error {
 				}
 			}
 		}
-		sendBuf := mpi.FromComplex128s(sendVals)
-		recvBuf := mpi.NewComplex128Buffer(blockStatic * p)
+		sendBuf := r.FromComplex128s(sendVals)
+		recvBuf := r.NewComplex128Buffer(blockStatic * p)
 		r.Alltoall(sendBuf, recvBuf, blockElems, mpi.Complex128, mpi.CommWorld)
 		recvVals := recvBuf.Complex128s()
+		sendBuf.Release()
+		recvBuf.Release()
 
 		// Unpack into pencil layout: from rank q arrive my x-chunk's values
 		// for q's z-planes.
@@ -213,10 +215,12 @@ func (FT) Main(r *mpi.Rank, cfg apps.Config) error {
 				}
 			}
 		}
-		sendBuf = mpi.FromComplex128s(sendVals)
-		recvBuf = mpi.NewComplex128Buffer(blockStatic * p)
+		sendBuf = r.FromComplex128s(sendVals)
+		recvBuf = r.NewComplex128Buffer(blockStatic * p)
 		r.Alltoall(sendBuf, recvBuf, blockElems, mpi.Complex128, mpi.CommWorld)
 		recvVals = recvBuf.Complex128s()
+		sendBuf.Release()
+		recvBuf.Release()
 		idx = 0
 		for q := 0; q < p; q++ {
 			for zl := 0; zl < planes; zl++ {

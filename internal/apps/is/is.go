@@ -121,10 +121,12 @@ func (IS) Main(r *mpi.Rank, cfg apps.Config) error {
 		}
 
 		// Global histogram: the collective whose corruption cascades.
-		histBuf := mpi.FromInt32s(localHist)
-		globBuf := mpi.NewInt32Buffer(nbucketsStatic)
+		histBuf := r.FromInt32s(localHist)
+		globBuf := r.NewInt32Buffer(nbucketsStatic)
 		r.Allreduce(histBuf, globBuf, nbuckets, mpi.Int32, mpi.OpSum, mpi.CommWorld)
 		global := globBuf.Int32s()
+		histBuf.Release()
+		globBuf.Release()
 
 		// Assign contiguous bucket ranges to ranks, balancing key counts
 		// using the (possibly corrupted) global histogram.
@@ -149,10 +151,12 @@ func (IS) Main(r *mpi.Rank, cfg apps.Config) error {
 		for i := 0; i < nkeys; i++ {
 			sendCounts[ownerOf[bucketOf(keys[i])]]++
 		}
-		scBuf := mpi.FromInt32s(sendCounts)
-		rcBuf := mpi.NewInt32Buffer(nproc)
+		scBuf := r.FromInt32s(sendCounts)
+		rcBuf := r.NewInt32Buffer(nproc)
 		r.Alltoall(scBuf, rcBuf, 1, mpi.Int32, mpi.CommWorld)
 		recvCounts := rcBuf.Int32s()
+		scBuf.Release()
+		rcBuf.Release()
 
 		// Displacements and the key exchange into static staging buffers.
 		sendDispls := make([]int32, nproc)
@@ -171,8 +175,8 @@ func (IS) Main(r *mpi.Rank, cfg apps.Config) error {
 			outKeys[cursor[p]] = k // static buffer: overflow faults
 			cursor[p]++
 		}
-		sendBuf := mpi.FromInt32s(outKeys)
-		recvBuf := mpi.FromInt32s(sortBuf)
+		sendBuf := r.FromInt32s(outKeys)
+		recvBuf := r.FromInt32s(sortBuf)
 		r.Alltoallv(sendBuf, sendCounts, sendDispls, recvBuf, recvCounts, recvDispls, mpi.Int32, mpi.CommWorld)
 		r.Tick(int(rTot) + 1)
 		if rTot < 0 || int(rTot) > len(sortBuf) {
@@ -182,6 +186,8 @@ func (IS) Main(r *mpi.Rank, cfg apps.Config) error {
 			panic(mpi.SegFault{Op: "IS key_buff2 overflow", Offset: 0, Length: int(rTot), Bound: len(sortBuf)})
 		}
 		received := recvBuf.Int32s()[:rTot]
+		sendBuf.Release()
+		recvBuf.Release()
 
 		// Counting sort of the received keys in the static ranking array.
 		for i := range countArr {
@@ -235,7 +241,9 @@ func (IS) Main(r *mpi.Rank, cfg apps.Config) error {
 		}
 	}
 	if r.ID() < nproc-1 {
-		r.Send(mpi.CommWorld, r.ID()+1, 11, mpi.FromInt32s([]int32{myMax}).Bytes())
+		maxBuf := r.FromInt32s([]int32{myMax})
+		r.Send(mpi.CommWorld, r.ID()+1, 11, maxBuf.Bytes())
+		maxBuf.Release()
 	}
 	if r.ID() > 0 {
 		raw := r.Recv(mpi.CommWorld, r.ID()-1, 11)

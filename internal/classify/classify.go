@@ -62,25 +62,34 @@ func Classify(golden, res mpi.RunResult) Outcome {
 
 // ClassifyTol is Classify with an explicit relative tolerance.
 func ClassifyTol(golden, res mpi.RunResult, tol float64) Outcome {
-	// Failure classes first, in the priority order a job launcher reports:
-	// a crash beats an MPI abort beats an application abort beats a hang.
-	switch res.FirstError().(type) {
-	case mpi.SegFault:
-		return SegFault
-	case mpi.MPIError:
-		return MPIErr
-	case mpi.AppError:
-		return AppDetected
-	case mpi.Killed:
-		return InfLoop
-	}
-	if res.Deadlock || res.TimedOut {
-		return InfLoop
+	if o, failed := failureClass(res); failed {
+		return o
 	}
 	if !sameResults(golden, res, tol) {
 		return WrongAns
 	}
 	return Success
+}
+
+// failureClass maps a run's failure report to its outcome class, in the
+// priority order a job launcher reports: a crash beats an MPI abort beats
+// an application abort beats a hang. The second return is false when the
+// run completed and must be compared against the golden results.
+func failureClass(res mpi.RunResult) (Outcome, bool) {
+	switch res.FirstError().(type) {
+	case mpi.SegFault:
+		return SegFault, true
+	case mpi.MPIError:
+		return MPIErr, true
+	case mpi.AppError:
+		return AppDetected, true
+	case mpi.Killed:
+		return InfLoop, true
+	}
+	if res.Deadlock || res.TimedOut {
+		return InfLoop, true
+	}
+	return Success, false
 }
 
 // sameResults compares the per-rank reported values against the golden run

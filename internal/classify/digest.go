@@ -1,0 +1,90 @@
+package classify
+
+import (
+	"math"
+
+	"github.com/fastfit/fastfit/internal/mpi"
+)
+
+// Digest is a precomputed view of a golden run that makes per-trial
+// classification O(changed data): the float64 bit patterns of every
+// reported value are cached so the common case — a faulty run whose
+// surviving values are byte-identical to the golden ones — is a single
+// integer comparison per element with no float special-casing. Only
+// elements whose bits differ fall back to the tolerance comparison.
+//
+// A Digest classifies exactly like ClassifyTol over the same golden run
+// and tolerance; TestDigestMatchesClassify and FuzzClassify pin that.
+type Digest struct {
+	tol   float64
+	ranks []rankDigest
+
+	// hasNaN records whether any golden value is NaN. closeEnough treats
+	// NaN as never equal to anything (including an identical NaN), so a
+	// NaN-bearing golden run makes every completed run WRONG_ANS; the
+	// bit-equality fast path would wrongly accept an identical NaN.
+	hasNaN bool
+}
+
+type rankDigest struct {
+	bits []uint64
+	vals []float64
+}
+
+// NewDigest precomputes the digest of a golden run with the given relative
+// tolerance (≤0 means DefaultTolerance). The golden values are copied, so
+// the digest stays valid however the caller's RunResult is reused.
+func NewDigest(golden mpi.RunResult, tol float64) *Digest {
+	if tol <= 0 {
+		tol = DefaultTolerance
+	}
+	d := &Digest{tol: tol, ranks: make([]rankDigest, len(golden.Ranks))}
+	for i, rr := range golden.Ranks {
+		rd := rankDigest{
+			bits: make([]uint64, len(rr.Values)),
+			vals: make([]float64, len(rr.Values)),
+		}
+		for j, v := range rr.Values {
+			rd.bits[j] = math.Float64bits(v)
+			rd.vals[j] = v
+			if math.IsNaN(v) {
+				d.hasNaN = true
+			}
+		}
+		d.ranks[i] = rd
+	}
+	return d
+}
+
+// Classify assigns a run to an outcome class, equivalently to
+// ClassifyTol(golden, res, tol) over the digested golden run.
+func (d *Digest) Classify(res mpi.RunResult) Outcome {
+	if o, failed := failureClass(res); failed {
+		return o
+	}
+	if d.hasNaN {
+		// No run compares equal to a golden run containing NaN.
+		return WrongAns
+	}
+	if len(res.Ranks) != len(d.ranks) {
+		return WrongAns
+	}
+	for i := range d.ranks {
+		g := &d.ranks[i]
+		r := res.Ranks[i].Values
+		if len(r) != len(g.vals) {
+			return WrongAns
+		}
+		for j, v := range r {
+			if math.Float64bits(v) == g.bits[j] {
+				continue
+			}
+			// Bits differ: ±0.0 and near-misses within tolerance are
+			// still equal under the full comparison.
+			if !closeEnough(g.vals[j], v, d.tol) {
+				return WrongAns
+			}
+		}
+	}
+	return Success
+}

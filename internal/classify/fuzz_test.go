@@ -1,0 +1,192 @@
+package classify
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"github.com/fastfit/fastfit/internal/mpi"
+)
+
+// fuzzReader consumes a fuzz payload as a byte stream, yielding zeros once
+// exhausted so every input decodes to some RunResult pair.
+type fuzzReader struct {
+	data []byte
+	pos  int
+}
+
+func (f *fuzzReader) byte() byte {
+	if f.pos >= len(f.data) {
+		return 0
+	}
+	b := f.data[f.pos]
+	f.pos++
+	return b
+}
+
+func (f *fuzzReader) u64() uint64 {
+	var buf [8]byte
+	for i := range buf {
+		buf[i] = f.byte()
+	}
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// float64 decodes raw bits biased toward the interesting values: NaN, ±Inf,
+// ±0, exact small integers (likely to collide between golden and faulty)
+// and fully arbitrary bit patterns.
+func (f *fuzzReader) float64() float64 {
+	switch f.byte() % 8 {
+	case 0:
+		return math.NaN()
+	case 1:
+		return math.Inf(1)
+	case 2:
+		return math.Inf(-1)
+	case 3:
+		return math.Copysign(0, -1)
+	case 4:
+		return float64(int(f.byte()) - 128)
+	case 5:
+		// A near-miss within tolerance of a small integer.
+		return float64(int(f.byte())-128) + 1e-13
+	default:
+		return math.Float64frombits(f.u64())
+	}
+}
+
+func (f *fuzzReader) rankErr() error {
+	switch f.byte() % 8 {
+	case 1:
+		return mpi.SegFault{Op: "fuzz", Offset: 1, Length: 2, Bound: 3}
+	case 2:
+		return mpi.MPIError{Class: mpi.ErrClass(f.byte() % 16), Rank: 0, Op: "fuzz"}
+	case 3:
+		return mpi.AppError{Rank: 0, Message: "fuzz"}
+	case 4:
+		return mpi.Killed{Reason: "fuzz"}
+	default:
+		return nil
+	}
+}
+
+func (f *fuzzReader) runResult() mpi.RunResult {
+	n := int(f.byte() % 5)
+	res := mpi.RunResult{Ranks: make([]mpi.RankResult, n)}
+	for i := 0; i < n; i++ {
+		nv := int(f.byte() % 6)
+		vals := make([]float64, nv)
+		for j := range vals {
+			vals[j] = f.float64()
+		}
+		res.Ranks[i] = mpi.RankResult{Rank: i, Err: f.rankErr(), Values: vals}
+	}
+	flags := f.byte()
+	res.Deadlock = flags&1 != 0
+	res.TimedOut = flags&2 != 0
+	return res
+}
+
+// perturb derives a faulty run from the golden one: same shape, with a few
+// values flipped, so the fuzzer exercises the digest's bit-equality fast
+// path and its tolerance fallback, not just gross shape mismatches.
+func (f *fuzzReader) perturb(golden mpi.RunResult) mpi.RunResult {
+	res := mpi.RunResult{Ranks: make([]mpi.RankResult, len(golden.Ranks))}
+	for i, rr := range golden.Ranks {
+		vals := append([]float64(nil), rr.Values...)
+		res.Ranks[i] = mpi.RankResult{Rank: rr.Rank, Err: rr.Err, Values: vals}
+	}
+	for k := int(f.byte() % 4); k > 0; k-- {
+		i := int(f.byte())
+		j := int(f.byte())
+		if len(res.Ranks) == 0 {
+			break
+		}
+		rr := &res.Ranks[i%len(res.Ranks)]
+		switch f.byte() % 4 {
+		case 0:
+			if len(rr.Values) > 0 {
+				rr.Values[j%len(rr.Values)] = f.float64()
+			}
+		case 1:
+			if len(rr.Values) > 0 {
+				// Flip one mantissa bit: a sub-tolerance or super-tolerance
+				// wiggle depending on the bit.
+				j := j % len(rr.Values)
+				bits := math.Float64bits(rr.Values[j]) ^ (1 << (f.byte() % 52))
+				rr.Values[j] = math.Float64frombits(bits)
+			}
+		case 2:
+			rr.Err = f.rankErr()
+		case 3:
+			rr.Values = append(rr.Values, f.float64())
+		}
+	}
+	flags := f.byte()
+	res.Deadlock = flags&1 != 0
+	res.TimedOut = flags&2 != 0
+	return res
+}
+
+// FuzzClassify feeds arbitrary golden/faulty RunResult pairs through both
+// the full comparison (ClassifyTol) and the precomputed digest, requiring
+// them to agree on every input and never panic.
+func FuzzClassify(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 3, 0, 4, 1, 5, 2, 6, 0, 0, 1})
+	f.Add([]byte{1, 1, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add([]byte{4, 5, 5, 5, 5, 5, 1, 2, 3, 4, 0, 255, 128, 64, 32, 16, 8, 4, 2, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := &fuzzReader{data: data}
+		golden := fr.runResult()
+		var faulty mpi.RunResult
+		if fr.byte()%2 == 0 {
+			faulty = fr.perturb(golden)
+		} else {
+			faulty = fr.runResult()
+		}
+		tol := DefaultTolerance
+		if fr.byte()%4 == 0 {
+			tol = 1e-3
+		}
+
+		want := ClassifyTol(golden, faulty, tol)
+		got := NewDigest(golden, tol).Classify(faulty)
+		if got != want {
+			t.Fatalf("digest disagrees with full comparison: digest=%v full=%v\ngolden: %+v\nfaulty: %+v",
+				got, want, golden, faulty)
+		}
+	})
+}
+
+// TestDigestMatchesClassify pins digest/full agreement on handwritten edge
+// cases the fuzzer found valuable: NaN in the golden run, ±0.0, Inf, and
+// sub-tolerance drift.
+func TestDigestMatchesClassify(t *testing.T) {
+	mk := func(vals ...float64) mpi.RunResult {
+		return mpi.RunResult{Ranks: []mpi.RankResult{{Rank: 0, Values: vals}}}
+	}
+	cases := []struct {
+		name           string
+		golden, faulty mpi.RunResult
+	}{
+		{"identical", mk(1, 2, 3), mk(1, 2, 3)},
+		{"sub-tolerance drift", mk(1), mk(1 + 1e-13)},
+		{"super-tolerance drift", mk(1), mk(1.01)},
+		{"golden NaN identical bits", mk(math.NaN()), mk(math.NaN())},
+		{"faulty NaN", mk(1), mk(math.NaN())},
+		{"signed zero", mk(0), mk(math.Copysign(0, -1))},
+		{"inf equal", mk(math.Inf(1)), mk(math.Inf(1))},
+		{"inf flipped", mk(math.Inf(1)), mk(math.Inf(-1))},
+		{"shape mismatch", mk(1, 2), mk(1)},
+		{"deadlock", mk(1), mpi.RunResult{Ranks: []mpi.RankResult{{Rank: 0, Values: []float64{1}}}, Deadlock: true}},
+	}
+	for _, tc := range cases {
+		want := Classify(tc.golden, tc.faulty)
+		got := NewDigest(tc.golden, DefaultTolerance).Classify(tc.faulty)
+		if got != want {
+			t.Errorf("%s: digest=%v full=%v", tc.name, got, want)
+		}
+	}
+}

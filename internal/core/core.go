@@ -27,6 +27,13 @@ type Options struct {
 	// Zero picks a conservative default based on GOMAXPROCS.
 	Parallelism int
 
+	// DisablePooling turns off the simulated runtime's buffer arena
+	// (mpi.RunOptions.DisablePooling) and the precomputed golden digest,
+	// falling back to per-run allocation and full golden comparison. The
+	// differential tests use this to prove the pooled fast path is
+	// outcome-identical; campaigns leave it off.
+	DisablePooling bool
+
 	// SemanticPruning enables the rank-equivalence reduction (§III-A).
 	SemanticPruning bool
 	// ContextPruning enables the call-stack invocation reduction (§III-B).

@@ -28,6 +28,7 @@ type Engine struct {
 
 	prof   *profile.Profile
 	golden mpi.RunResult
+	digest *classify.Digest
 }
 
 // App returns the engine's workload.
@@ -80,6 +81,9 @@ func (e *Engine) Profile() (*profile.Profile, error) {
 	}
 	e.prof = col.Finish()
 	e.golden = res
+	if !e.opts.DisablePooling {
+		e.digest = classify.NewDigest(res, classify.DefaultTolerance)
+	}
 	return e.prof, nil
 }
 
@@ -104,11 +108,12 @@ func (e *Engine) run(hook mpi.Hook) mpi.RunResult {
 // simulated world promptly when ctx is done.
 func (e *Engine) runCtx(ctx context.Context, hook mpi.Hook) mpi.RunResult {
 	return mpi.Run(mpi.RunOptions{
-		NumRanks: e.cfg.Ranks,
-		Seed:     e.cfg.Seed,
-		Timeout:  e.opts.RunTimeout,
-		Hook:     hook,
-		Context:  ctx,
+		NumRanks:       e.cfg.Ranks,
+		Seed:           e.cfg.Seed,
+		Timeout:        e.opts.RunTimeout,
+		Hook:           hook,
+		Context:        ctx,
+		DisablePooling: e.opts.DisablePooling,
 	}, func(r *mpi.Rank) error { return e.app.Main(r, e.cfg) })
 }
 
@@ -124,7 +129,18 @@ func (e *Engine) RunOnce(faults ...fault.Fault) (classify.Outcome, mpi.RunResult
 func (e *Engine) RunOnceCtx(ctx context.Context, faults ...fault.Fault) (classify.Outcome, mpi.RunResult) {
 	inj := fault.NewInjector(nil, faults...)
 	res := e.runCtx(ctx, inj)
-	return classify.Classify(e.golden, res), res
+	return e.classifyRun(res), res
+}
+
+// classifyRun classifies one run against the golden reference, through the
+// precomputed digest when Profile built one (the campaign hot path) and
+// the full comparison otherwise. The two are outcome-identical; the
+// differential tests pin it.
+func (e *Engine) classifyRun(res mpi.RunResult) classify.Outcome {
+	if e.digest != nil {
+		return e.digest.Classify(res)
+	}
+	return classify.Classify(e.golden, res)
 }
 
 // trialSeed derives a deterministic seed for one trial of one point.

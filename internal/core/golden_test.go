@@ -90,6 +90,12 @@ func TestGoldenAdaptiveEventStream(t *testing.T) {
 			sawSettled, sawRefined)
 	}
 
+	if raceEnabled {
+		// The stream embeds call-site PCs, which shift in race-instrumented
+		// binaries; the envelope invariants above still ran. The byte-exact
+		// comparison is the uninstrumented CI step's job.
+		t.Skip("golden bytes are pinned against the uninstrumented build")
+	}
 	goldenCompare(t, "adaptive_stream.golden.jsonl", buf.Bytes())
 }
 

@@ -121,7 +121,7 @@ func (e *Engine) InjectP2PPoint(p P2PPoint, pointIdx, n int) P2PPointResult {
 		f := fault.RandomP2PFault(rng, p.Rank, p.Site, p.Invocation, p.Kind)
 		inj := fault.NewP2PInjector(nil, f)
 		res := e.run(inj)
-		outcome := classify.Classify(e.golden, res)
+		outcome := e.classifyRun(res)
 		pr.Trials = append(pr.Trials, P2PTrialResult{Target: f.Target, Bit: f.Bit, Outcome: outcome})
 		pr.Counts.Add(outcome)
 	}

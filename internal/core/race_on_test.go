@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled trims the heavyweight sweeps (differential seeds, paper-scale
+// supervision) to keep the race-instrumented CI run affordable; the full
+// sweeps run in the uninstrumented step.
+const raceEnabled = true

@@ -1,0 +1,214 @@
+package mpi
+
+import (
+	"testing"
+)
+
+// The allocation-regression suite pins the steady-state allocation cost of
+// every collective at 32 ranks with the buffer arena active. Each budget
+// is allocations per collective invocation across the WHOLE 32-rank world
+// (not per rank), measured as a two-point slope so per-run fixed costs
+// (goroutines, result slices, waitgroups) cancel out. The budgets carry
+// roughly 2× headroom over measured values; an accidental per-op
+// allocation on the hot path (a dropped slab, an escaping Args literal, a
+// message copy) costs tens to hundreds of allocations per op at this rank
+// count and fails immediately.
+
+const allocRanks = 32
+
+// collAllocSlope measures allocations per collective op: runs the body
+// loop at two iteration counts inside full Run calls and divides the
+// allocation delta by the iteration delta.
+func collAllocSlope(t *testing.T, body func(r *Rank, iters int)) float64 {
+	t.Helper()
+	run := func(iters int) float64 {
+		return testing.AllocsPerRun(3, func() {
+			res := Run(RunOptions{NumRanks: allocRanks, Seed: 1}, func(r *Rank) error {
+				body(r, iters)
+				return nil
+			})
+			if err := res.FirstError(); err != nil {
+				t.Errorf("collective run failed: %v", err)
+			}
+			if res.Deadlock || res.TimedOut {
+				t.Errorf("collective run hung: deadlock=%v timeout=%v", res.Deadlock, res.TimedOut)
+			}
+		})
+	}
+	const k1, k2 = 8, 24
+	run(k2) // warm the arena pools to steady state
+	a1 := run(k1)
+	a2 := run(k2)
+	slope := (a2 - a1) / float64(k2-k1)
+	if slope < 0 {
+		slope = 0
+	}
+	return slope
+}
+
+func TestCollectiveAllocBudgets(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; budgets are meaningless under -race")
+	}
+	if testing.Short() {
+		t.Skip("allocation slopes need repeated 32-rank runs")
+	}
+
+	const n = 8 // elements per rank per op
+
+	cases := []struct {
+		name   string
+		budget float64
+		body   func(r *Rank, iters int)
+	}{
+		{"Barrier", 16, func(r *Rank, iters int) {
+			for i := 0; i < iters; i++ {
+				r.Barrier(CommWorld)
+			}
+		}},
+		{"Bcast", 16, func(r *Rank, iters int) {
+			buf := r.NewFloat64Buffer(n)
+			defer buf.Release()
+			for i := 0; i < iters; i++ {
+				r.Bcast(buf, n, Float64, 0, CommWorld)
+			}
+		}},
+		{"Reduce", 16, func(r *Rank, iters int) {
+			send := r.NewFloat64Buffer(n)
+			recv := r.NewFloat64Buffer(n)
+			defer send.Release()
+			defer recv.Release()
+			for i := 0; i < iters; i++ {
+				r.Reduce(send, recv, n, Float64, OpSum, 0, CommWorld)
+			}
+		}},
+		{"Allreduce", 16, func(r *Rank, iters int) {
+			send := r.NewFloat64Buffer(n)
+			recv := r.NewFloat64Buffer(n)
+			defer send.Release()
+			defer recv.Release()
+			for i := 0; i < iters; i++ {
+				r.Allreduce(send, recv, n, Float64, OpSum, CommWorld)
+			}
+		}},
+		{"Scatter", 16, func(r *Rank, iters int) {
+			send := r.NewFloat64Buffer(n * allocRanks)
+			recv := r.NewFloat64Buffer(n)
+			defer send.Release()
+			defer recv.Release()
+			for i := 0; i < iters; i++ {
+				r.Scatter(send, recv, n, Float64, 0, CommWorld)
+			}
+		}},
+		{"Gather", 16, func(r *Rank, iters int) {
+			send := r.NewFloat64Buffer(n)
+			recv := r.NewFloat64Buffer(n * allocRanks)
+			defer send.Release()
+			defer recv.Release()
+			for i := 0; i < iters; i++ {
+				r.Gather(send, recv, n, Float64, 0, CommWorld)
+			}
+		}},
+		{"Allgather", 16, func(r *Rank, iters int) {
+			send := r.NewFloat64Buffer(n)
+			recv := r.NewFloat64Buffer(n * allocRanks)
+			defer send.Release()
+			defer recv.Release()
+			for i := 0; i < iters; i++ {
+				r.Allgather(send, recv, n, Float64, CommWorld)
+			}
+		}},
+		{"Alltoall", 64, func(r *Rank, iters int) {
+			send := r.NewFloat64Buffer(n * allocRanks)
+			recv := r.NewFloat64Buffer(n * allocRanks)
+			defer send.Release()
+			defer recv.Release()
+			for i := 0; i < iters; i++ {
+				r.Alltoall(send, recv, n, Float64, CommWorld)
+			}
+		}},
+		{"Alltoallv", 64, func(r *Rank, iters int) {
+			send := r.NewFloat64Buffer(n * allocRanks)
+			recv := r.NewFloat64Buffer(n * allocRanks)
+			defer send.Release()
+			defer recv.Release()
+			counts := make([]int32, allocRanks)
+			displs := make([]int32, allocRanks)
+			for p := range counts {
+				counts[p] = n
+				displs[p] = int32(p * n)
+			}
+			for i := 0; i < iters; i++ {
+				r.Alltoallv(send, counts, displs, recv, counts, displs, Float64, CommWorld)
+			}
+		}},
+		{"ReduceScatter", 16, func(r *Rank, iters int) {
+			send := r.NewFloat64Buffer(n * allocRanks)
+			recv := r.NewFloat64Buffer(n)
+			defer send.Release()
+			defer recv.Release()
+			counts := make([]int32, allocRanks)
+			for p := range counts {
+				counts[p] = n
+			}
+			for i := 0; i < iters; i++ {
+				r.ReduceScatter(send, recv, counts, Float64, OpSum, CommWorld)
+			}
+		}},
+		{"Scan", 16, func(r *Rank, iters int) {
+			send := r.NewFloat64Buffer(n)
+			recv := r.NewFloat64Buffer(n)
+			defer send.Release()
+			defer recv.Release()
+			for i := 0; i < iters; i++ {
+				r.Scan(send, recv, n, Float64, OpSum, CommWorld)
+			}
+		}},
+		{"Scatterv", 16, func(r *Rank, iters int) {
+			send := r.NewFloat64Buffer(n * allocRanks)
+			recv := r.NewFloat64Buffer(n)
+			defer send.Release()
+			defer recv.Release()
+			counts := make([]int32, allocRanks)
+			displs := make([]int32, allocRanks)
+			for p := range counts {
+				counts[p] = n
+				displs[p] = int32(p * n)
+			}
+			for i := 0; i < iters; i++ {
+				r.Scatterv(send, counts, displs, recv, n, Float64, 0, CommWorld)
+			}
+		}},
+		{"Gatherv", 16, func(r *Rank, iters int) {
+			send := r.NewFloat64Buffer(n)
+			recv := r.NewFloat64Buffer(n * allocRanks)
+			defer send.Release()
+			defer recv.Release()
+			counts := make([]int32, allocRanks)
+			displs := make([]int32, allocRanks)
+			for p := range counts {
+				counts[p] = n
+				displs[p] = int32(p * n)
+			}
+			for i := 0; i < iters; i++ {
+				r.Gatherv(send, n, recv, counts, displs, Float64, 0, CommWorld)
+			}
+		}},
+	}
+
+	if len(cases) != int(NumCollTypes) {
+		t.Fatalf("budget table covers %d collectives; runtime has %d", len(cases), NumCollTypes)
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			slope := collAllocSlope(t, tc.body)
+			t.Logf("%s: %.1f allocs/op (budget %.0f) at %d ranks", tc.name, slope, tc.budget, allocRanks)
+			if slope > tc.budget {
+				t.Errorf("%s allocates %.1f per op at %d ranks; budget is %.0f — a hot-path allocation crept in",
+					tc.name, slope, allocRanks, tc.budget)
+			}
+		})
+	}
+}

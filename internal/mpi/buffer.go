@@ -8,7 +8,8 @@ package mpi
 // process takes when a corrupted count or element size walks past the end of
 // an allocation.
 type Buffer struct {
-	mem []byte
+	mem  []byte
+	slab *slab // arena backing when rank-allocated with pooling on (pool.go)
 }
 
 // NewBuffer allocates a zeroed buffer of n bytes.
@@ -17,6 +18,20 @@ func NewBuffer(n int) *Buffer {
 		n = 0
 	}
 	return &Buffer{mem: make([]byte, n)}
+}
+
+// Release returns an arena-backed buffer's storage to the pool. The buffer
+// must not be used afterwards (any access faults, as a freed allocation
+// would). It is idempotent and a no-op for unpooled buffers, so cleanup
+// paths can call it unconditionally; buffers never released explicitly are
+// swept back when their run ends.
+func (b *Buffer) Release() {
+	if b == nil || b.slab == nil {
+		return
+	}
+	putSlab(b.slab)
+	b.slab = nil
+	b.mem = nil
 }
 
 // Len returns the buffer length in bytes.
@@ -177,6 +192,65 @@ func FromInt32s(vs []int32) *Buffer {
 // FromComplex128s builds a buffer containing the given values.
 func FromComplex128s(vs []complex128) *Buffer {
 	b := NewComplex128Buffer(len(vs))
+	for i, v := range vs {
+		storeFloat64(b.mem[i*16:], real(v))
+		storeFloat64(b.mem[i*16+8:], imag(v))
+	}
+	return b
+}
+
+// Rank-bound constructors. These are the arena-aware counterparts of the
+// free constructors above: inside a simulated run they draw backing
+// storage from the buffer pool (tracked per rank, swept back when the run
+// ends, or earlier via Release), falling back to plain allocations when
+// pooling is disabled. Applications should prefer these inside rank
+// functions; the free constructors remain for code holding no *Rank.
+
+// NewBuffer allocates a zeroed n-byte buffer from the run's arena.
+func (r *Rank) NewBuffer(n int) *Buffer { return r.allocBuffer(n, true) }
+
+// NewFloat64Buffer allocates an arena buffer of n float64 elements.
+func (r *Rank) NewFloat64Buffer(n int) *Buffer { return r.allocBuffer(n*8, true) }
+
+// NewInt64Buffer allocates an arena buffer of n int64 elements.
+func (r *Rank) NewInt64Buffer(n int) *Buffer { return r.allocBuffer(n*8, true) }
+
+// NewInt32Buffer allocates an arena buffer of n int32 elements.
+func (r *Rank) NewInt32Buffer(n int) *Buffer { return r.allocBuffer(n*4, true) }
+
+// NewComplex128Buffer allocates an arena buffer of n complex128 elements.
+func (r *Rank) NewComplex128Buffer(n int) *Buffer { return r.allocBuffer(n*16, true) }
+
+// FromFloat64s builds an arena buffer containing the given values.
+func (r *Rank) FromFloat64s(vs []float64) *Buffer {
+	b := r.allocBuffer(len(vs)*8, false)
+	for i, v := range vs {
+		storeFloat64(b.mem[i*8:], v)
+	}
+	return b
+}
+
+// FromInt64s builds an arena buffer containing the given values.
+func (r *Rank) FromInt64s(vs []int64) *Buffer {
+	b := r.allocBuffer(len(vs)*8, false)
+	for i, v := range vs {
+		storeInt64(b.mem[i*8:], v)
+	}
+	return b
+}
+
+// FromInt32s builds an arena buffer containing the given values.
+func (r *Rank) FromInt32s(vs []int32) *Buffer {
+	b := r.allocBuffer(len(vs)*4, false)
+	for i, v := range vs {
+		storeInt32(b.mem[i*4:], v)
+	}
+	return b
+}
+
+// FromComplex128s builds an arena buffer containing the given values.
+func (r *Rank) FromComplex128s(vs []complex128) *Buffer {
+	b := r.allocBuffer(len(vs)*16, false)
 	for i, v := range vs {
 		storeFloat64(b.mem[i*16:], real(v))
 		storeFloat64(b.mem[i*16+8:], imag(v))

@@ -15,13 +15,15 @@ package mpi
 
 // recvBlock receives an internal collective message and applies MPI's
 // truncation rule: an incoming message longer than the posted receive is an
-// error (MPI_ERR_TRUNCATE); a shorter one is accepted as-is.
-func (r *Rank) recvBlock(op string, comm Comm, src int, tag int64, want int) []byte {
+// error (MPI_ERR_TRUNCATE); a shorter one is accepted as-is. The caller
+// owns the returned message and recycles its pooled payload once the data
+// has been consumed.
+func (r *Rank) recvBlock(op string, comm Comm, src int, tag int64, want int) message {
 	m := r.recvMatch(comm, src, tag)
 	if len(m.data) > want {
 		abortf(r.id, op, ErrTruncate, "message of %d bytes truncated to receive of %d bytes", len(m.data), want)
 	}
-	return m.data
+	return m
 }
 
 // padTo zero-extends data to n bytes, modelling the heap garbage a real
@@ -58,7 +60,7 @@ func validateCommon(rank int, op string, a *Args, ci *commInfo, needDtype, needO
 // Barrier blocks until every rank of comm has entered it (dissemination
 // algorithm).
 func (r *Rank) Barrier(comm Comm) {
-	args := &Args{Comm: comm}
+	args := r.newArgs(Args{Comm: comm})
 	call := r.beginCollective(CollBarrier, args)
 	ci := r.commDeref(args.Comm)
 	me := ci.rankOf[r.id]
@@ -69,7 +71,8 @@ func (r *Rank) Barrier(comm Comm) {
 		dst := (me + mask) % size
 		src := (me - mask + size) % size
 		r.sendRaw(ci, args.Comm, dst, internalTag(seq, round), nil)
-		r.recvMatch(args.Comm, src, internalTag(seq, round))
+		m := r.recvMatch(args.Comm, src, internalTag(seq, round))
+		m.recycle()
 		round++
 	}
 	r.endCollective(call)
@@ -78,7 +81,7 @@ func (r *Rank) Barrier(comm Comm) {
 // Bcast broadcasts count elements of dt from root's buf into every other
 // rank's buf (binomial tree).
 func (r *Rank) Bcast(buf *Buffer, count int, dt Datatype, root int, comm Comm) {
-	args := &Args{Send: buf, Count: int32(count), Dtype: dt, Root: int32(root), Comm: comm}
+	args := r.newArgs(Args{Send: buf, Count: int32(count), Dtype: dt, Root: int32(root), Comm: comm})
 	call := r.beginCollective(CollBcast, args)
 	const op = "MPI_Bcast"
 	ci := r.commDeref(args.Comm)
@@ -94,8 +97,9 @@ func (r *Rank) Bcast(buf *Buffer, count int, dt Datatype, root int, comm Comm) {
 	for mask < size {
 		if vrank&mask != 0 {
 			parent := ((vrank-mask)%size + int(args.Root)) % size
-			data := r.recvBlock(op, args.Comm, parent, internalTag(seq, 0), nbytes)
-			args.Send.WriteAt(op+" recv", 0, data)
+			m := r.recvBlock(op, args.Comm, parent, internalTag(seq, 0), nbytes)
+			args.Send.WriteAt(op+" recv", 0, m.data)
+			m.recycle()
 			break
 		}
 		mask <<= 1
@@ -113,7 +117,7 @@ func (r *Rank) Bcast(buf *Buffer, count int, dt Datatype, root int, comm Comm) {
 // Reduce combines count elements of dt from every rank's send buffer with
 // op, leaving the result in root's recv buffer (binomial tree).
 func (r *Rank) Reduce(send, recv *Buffer, count int, dt Datatype, op Op, root int, comm Comm) {
-	args := &Args{Send: send, Recv: recv, Count: int32(count), Dtype: dt, Op: op, Root: int32(root), Comm: comm}
+	args := r.newArgs(Args{Send: send, Recv: recv, Count: int32(count), Dtype: dt, Op: op, Root: int32(root), Comm: comm})
 	call := r.beginCollective(CollReduce, args)
 	const opName = "MPI_Reduce"
 	ci := r.commDeref(args.Comm)
@@ -124,7 +128,7 @@ func (r *Rank) Reduce(send, recv *Buffer, count int, dt Datatype, op Op, root in
 
 	nbytes := int(args.Count) * args.Dtype.Size()
 	src := args.Send.ReadAt(opName+" send", 0, nbytes)
-	acc := make([]byte, nbytes)
+	acc, accSlab := r.scratch(nbytes)
 	copy(acc, src)
 
 	vrank := (me - int(args.Root) + size) % size
@@ -133,8 +137,9 @@ func (r *Rank) Reduce(send, recv *Buffer, count int, dt Datatype, op Op, root in
 			srcV := vrank | mask
 			if srcV < size {
 				from := (srcV + int(args.Root)) % size
-				data := r.recvBlock(opName, args.Comm, from, internalTag(seq, 0), nbytes)
-				combine(args.Op, args.Dtype, acc, padTo(data, nbytes), int(args.Count))
+				m := r.recvBlock(opName, args.Comm, from, internalTag(seq, 0), nbytes)
+				combine(args.Op, args.Dtype, acc, padTo(m.data, nbytes), int(args.Count))
+				m.recycle()
 			}
 		} else {
 			dstV := vrank - mask
@@ -146,6 +151,7 @@ func (r *Rank) Reduce(send, recv *Buffer, count int, dt Datatype, op Op, root in
 	if vrank == 0 {
 		args.Recv.WriteAt(opName+" recv", 0, acc)
 	}
+	putSlab(accSlab)
 	r.endCollective(call)
 }
 
@@ -153,7 +159,7 @@ func (r *Rank) Reduce(send, recv *Buffer, count int, dt Datatype, op Op, root in
 // rank's recv buffer. Power-of-two communicators use recursive doubling;
 // others fall back to reduce-to-zero plus broadcast.
 func (r *Rank) Allreduce(send, recv *Buffer, count int, dt Datatype, op Op, comm Comm) {
-	args := &Args{Send: send, Recv: recv, Count: int32(count), Dtype: dt, Op: op, Comm: comm}
+	args := r.newArgs(Args{Send: send, Recv: recv, Count: int32(count), Dtype: dt, Op: op, Comm: comm})
 	call := r.beginCollective(CollAllreduce, args)
 	const opName = "MPI_Allreduce"
 	ci := r.commDeref(args.Comm)
@@ -164,7 +170,7 @@ func (r *Rank) Allreduce(send, recv *Buffer, count int, dt Datatype, op Op, comm
 
 	nbytes := int(args.Count) * args.Dtype.Size()
 	src := args.Send.ReadAt(opName+" send", 0, nbytes)
-	acc := make([]byte, nbytes)
+	acc, accSlab := r.scratch(nbytes)
 	copy(acc, src)
 
 	if size&(size-1) == 0 {
@@ -173,8 +179,9 @@ func (r *Rank) Allreduce(send, recv *Buffer, count int, dt Datatype, op Op, comm
 		for mask := 1; mask < size; mask <<= 1 {
 			partner := me ^ mask
 			r.sendRaw(ci, args.Comm, partner, internalTag(seq, round), acc)
-			data := r.recvBlock(opName, args.Comm, partner, internalTag(seq, round), nbytes)
-			combine(args.Op, args.Dtype, acc, padTo(data, nbytes), int(args.Count))
+			m := r.recvBlock(opName, args.Comm, partner, internalTag(seq, round), nbytes)
+			combine(args.Op, args.Dtype, acc, padTo(m.data, nbytes), int(args.Count))
+			m.recycle()
 			round++
 		}
 	} else {
@@ -183,8 +190,9 @@ func (r *Rank) Allreduce(send, recv *Buffer, count int, dt Datatype, op Op, comm
 			if me&mask == 0 {
 				from := me | mask
 				if from < size {
-					data := r.recvBlock(opName, args.Comm, from, internalTag(seq, 200), nbytes)
-					combine(args.Op, args.Dtype, acc, padTo(data, nbytes), int(args.Count))
+					m := r.recvBlock(opName, args.Comm, from, internalTag(seq, 200), nbytes)
+					combine(args.Op, args.Dtype, acc, padTo(m.data, nbytes), int(args.Count))
+					m.recycle()
 				}
 			} else {
 				r.sendRaw(ci, args.Comm, me-mask, internalTag(seq, 200), acc)
@@ -194,8 +202,9 @@ func (r *Rank) Allreduce(send, recv *Buffer, count int, dt Datatype, op Op, comm
 		mask := 1
 		for mask < size {
 			if me&mask != 0 {
-				data := r.recvBlock(opName, args.Comm, me-mask, internalTag(seq, 201), nbytes)
-				copy(acc, padTo(data, nbytes))
+				m := r.recvBlock(opName, args.Comm, me-mask, internalTag(seq, 201), nbytes)
+				copy(acc, padTo(m.data, nbytes))
+				m.recycle()
 				break
 			}
 			mask <<= 1
@@ -207,13 +216,14 @@ func (r *Rank) Allreduce(send, recv *Buffer, count int, dt Datatype, op Op, comm
 		}
 	}
 	args.Recv.WriteAt(opName+" recv", 0, acc)
+	putSlab(accSlab)
 	r.endCollective(call)
 }
 
 // Scatter distributes consecutive count-element blocks of root's send
 // buffer to the ranks' recv buffers (linear from root).
 func (r *Rank) Scatter(send, recv *Buffer, count int, dt Datatype, root int, comm Comm) {
-	args := &Args{Send: send, Recv: recv, Count: int32(count), Dtype: dt, Root: int32(root), Comm: comm}
+	args := r.newArgs(Args{Send: send, Recv: recv, Count: int32(count), Dtype: dt, Root: int32(root), Comm: comm})
 	call := r.beginCollective(CollScatter, args)
 	const op = "MPI_Scatter"
 	ci := r.commDeref(args.Comm)
@@ -233,8 +243,9 @@ func (r *Rank) Scatter(send, recv *Buffer, count int, dt Datatype, root int, com
 			}
 		}
 	} else {
-		data := r.recvBlock(op, args.Comm, int(args.Root), internalTag(seq, 0), blk)
-		args.Recv.WriteAt(op+" recv", 0, data)
+		m := r.recvBlock(op, args.Comm, int(args.Root), internalTag(seq, 0), blk)
+		args.Recv.WriteAt(op+" recv", 0, m.data)
+		m.recycle()
 	}
 	r.endCollective(call)
 }
@@ -242,7 +253,7 @@ func (r *Rank) Scatter(send, recv *Buffer, count int, dt Datatype, root int, com
 // Gather collects count-element blocks from every rank's send buffer into
 // consecutive blocks of root's recv buffer (linear to root).
 func (r *Rank) Gather(send, recv *Buffer, count int, dt Datatype, root int, comm Comm) {
-	args := &Args{Send: send, Recv: recv, Count: int32(count), Dtype: dt, Root: int32(root), Comm: comm}
+	args := r.newArgs(Args{Send: send, Recv: recv, Count: int32(count), Dtype: dt, Root: int32(root), Comm: comm})
 	call := r.beginCollective(CollGather, args)
 	const op = "MPI_Gather"
 	ci := r.commDeref(args.Comm)
@@ -257,8 +268,9 @@ func (r *Rank) Gather(send, recv *Buffer, count int, dt Datatype, root int, comm
 			if p == me {
 				args.Recv.WriteAt(op+" recv", p*blk, args.Send.ReadAt(op+" send", 0, blk))
 			} else {
-				data := r.recvBlock(op, args.Comm, p, internalTag(seq, 0), blk)
-				args.Recv.WriteAt(op+" recv", p*blk, data)
+				m := r.recvBlock(op, args.Comm, p, internalTag(seq, 0), blk)
+				args.Recv.WriteAt(op+" recv", p*blk, m.data)
+				m.recycle()
 			}
 		}
 	} else {
@@ -271,7 +283,7 @@ func (r *Rank) Gather(send, recv *Buffer, count int, dt Datatype, root int, comm
 // Allgather collects every rank's count-element send block into every
 // rank's recv buffer (ring algorithm).
 func (r *Rank) Allgather(send, recv *Buffer, count int, dt Datatype, comm Comm) {
-	args := &Args{Send: send, Recv: recv, Count: int32(count), Dtype: dt, Comm: comm}
+	args := r.newArgs(Args{Send: send, Recv: recv, Count: int32(count), Dtype: dt, Comm: comm})
 	call := r.beginCollective(CollAllgather, args)
 	const op = "MPI_Allgather"
 	ci := r.commDeref(args.Comm)
@@ -290,8 +302,9 @@ func (r *Rank) Allgather(send, recv *Buffer, count int, dt Datatype, comm Comm) 
 		payload := args.Recv.ReadAt(op+" forward", cur*blk, blk)
 		r.sendRaw(ci, args.Comm, right, internalTag(seq, step), payload)
 		cur = (cur - 1 + size) % size
-		data := r.recvBlock(op, args.Comm, left, internalTag(seq, step), blk)
-		args.Recv.WriteAt(op+" recv", cur*blk, data)
+		m := r.recvBlock(op, args.Comm, left, internalTag(seq, step), blk)
+		args.Recv.WriteAt(op+" recv", cur*blk, m.data)
+		m.recycle()
 	}
 	r.endCollective(call)
 }
@@ -299,7 +312,7 @@ func (r *Rank) Allgather(send, recv *Buffer, count int, dt Datatype, comm Comm) 
 // Alltoall exchanges count-element blocks between every pair of ranks
 // (pairwise exchange).
 func (r *Rank) Alltoall(send, recv *Buffer, count int, dt Datatype, comm Comm) {
-	args := &Args{Send: send, Recv: recv, Count: int32(count), Dtype: dt, Comm: comm}
+	args := r.newArgs(Args{Send: send, Recv: recv, Count: int32(count), Dtype: dt, Comm: comm})
 	call := r.beginCollective(CollAlltoall, args)
 	const op = "MPI_Alltoall"
 	ci := r.commDeref(args.Comm)
@@ -318,8 +331,9 @@ func (r *Rank) Alltoall(send, recv *Buffer, count int, dt Datatype, comm Comm) {
 		}
 		payload := args.Send.ReadAt(op+" send", dst*blk, blk)
 		r.sendRaw(ci, args.Comm, dst, internalTag(seq, step), payload)
-		data := r.recvBlock(op, args.Comm, src, internalTag(seq, step), blk)
-		args.Recv.WriteAt(op+" recv", src*blk, data)
+		m := r.recvBlock(op, args.Comm, src, internalTag(seq, step), blk)
+		args.Recv.WriteAt(op+" recv", src*blk, m.data)
+		m.recycle()
 	}
 	r.endCollective(call)
 }
@@ -327,11 +341,11 @@ func (r *Rank) Alltoall(send, recv *Buffer, count int, dt Datatype, comm Comm) {
 // Alltoallv exchanges variable-sized blocks between every pair of ranks.
 // Counts and displacements are in elements of dt.
 func (r *Rank) Alltoallv(send *Buffer, sendCounts, sendDispls []int32, recv *Buffer, recvCounts, recvDispls []int32, dt Datatype, comm Comm) {
-	args := &Args{
+	args := r.newArgs(Args{
 		Send: send, Recv: recv, Dtype: dt, Comm: comm,
 		SendCounts: sendCounts, SendDispls: sendDispls,
 		RecvCounts: recvCounts, RecvDispls: recvDispls,
-	}
+	})
 	call := r.beginCollective(CollAlltoallv, args)
 	const op = "MPI_Alltoallv"
 	ci := r.commDeref(args.Comm)
@@ -368,8 +382,9 @@ func (r *Rank) Alltoallv(send *Buffer, sendCounts, sendDispls []int32, recv *Buf
 		payload := args.Send.ReadAt(op+" send", int(args.SendDispls[dst])*esz, n)
 		r.sendRaw(ci, args.Comm, dst, internalTag(seq, step), payload)
 		want := cnt(args.RecvCounts, src) * esz
-		data := r.recvBlock(op, args.Comm, src, internalTag(seq, step), want)
-		args.Recv.WriteAt(op+" recv", int(args.RecvDispls[src])*esz, data)
+		m := r.recvBlock(op, args.Comm, src, internalTag(seq, step), want)
+		args.Recv.WriteAt(op+" recv", int(args.RecvDispls[src])*esz, m.data)
+		m.recycle()
 	}
 	r.endCollective(call)
 }
@@ -378,7 +393,7 @@ func (r *Rank) Alltoallv(send *Buffer, sendCounts, sendDispls []int32, recv *Buf
 // (counts[i] elements) to rank i. Implemented as reduce-to-zero followed by
 // a linear scatterv.
 func (r *Rank) ReduceScatter(send, recv *Buffer, counts []int32, dt Datatype, op Op, comm Comm) {
-	args := &Args{Send: send, Recv: recv, Dtype: dt, Op: op, Comm: comm, RecvCounts: counts}
+	args := r.newArgs(Args{Send: send, Recv: recv, Dtype: dt, Op: op, Comm: comm, RecvCounts: counts})
 	call := r.beginCollective(CollReduceScatter, args)
 	const opName = "MPI_Reduce_scatter"
 	ci := r.commDeref(args.Comm)
@@ -399,15 +414,16 @@ func (r *Rank) ReduceScatter(send, recv *Buffer, counts []int32, dt Datatype, op
 	}
 	nbytes := total * esz
 	src := args.Send.ReadAt(opName+" send", 0, nbytes)
-	acc := make([]byte, nbytes)
+	acc, accSlab := r.scratch(nbytes)
 	copy(acc, src)
 
 	for mask := 1; mask < size; mask <<= 1 {
 		if me&mask == 0 {
 			from := me | mask
 			if from < size {
-				data := r.recvBlock(opName, args.Comm, from, internalTag(seq, 0), nbytes)
-				combine(args.Op, args.Dtype, acc, padTo(data, nbytes), total)
+				m := r.recvBlock(opName, args.Comm, from, internalTag(seq, 0), nbytes)
+				combine(args.Op, args.Dtype, acc, padTo(m.data, nbytes), total)
+				m.recycle()
 			}
 		} else {
 			r.sendRaw(ci, args.Comm, me-mask, internalTag(seq, 0), acc)
@@ -427,16 +443,18 @@ func (r *Rank) ReduceScatter(send, recv *Buffer, counts []int32, dt Datatype, op
 		}
 	} else {
 		want := int(args.RecvCounts[me]) * esz
-		data := r.recvBlock(opName, args.Comm, 0, internalTag(seq, 1), want)
-		args.Recv.WriteAt(opName+" recv", 0, data)
+		m := r.recvBlock(opName, args.Comm, 0, internalTag(seq, 1), want)
+		args.Recv.WriteAt(opName+" recv", 0, m.data)
+		m.recycle()
 	}
+	putSlab(accSlab)
 	r.endCollective(call)
 }
 
 // Scan computes an inclusive prefix reduction: rank i's recv buffer holds
 // op over the send buffers of ranks 0..i (linear chain).
 func (r *Rank) Scan(send, recv *Buffer, count int, dt Datatype, op Op, comm Comm) {
-	args := &Args{Send: send, Recv: recv, Count: int32(count), Dtype: dt, Op: op, Comm: comm}
+	args := r.newArgs(Args{Send: send, Recv: recv, Count: int32(count), Dtype: dt, Op: op, Comm: comm})
 	call := r.beginCollective(CollScan, args)
 	const opName = "MPI_Scan"
 	ci := r.commDeref(args.Comm)
@@ -447,18 +465,21 @@ func (r *Rank) Scan(send, recv *Buffer, count int, dt Datatype, op Op, comm Comm
 
 	nbytes := int(args.Count) * args.Dtype.Size()
 	src := args.Send.ReadAt(opName+" send", 0, nbytes)
-	acc := make([]byte, nbytes)
+	acc, accSlab := r.scratch(nbytes)
 	copy(acc, src)
 	if me > 0 {
-		data := r.recvBlock(opName, args.Comm, me-1, internalTag(seq, 0), nbytes)
-		prev := make([]byte, nbytes)
-		copy(prev, padTo(data, nbytes))
+		m := r.recvBlock(opName, args.Comm, me-1, internalTag(seq, 0), nbytes)
+		prev, prevSlab := r.scratch(nbytes)
+		copy(prev, padTo(m.data, nbytes))
+		m.recycle()
 		combine(args.Op, args.Dtype, prev, acc, int(args.Count))
-		acc = prev
+		putSlab(accSlab)
+		acc, accSlab = prev, prevSlab
 	}
 	if me < size-1 {
 		r.sendRaw(ci, args.Comm, me+1, internalTag(seq, 0), acc)
 	}
 	args.Recv.WriteAt(opName+" recv", 0, acc)
+	putSlab(accSlab)
 	r.endCollective(call)
 }

@@ -9,11 +9,11 @@ package mpi
 // Scatterv distributes counts[i] elements starting at displs[i] of root's
 // send buffer to rank i's recv buffer (recvCount elements posted).
 func (r *Rank) Scatterv(send *Buffer, sendCounts, sendDispls []int32, recv *Buffer, recvCount int, dt Datatype, root int, comm Comm) {
-	args := &Args{
+	args := r.newArgs(Args{
 		Send: send, Recv: recv, Count: int32(recvCount), Dtype: dt,
 		Root: int32(root), Comm: comm,
 		SendCounts: sendCounts, SendDispls: sendDispls,
-	}
+	})
 	call := r.beginCollective(CollScatterv, args)
 	const op = "MPI_Scatterv"
 	ci := r.commDeref(args.Comm)
@@ -42,8 +42,9 @@ func (r *Rank) Scatterv(send *Buffer, sendCounts, sendDispls []int32, recv *Buff
 		}
 	} else {
 		want := int(args.Count) * esz
-		data := r.recvBlock(op, args.Comm, int(args.Root), internalTag(seq, 0), want)
-		args.Recv.WriteAt(op+" recv", 0, data)
+		m := r.recvBlock(op, args.Comm, int(args.Root), internalTag(seq, 0), want)
+		args.Recv.WriteAt(op+" recv", 0, m.data)
+		m.recycle()
 	}
 	r.endCollective(call)
 }
@@ -51,11 +52,11 @@ func (r *Rank) Scatterv(send *Buffer, sendCounts, sendDispls []int32, recv *Buff
 // Gatherv collects sendCount elements from every rank into root's recv
 // buffer at displs[i], expecting counts[i] elements from rank i.
 func (r *Rank) Gatherv(send *Buffer, sendCount int, recv *Buffer, recvCounts, recvDispls []int32, dt Datatype, root int, comm Comm) {
-	args := &Args{
+	args := r.newArgs(Args{
 		Send: send, Recv: recv, Count: int32(sendCount), Dtype: dt,
 		Root: int32(root), Comm: comm,
 		RecvCounts: recvCounts, RecvDispls: recvDispls,
-	}
+	})
 	call := r.beginCollective(CollGatherv, args)
 	const op = "MPI_Gatherv"
 	ci := r.commDeref(args.Comm)
@@ -72,16 +73,17 @@ func (r *Rank) Gatherv(send *Buffer, sendCount int, recv *Buffer, recvCounts, re
 				abortf(r.id, op, ErrCount, "negative count %d for peer %d", c, p)
 			}
 			want := c * esz
-			var data []byte
 			if p == me {
-				data = args.Send.ReadAt(op+" send", 0, int(args.Count)*esz)
+				data := args.Send.ReadAt(op+" send", 0, int(args.Count)*esz)
 				if len(data) > want {
 					abortf(r.id, op, ErrTruncate, "self message of %d bytes truncated to %d", len(data), want)
 				}
+				args.Recv.WriteAt(op+" recv", int(args.RecvDispls[p])*esz, data)
 			} else {
-				data = r.recvBlock(op, args.Comm, p, internalTag(seq, 0), want)
+				m := r.recvBlock(op, args.Comm, p, internalTag(seq, 0), want)
+				args.Recv.WriteAt(op+" recv", int(args.RecvDispls[p])*esz, m.data)
+				m.recycle()
 			}
-			args.Recv.WriteAt(op+" recv", int(args.RecvDispls[p])*esz, data)
 		}
 	} else {
 		payload := args.Send.ReadAt(op+" send", 0, int(args.Count)*esz)

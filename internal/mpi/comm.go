@@ -63,7 +63,9 @@ func (r *Rank) CommDup(comm Comm) Comm {
 		return h
 	}
 	m := r.recvMatch(comm, 0, internalTag(seq, 0))
-	return Comm((&Buffer{mem: m.data}).Int64(0))
+	h := Comm((&Buffer{mem: m.data}).Int64(0))
+	m.recycle()
+	return h
 }
 
 // CommSplit partitions comm by color, ordering members of each partition by
@@ -79,7 +81,9 @@ func (r *Rank) CommSplit(comm Comm, color, key int) Comm {
 	if me != 0 {
 		r.sendRaw(ci, comm, 0, internalTag(seq, 0), FromInt64s([]int64{int64(color), int64(key)}).Bytes())
 		m := r.recvMatch(comm, 0, internalTag(seq, 1))
-		return Comm((&Buffer{mem: m.data}).Int64(0))
+		h := Comm((&Buffer{mem: m.data}).Int64(0))
+		m.recycle()
+		return h
 	}
 
 	colors := make([]int, size)
@@ -89,6 +93,7 @@ func (r *Rank) CommSplit(comm Comm, color, key int) Comm {
 		m := r.recvMatch(comm, p, internalTag(seq, 0))
 		b := &Buffer{mem: m.data}
 		colors[p], keys[p] = int(b.Int64(0)), int(b.Int64(1))
+		m.recycle()
 	}
 
 	// Build one communicator per color, members sorted by (key, parent rank).

@@ -1,16 +1,20 @@
 package mpi
 
 // Convenience wrappers used by the bundled applications. Each marshals Go
-// values through fresh simulated-memory buffers around a collective call;
-// the buffers are what a fault injector corrupts, and corrupted results
-// flow back into application state through the returned slices.
+// values through simulated-memory buffers around a collective call; the
+// buffers are what a fault injector corrupts, and corrupted results flow
+// back into application state through the returned slices. The buffers are
+// rank-bound so their backing arrays come from (and return to) the arena.
 
 // AllreduceFloat64s reduces vals element-wise across comm with op.
 func (r *Rank) AllreduceFloat64s(vals []float64, op Op, comm Comm) []float64 {
-	send := FromFloat64s(vals)
-	recv := NewFloat64Buffer(len(vals))
+	send := r.FromFloat64s(vals)
+	recv := r.NewFloat64Buffer(len(vals))
 	r.Allreduce(send, recv, len(vals), Float64, op, comm)
-	return recv.Float64s()
+	out := recv.Float64s()
+	send.Release()
+	recv.Release()
+	return out
 }
 
 // AllreduceFloat64 reduces a single float64 across comm with op.
@@ -20,10 +24,13 @@ func (r *Rank) AllreduceFloat64(v float64, op Op, comm Comm) float64 {
 
 // AllreduceInt64s reduces vals element-wise across comm with op.
 func (r *Rank) AllreduceInt64s(vals []int64, op Op, comm Comm) []int64 {
-	send := FromInt64s(vals)
-	recv := NewInt64Buffer(len(vals))
+	send := r.FromInt64s(vals)
+	recv := r.NewInt64Buffer(len(vals))
 	r.Allreduce(send, recv, len(vals), Int64, op, comm)
-	return recv.Int64s()
+	out := recv.Int64s()
+	send.Release()
+	recv.Release()
+	return out
 }
 
 // AllreduceInt64 reduces a single int64 across comm with op.
@@ -33,62 +40,78 @@ func (r *Rank) AllreduceInt64(v int64, op Op, comm Comm) int64 {
 
 // ReduceFloat64s reduces vals to root; non-root ranks receive nil.
 func (r *Rank) ReduceFloat64s(vals []float64, op Op, root int, comm Comm) []float64 {
-	send := FromFloat64s(vals)
-	recv := NewFloat64Buffer(len(vals))
+	send := r.FromFloat64s(vals)
+	recv := r.NewFloat64Buffer(len(vals))
 	r.Reduce(send, recv, len(vals), Float64, op, root, comm)
+	var out []float64
 	if r.CommRank(comm) == root {
-		return recv.Float64s()
+		out = recv.Float64s()
 	}
-	return nil
+	send.Release()
+	recv.Release()
+	return out
 }
 
 // BcastFloat64s broadcasts vals from root; every rank passes a slice of the
 // same length and receives the root's values back.
 func (r *Rank) BcastFloat64s(vals []float64, root int, comm Comm) []float64 {
-	buf := FromFloat64s(vals)
+	buf := r.FromFloat64s(vals)
 	r.Bcast(buf, len(vals), Float64, root, comm)
-	return buf.Float64s()
+	out := buf.Float64s()
+	buf.Release()
+	return out
 }
 
 // BcastInt64s broadcasts vals from root.
 func (r *Rank) BcastInt64s(vals []int64, root int, comm Comm) []int64 {
-	buf := FromInt64s(vals)
+	buf := r.FromInt64s(vals)
 	r.Bcast(buf, len(vals), Int64, root, comm)
-	return buf.Int64s()
+	out := buf.Int64s()
+	buf.Release()
+	return out
 }
 
 // AllgatherInt64s gathers one int64 per rank into a slice indexed by rank.
 func (r *Rank) AllgatherInt64s(v int64, comm Comm) []int64 {
 	size := r.Size(comm)
-	send := FromInt64s([]int64{v})
-	recv := NewInt64Buffer(size)
+	send := r.FromInt64s([]int64{v})
+	recv := r.NewInt64Buffer(size)
 	r.Allgather(send, recv, 1, Int64, comm)
-	return recv.Int64s()
+	out := recv.Int64s()
+	send.Release()
+	recv.Release()
+	return out
 }
 
 // AllgatherFloat64s gathers vals (same length on every rank) into a
 // rank-major slice.
 func (r *Rank) AllgatherFloat64s(vals []float64, comm Comm) []float64 {
 	size := r.Size(comm)
-	send := FromFloat64s(vals)
-	recv := NewFloat64Buffer(size * len(vals))
+	send := r.FromFloat64s(vals)
+	recv := r.NewFloat64Buffer(size * len(vals))
 	r.Allgather(send, recv, len(vals), Float64, comm)
-	return recv.Float64s()
+	out := recv.Float64s()
+	send.Release()
+	recv.Release()
+	return out
 }
 
 // GatherFloat64s gathers vals at root; non-root ranks receive nil.
 func (r *Rank) GatherFloat64s(vals []float64, root int, comm Comm) []float64 {
 	size := r.Size(comm)
-	send := FromFloat64s(vals)
+	send := r.FromFloat64s(vals)
 	var recv *Buffer
 	if r.CommRank(comm) == root {
-		recv = NewFloat64Buffer(size * len(vals))
+		recv = r.NewFloat64Buffer(size * len(vals))
 	} else {
-		recv = NewFloat64Buffer(0)
+		recv = r.NewFloat64Buffer(0)
 	}
 	r.Gather(send, recv, len(vals), Float64, root, comm)
+	var out []float64
 	if r.CommRank(comm) == root {
-		return recv.Float64s()
+		out = recv.Float64s()
 	}
-	return nil
+	send.Release()
+	recv.Release()
+	return out
 }

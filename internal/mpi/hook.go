@@ -2,7 +2,6 @@ package mpi
 
 import (
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"strings"
 )
@@ -108,6 +107,11 @@ func describePC(pc uintptr) string {
 // Hook observes (and in the injector's case mutates) collective calls.
 // BeforeCollective runs after argument capture but before validation and
 // execution; AfterCollective runs once the collective completes normally.
+//
+// The *CollectiveCall (including its Args and Stack) is only valid for the
+// duration of the callback: with buffer pooling active (the default) the
+// runtime reuses one record per rank across calls. A hook that needs the
+// data later must copy the fields it cares about.
 type Hook interface {
 	BeforeCollective(call *CollectiveCall)
 	AfterCollective(call *CollectiveCall)
@@ -134,23 +138,23 @@ const collectiveWorkCharge = 2000
 // assigns the invocation index and runs the world hook.
 func (r *Rank) beginCollective(t CollType, args *Args) *CollectiveCall {
 	r.Tick(collectiveWorkCharge)
-	var pcs [64]uintptr
-	n := runtime.Callers(2, pcs[:])
-	stack := trimToApp(pcs[:n])
+	n := runtime.Callers(2, r.pcbuf[:])
+	st := r.lookupStack(r.pcbuf[:n])
 	var site uintptr
-	if len(stack) > 0 {
-		site = stack[0]
+	if len(st.stack) > 0 {
+		site = st.stack[0]
 	}
 	inv := r.invents[site]
 	r.invents[site] = inv + 1
 
-	call := &CollectiveCall{
+	call := r.newCollCall()
+	*call = CollectiveCall{
 		Rank:        r.id,
 		Type:        t,
 		Site:        site,
 		Invocation:  inv,
-		Stack:       stack,
-		StackHash:   hashStack(stack),
+		Stack:       st.stack,
+		StackHash:   st.hash,
 		Phase:       r.phase,
 		ErrHandling: r.errHandling,
 		Args:        args,
@@ -193,15 +197,24 @@ func trimToApp(pcs []uintptr) []uintptr {
 	return out
 }
 
+// FNV-1a, computed inline so the per-call hash allocates nothing. The
+// values are identical to hash/fnv over the little-endian PC bytes.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 func hashStack(pcs []uintptr) uint64 {
-	h := fnv.New64a()
-	var b [8]byte
+	h := uint64(fnvOffset64)
 	for _, pc := range pcs {
 		v := uint64(pc)
 		for i := 0; i < 8; i++ {
-			b[i] = byte(v >> (8 * i))
+			h ^= uint64(byte(v >> (8 * i)))
+			h *= fnvPrime64
 		}
-		h.Write(b[:])
 	}
-	return h.Sum64()
+	return h
 }
+
+// hashPCs keys the per-rank stack cache by the raw (untrimmed) PC array.
+func hashPCs(pcs []uintptr) uint64 { return hashStack(pcs) }

@@ -30,7 +30,7 @@ func (r *Rank) Isend(comm Comm, dst, tag int, data []byte) *Request {
 // Irecv posts a nonblocking receive; the match happens at Wait or Test.
 // src may be AnySource and tag may be AnyTag.
 func (r *Rank) Irecv(comm Comm, src, tag int) *Request {
-	args := r.beginP2P(P2PRecv, &P2PArgs{Peer: src, Tag: tag, Comm: comm})
+	args := r.beginP2P(P2PRecv, P2PArgs{Peer: src, Tag: tag, Comm: comm})
 	if args.Tag != AnyTag && (args.Tag < 0 || args.Tag >= maxUserTag) {
 		abortf(r.id, "MPI_Irecv", ErrTag, "tag %d outside [0,%d)", args.Tag, maxUserTag)
 	}

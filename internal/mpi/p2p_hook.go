@@ -64,28 +64,30 @@ type P2PHook interface {
 
 // beginP2P captures the application context for a user point-to-point call
 // and runs the world hook if it implements P2PHook. It returns the
-// (possibly mutated) arguments.
-func (r *Rank) beginP2P(kind P2PKind, args *P2PArgs) *P2PArgs {
+// (possibly mutated) arguments. Like CollectiveCall, the records handed to
+// the hook are only valid during the callback when pooling is active.
+func (r *Rank) beginP2P(kind P2PKind, a P2PArgs) *P2PArgs {
+	args := r.newP2PArgs(a)
 	hook, ok := r.world.hook.(P2PHook)
 	if !ok {
 		return args
 	}
-	var pcs [64]uintptr
-	n := runtime.Callers(2, pcs[:])
-	stack := trimToApp(pcs[:n])
+	n := runtime.Callers(2, r.pcbuf[:])
+	st := r.lookupStack(r.pcbuf[:n])
 	var site uintptr
-	if len(stack) > 0 {
-		site = stack[0]
+	if len(st.stack) > 0 {
+		site = st.stack[0]
 	}
 	inv := r.invents[site]
 	r.invents[site] = inv + 1
-	call := &P2PCall{
+	call := r.newP2PCall()
+	*call = P2PCall{
 		Rank:        r.id,
 		Kind:        kind,
 		Site:        site,
 		Invocation:  inv,
-		Stack:       stack,
-		StackHash:   hashStack(stack),
+		Stack:       st.stack,
+		StackHash:   st.hash,
 		Phase:       r.phase,
 		ErrHandling: r.errHandling,
 		Args:        args,

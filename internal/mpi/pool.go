@@ -1,0 +1,341 @@
+package mpi
+
+// Buffer arena. A fault-injection campaign executes the same application
+// thousands of times, and every run used to rebuild the same transient
+// state from scratch: per-rank mailbox channels, random sources and
+// bookkeeping maps, a fresh backing array for every simulated-memory
+// Buffer, a copy of every message payload, and an accumulator per
+// reduction. At paper scale (32 ranks x 100 trials/point) that allocation
+// churn dominates the campaign's wall clock. This file recycles all of it
+// across runs:
+//
+//   - slabs: size-classed []byte regions backing message payloads,
+//     collective scratch accumulators and pooled Buffers;
+//   - run shells: the whole per-rank skeleton of a World (inbox channel,
+//     rand source, bookkeeping maps, reusable hook records and memoised
+//     call stacks), keyed by (ranks, mailbox capacity).
+//
+// Lifetime discipline is what makes this safe:
+//
+//   - A shell is taken from its pool before the rank goroutines start and
+//     returned only after every rank goroutine has been joined, so two
+//     in-flight runs can never share a shell.
+//   - A slab carried by an internal collective message is recycled at the
+//     single site that consumes the message; user-level payloads escape
+//     into the application (Recv returns them) and stay GC-managed.
+//   - Pooled Buffers are tracked per rank and swept back into the arena at
+//     the end of the run; convenience wrappers that know their buffers do
+//     not escape release them early via (*Buffer).Release.
+//
+// Everything here is disabled by RunOptions.DisablePooling, which restores
+// the original allocate-per-run behaviour; the differential tests use that
+// switch to prove the two paths are outcome-identical.
+
+import (
+	"math/bits"
+	"math/rand"
+	"sync"
+)
+
+// slab is a pooled byte region. Its backing array always has the exact
+// power-of-two length of its size class, so a slab can be re-sliced to any
+// payload length on reuse.
+type slab struct {
+	b []byte
+}
+
+const (
+	minSlabClass = 6  // 64 B
+	maxSlabClass = 24 // 16 MiB
+	// maxSlabBytes bounds what the arena will pool; a wildly corrupted
+	// count that asks for more falls through to a plain GC allocation.
+	maxSlabBytes = 1 << maxSlabClass
+)
+
+var slabPools [maxSlabClass + 1]sync.Pool
+
+// slabClass returns the smallest size class holding n bytes (n in
+// [1, maxSlabBytes]).
+func slabClass(n int) int {
+	c := bits.Len(uint(n - 1))
+	if c < minSlabClass {
+		c = minSlabClass
+	}
+	return c
+}
+
+// getSlab returns a slab of at least n bytes (1 <= n <= maxSlabBytes). The
+// contents are arbitrary; callers either fully overwrite or explicitly
+// clear the prefix they use.
+func getSlab(n int) *slab {
+	c := slabClass(n)
+	if s, ok := slabPools[c].Get().(*slab); ok {
+		return s
+	}
+	return &slab{b: make([]byte, 1<<c)}
+}
+
+// putSlab returns a slab to its class pool. Nil-safe, so cleanup paths can
+// call it unconditionally.
+func putSlab(s *slab) {
+	if s == nil {
+		return
+	}
+	n := len(s.b)
+	if n&(n-1) != 0 || n < 1<<minSlabClass || n > maxSlabBytes {
+		return // not arena-shaped; let the GC have it
+	}
+	slabPools[slabClass(n)].Put(s)
+}
+
+// stackEntry is one memoised call stack: the trimmed application-side
+// stack and its hash, keyed by the hash of the raw PC array. Raw return
+// PCs are stable for a given static call path within one process, so after
+// the first occurrence a collective entry costs no CallersFrames walk and
+// no stack allocation.
+type stackEntry struct {
+	stack []uintptr
+	hash  uint64
+}
+
+// collFrame holds a rank's reusable hook records. With pooling on, every
+// collective on a rank reuses the same CollectiveCall/Args pair (a rank
+// executes at most one collective at a time); the records are only valid
+// for the duration of the hook callbacks, as documented on Hook.
+type collFrame struct {
+	call CollectiveCall
+	args Args
+}
+
+// p2pFrame is collFrame's point-to-point counterpart.
+type p2pFrame struct {
+	call P2PCall
+	args P2PArgs
+}
+
+// runShell is the recyclable skeleton of one World: the Rank structs with
+// their channels, random sources, maps, frames and caches. The World
+// itself (and the results it reports) is rebuilt per run; only the
+// expensive rank state is recycled.
+type runShell struct {
+	n       int
+	mailbox int
+	ranks   []*Rank
+	// world0 is the CommWorld descriptor. Its members/rankOf tables depend
+	// only on n and are never mutated after construction, so they are
+	// shared across runs. Communicators created by CommSplit/CommDup are
+	// per-run and stay GC-managed.
+	world0 *commInfo
+}
+
+type shellKey struct{ n, mailbox int }
+
+var (
+	shellPoolsMu sync.Mutex
+	shellPools   = map[shellKey]*sync.Pool{}
+)
+
+func shellPoolFor(n, mailbox int) *sync.Pool {
+	k := shellKey{n: n, mailbox: mailbox}
+	shellPoolsMu.Lock()
+	defer shellPoolsMu.Unlock()
+	p := shellPools[k]
+	if p == nil {
+		p = &sync.Pool{}
+		shellPools[k] = p
+	}
+	return p
+}
+
+// getShell returns a recycled shell for the given shape, or nil.
+func getShell(n, mailbox int) *runShell {
+	if v := shellPoolFor(n, mailbox).Get(); v != nil {
+		return v.(*runShell)
+	}
+	return nil
+}
+
+func putShell(sh *runShell) {
+	shellPoolFor(sh.n, sh.mailbox).Put(sh)
+}
+
+// newShell builds a fresh shell. Rank random sources are created lazily in
+// bind, which knows the run seed.
+func newShell(n, mailbox int) *runShell {
+	members := make([]int, n)
+	rankOf := make(map[int]int, n)
+	for i := range members {
+		members[i] = i
+		rankOf[i] = i
+	}
+	sh := &runShell{
+		n:       n,
+		mailbox: mailbox,
+		ranks:   make([]*Rank, n),
+		world0:  &commInfo{handle: CommWorld, members: members, rankOf: rankOf},
+	}
+	for i := 0; i < n; i++ {
+		sh.ranks[i] = &Rank{
+			id:      i,
+			inbox:   make(chan message, mailbox),
+			invents: make(map[uintptr]int),
+		}
+	}
+	return sh
+}
+
+// rankSeed derives rank i's deterministic random seed from the run seed.
+func rankSeed(seed int64, i int) int64 {
+	return seed*7919 + int64(i)*104729 + 1
+}
+
+// bind attaches a rank to a new run, resetting all per-run state. On a
+// recycled shell the mailbox, pending list and owned-buffer list are
+// already empty (reclaim drained them when the previous run ended);
+// reseeding the existing rand.Rand reproduces rand.New(rand.NewSource(s))
+// exactly, so a recycled rank's random stream is identical to a fresh one.
+func (rk *Rank) bind(w *World, seed, budget int64) {
+	rk.world = w
+	if rk.Rand == nil {
+		rk.Rand = rand.New(rand.NewSource(seed))
+	} else {
+		rk.Rand.Seed(seed)
+	}
+	clear(rk.invents)
+	clear(rk.collSeq)
+	rk.phase = PhaseInit
+	rk.errHandling = false
+	rk.work = 0
+	rk.budget = budget
+	rk.reported = nil // escapes into RankResult.Values; never recycled
+}
+
+// reclaim returns a finished run's pooled memory to the arena: leftover
+// messages in mailboxes and pending lists (a killed run abandons traffic
+// in flight) and every pooled Buffer handed out during the run. It must
+// only be called after all rank goroutines have been joined.
+func (sh *runShell) reclaim() {
+	for _, rk := range sh.ranks {
+	drain:
+		for {
+			select {
+			case m := <-rk.inbox:
+				m.recycle()
+			default:
+				break drain
+			}
+		}
+		for i := range rk.pending {
+			rk.pending[i].recycle()
+			rk.pending[i] = message{}
+		}
+		rk.pending = rk.pending[:0]
+		for i, b := range rk.owned {
+			putSlab(b.slab)
+			b.slab = nil
+			b.mem = nil
+			rk.bufFree = append(rk.bufFree, b)
+			rk.owned[i] = nil
+		}
+		rk.owned = rk.owned[:0]
+		rk.world = nil
+	}
+}
+
+// allocBuffer hands out an n-byte buffer from the arena (zeroed when zero
+// is set), falling back to a plain allocation when pooling is off or the
+// request is outside arena bounds. Pooled buffers are tracked in the
+// rank's owned list and swept back by reclaim.
+func (r *Rank) allocBuffer(n int, zero bool) *Buffer {
+	if n < 0 {
+		n = 0
+	}
+	if !r.world.pooling || n == 0 || n > maxSlabBytes {
+		return &Buffer{mem: make([]byte, n)}
+	}
+	s := getSlab(n)
+	mem := s.b[:n]
+	if zero {
+		clear(mem)
+	}
+	var b *Buffer
+	if k := len(r.bufFree); k > 0 {
+		b = r.bufFree[k-1]
+		r.bufFree[k-1] = nil
+		r.bufFree = r.bufFree[:k-1]
+	} else {
+		b = new(Buffer)
+	}
+	b.mem = mem
+	b.slab = s
+	r.owned = append(r.owned, b)
+	return b
+}
+
+// scratch returns an n-byte work area for a collective's accumulator. The
+// contents are arbitrary — every use fully overwrites the area before
+// reading it. The returned slab (nil when unpooled) goes back to the arena
+// via putSlab once the accumulator is dead.
+func (r *Rank) scratch(n int) ([]byte, *slab) {
+	if !r.world.pooling || n == 0 || n > maxSlabBytes {
+		return make([]byte, n), nil
+	}
+	s := getSlab(n)
+	return s.b[:n], s
+}
+
+// newArgs returns the Args record for one collective invocation: the
+// rank's reusable frame under pooling, a fresh allocation otherwise.
+func (r *Rank) newArgs(a Args) *Args {
+	if r.world.pooling {
+		r.frame.args = a
+		return &r.frame.args
+	}
+	p := new(Args)
+	*p = a
+	return p
+}
+
+// newCollCall returns the CollectiveCall record for one invocation, with
+// the same pooling discipline as newArgs.
+func (r *Rank) newCollCall() *CollectiveCall {
+	if r.world.pooling {
+		return &r.frame.call
+	}
+	return new(CollectiveCall)
+}
+
+// newP2PArgs and newP2PCall are the point-to-point counterparts.
+func (r *Rank) newP2PArgs(a P2PArgs) *P2PArgs {
+	if r.world.pooling {
+		r.p2p.args = a
+		return &r.p2p.args
+	}
+	p := new(P2PArgs)
+	*p = a
+	return p
+}
+
+func (r *Rank) newP2PCall() *P2PCall {
+	if r.world.pooling {
+		return &r.p2p.call
+	}
+	return new(P2PCall)
+}
+
+// lookupStack memoises trimToApp + hashStack for a raw PC array. The cache
+// lives on the rank and survives run recycling: PCs are process-stable, so
+// a campaign pays the CallersFrames walk once per distinct call path.
+func (r *Rank) lookupStack(pcs []uintptr) stackEntry {
+	key := hashPCs(pcs)
+	if e, ok := r.stacks[key]; ok {
+		return e
+	}
+	st := trimToApp(pcs)
+	e := stackEntry{stack: st, hash: hashStack(st)}
+	if r.stacks == nil {
+		r.stacks = make(map[uint64]stackEntry)
+	}
+	r.stacks[key] = e
+	return e
+}

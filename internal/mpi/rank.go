@@ -34,12 +34,26 @@ const AnyTag = -1
 // can use a disjoint namespace.
 const maxUserTag = 1 << 20
 
-// message is one point-to-point payload in flight.
+// message is one point-to-point payload in flight. pooled, when non-nil,
+// is the arena slab backing data; the consumer of an internal collective
+// message recycles it, while user payloads escape into the application and
+// stay GC-managed.
 type message struct {
-	comm Comm
-	src  int // rank within comm
-	tag  int64
-	data []byte
+	comm   Comm
+	src    int // rank within comm
+	tag    int64
+	data   []byte
+	pooled *slab
+}
+
+// recycle returns the message's pooled payload to the arena. Safe to call
+// on any message; only arena-backed ones carry a slab.
+func (m *message) recycle() {
+	if m.pooled != nil {
+		putSlab(m.pooled)
+		m.pooled = nil
+		m.data = nil
+	}
 }
 
 // Rank is the per-process handle an application's rank function receives.
@@ -66,6 +80,20 @@ type Rank struct {
 	budget int64
 
 	reported []float64
+
+	// Arena state (see pool.go). owned tracks pooled Buffers handed out
+	// this run; bufFree recycles Buffer headers across runs; frame/p2p are
+	// the reusable hook records; stacks memoises trimmed call stacks.
+	owned   []*Buffer
+	bufFree []*Buffer
+	frame   collFrame
+	p2p     p2pFrame
+	stacks  map[uint64]stackEntry
+
+	// pcbuf is the persistent runtime.Callers scratch: a stack-local
+	// [64]uintptr would escape through lookupStack and cost one heap
+	// allocation per collective call (the alloc-budget tests pin this).
+	pcbuf [64]uintptr
 }
 
 // Tick charges units of computational work to the rank's budget. Applications
@@ -146,7 +174,7 @@ func (r *Rank) nextSeq(c Comm) int64 {
 
 // Send delivers a user point-to-point message to dst (rank within comm).
 func (r *Rank) Send(comm Comm, dst, tag int, data []byte) {
-	args := r.beginP2P(P2PSend, &P2PArgs{Peer: dst, Tag: tag, Data: data, Comm: comm})
+	args := r.beginP2P(P2PSend, P2PArgs{Peer: dst, Tag: tag, Data: data, Comm: comm})
 	if args.Tag < 0 || args.Tag >= maxUserTag {
 		abortf(r.id, "MPI_Send", ErrTag, "tag %d outside [0,%d)", args.Tag, maxUserTag)
 	}
@@ -159,13 +187,15 @@ func (r *Rank) Send(comm Comm, dst, tag int, data []byte) {
 
 // SendFloat64s is a convenience wrapper marshalling float64 values.
 func (r *Rank) SendFloat64s(comm Comm, dst, tag int, vals []float64) {
-	r.Send(comm, dst, tag, FromFloat64s(vals).Bytes())
+	b := r.FromFloat64s(vals)
+	r.Send(comm, dst, tag, b.Bytes())
+	b.Release()
 }
 
 // Recv blocks until a user message from src with the given tag arrives.
 // src may be AnySource and tag may be AnyTag.
 func (r *Rank) Recv(comm Comm, src, tag int) []byte {
-	args := r.beginP2P(P2PRecv, &P2PArgs{Peer: src, Tag: tag, Comm: comm})
+	args := r.beginP2P(P2PRecv, P2PArgs{Peer: src, Tag: tag, Comm: comm})
 	if args.Tag != AnyTag && (args.Tag < 0 || args.Tag >= maxUserTag) {
 		abortf(r.id, "MPI_Recv", ErrTag, "tag %d outside [0,%d)", args.Tag, maxUserTag)
 	}
@@ -202,11 +232,22 @@ const anyTagSentinel int64 = -2
 // sendRaw copies data and enqueues it at the destination rank's inbox. dst
 // is a rank within ci. Blocking on a full inbox participates in quiescence
 // accounting so a jammed schedule is detected as deadlock.
+//
+// Internal collective payloads (tag >= maxUserTag) are copied into arena
+// slabs and recycled by the receiving collective; user payloads use plain
+// allocations because Recv hands them to the application.
 func (r *Rank) sendRaw(ci *commInfo, comm Comm, dst int, tag int64, data []byte) {
-	cp := make([]byte, len(data))
+	var cp []byte
+	var pooled *slab
+	if n := len(data); n > 0 && tag >= maxUserTag && n <= maxSlabBytes && r.world.pooling {
+		pooled = getSlab(n)
+		cp = pooled.b[:n]
+	} else {
+		cp = make([]byte, n)
+	}
 	copy(cp, data)
 	me := ci.rankOf[r.id]
-	msg := message{comm: comm, src: me, tag: tag, data: cp}
+	msg := message{comm: comm, src: me, tag: tag, data: cp, pooled: pooled}
 	target := r.world.ranks[ci.members[dst]]
 	select {
 	case target.inbox <- msg:

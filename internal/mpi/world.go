@@ -3,7 +3,6 @@ package mpi
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +38,12 @@ type RunOptions struct {
 	// wall-clock timeout. Campaign supervisors use this to stop in-flight
 	// injected runs promptly on Ctrl-C.
 	Context context.Context
+	// DisablePooling turns off the buffer arena (see pool.go) that
+	// recycles rank state, message payloads, collective scratch and
+	// simulated-memory buffers across runs. Pooling is on by default; the
+	// differential test harness uses this switch to prove the pooled and
+	// unpooled paths are outcome-identical.
+	DisablePooling bool
 }
 
 // RankResult reports how one rank finished.
@@ -95,10 +100,11 @@ func (r RunResult) FirstError() error {
 // World is one simulated machine: ranks, communicators and the deadlock
 // monitor. A World lives for exactly one Run call.
 type World struct {
-	size  int
-	ranks []*Rank
-	comms []*commInfo
-	hook  Hook
+	size    int
+	ranks   []*Rank
+	comms   []*commInfo
+	hook    Hook
+	pooling bool // buffer arena active for this run (see pool.go)
 
 	commMu sync.Mutex // guards comms growth (Comm split/dup)
 
@@ -166,19 +172,7 @@ func Run(opts RunOptions, fn func(r *Rank) error) RunResult {
 		mailbox = 4096
 	}
 
-	w := &World{
-		size: n,
-		hook: opts.Hook,
-		done: make(chan struct{}),
-	}
-	members := make([]int, n)
-	rankOf := make(map[int]int, n)
-	for i := range members {
-		members[i] = i
-		rankOf[i] = i
-	}
-	w.comms = []*commInfo{{handle: CommWorld, members: members, rankOf: rankOf}}
-
+	pooling := !opts.DisablePooling
 	budget := opts.WorkBudget
 	if budget == 0 {
 		budget = 10_000_000
@@ -186,17 +180,27 @@ func Run(opts RunOptions, fn func(r *Rank) error) RunResult {
 	if budget < 0 {
 		budget = 0 // disabled
 	}
-	w.ranks = make([]*Rank, n)
-	for i := 0; i < n; i++ {
-		w.ranks[i] = &Rank{
-			world:   w,
-			id:      i,
-			inbox:   make(chan message, mailbox),
-			Rand:    rand.New(rand.NewSource(opts.Seed*7919 + int64(i)*104729 + 1)),
-			phase:   PhaseInit,
-			invents: make(map[uintptr]int),
-			budget:  budget,
-		}
+
+	// With pooling on, the per-rank skeleton (channels, rand sources,
+	// maps, caches) is recycled from earlier runs of the same shape and
+	// returned to the arena once every rank goroutine has been joined.
+	var shell *runShell
+	if pooling {
+		shell = getShell(n, mailbox)
+	}
+	if shell == nil {
+		shell = newShell(n, mailbox)
+	}
+	w := &World{
+		size:    n,
+		hook:    opts.Hook,
+		done:    make(chan struct{}),
+		pooling: pooling,
+	}
+	w.comms = []*commInfo{shell.world0}
+	w.ranks = shell.ranks
+	for i, rk := range w.ranks {
+		rk.bind(w, rankSeed(opts.Seed, i), budget)
 	}
 
 	results := make([]RankResult, n)
@@ -248,6 +252,14 @@ func Run(opts RunOptions, fn func(r *Rank) error) RunResult {
 		}
 	} else {
 		deadlock, timedOut, cancelled = w.supervise(allDone, ctxDone, timeout)
+	}
+
+	if pooling {
+		// Every exit path above has joined all rank goroutines, so the
+		// shell (and any pooled memory still referenced by abandoned
+		// in-flight messages) can be reclaimed safely.
+		shell.reclaim()
+		putShell(shell)
 	}
 
 	return RunResult{

@@ -72,9 +72,10 @@ func ChecksummedBcast(r *mpi.Rank, buf *mpi.Buffer, count int, dt mpi.Datatype, 
 	r.Bcast(buf, count, dt, root, comm)
 	// The root broadcasts its payload CRC through a second (tiny) bcast;
 	// every rank compares against what it actually holds.
-	crcBuf := mpi.FromInt64s([]int64{int64(crcOf(buf.Bytes()))})
+	crcBuf := r.FromInt64s([]int64{int64(crcOf(buf.Bytes()))})
 	r.Bcast(crcBuf, 1, mpi.Int64, root, comm)
 	want := uint32(crcBuf.Int64(0))
+	crcBuf.Release()
 	flag := int64(0)
 	if crcOf(buf.Bytes()) != want {
 		flag = 1
@@ -95,9 +96,10 @@ func VotedAllreduce(r *mpi.Rank, send, recv *mpi.Buffer, count int, dt mpi.Datat
 	results := make([][]byte, 3)
 	for i := 0; i < 3; i++ {
 		s := send.Clone()
-		out := mpi.NewBuffer(recv.Len())
+		out := r.NewBuffer(recv.Len())
 		r.Allreduce(s, out, count, dt, op, comm)
 		results[i] = append([]byte(nil), out.Bytes()...)
+		out.Release()
 	}
 	winner := -1
 	for i := 0; i < 3 && winner < 0; i++ {
