@@ -11,6 +11,8 @@
 //	fastfit -app lu -checkpoint lu.ckpt -resume  # continue after Ctrl-C
 //	fastfit -app lu -progress                    # live stats line on stderr
 //	fastfit -app lu -events lu.events.jsonl      # JSONL event stream
+//	fastfit -app shoot -algorithm ftring -topology ring -netplan link:1-2
+//	fastfit -app shoot -topology torus:4x4 -policy network
 //
 // Campaigns run under a supervisor: points are injected by a worker pool,
 // every completed point is journalled to the -checkpoint file (when given),
@@ -62,7 +64,7 @@ func main() {
 
 func run() error {
 	var (
-		appName    = flag.String("app", "minimd", "workload to study (is, ft, mg, lu, minimd)")
+		appName    = flag.String("app", "minimd", "workload to study (is, ft, mg, lu, minimd, shoot)")
 		ranks      = flag.Int("ranks", 0, "number of MPI ranks (0 = app default)")
 		scale      = flag.Int("scale", 0, "problem-size knob (0 = app default)")
 		iters      = flag.Int("iters", 0, "outer iterations (0 = app default)")
@@ -72,7 +74,10 @@ func run() error {
 		confidence = flag.Float64("confidence", 0.95, "settling-rule confidence for -adaptive (in (0,1))")
 		threshold  = flag.Float64("threshold", 0.65, "ML prediction-accuracy threshold")
 		levels     = flag.Int("levels", 4, "error-rate levels for the ML label")
-		policy     = flag.String("policy", "databuffer", "injection policy: databuffer or allparams")
+		policy     = flag.String("policy", "databuffer", "injection policy: databuffer, allparams or network")
+		topology   = flag.String("topology", "", "interconnect topology: flat, ring, torus or torus:XxY (empty = paper's reliable flat fabric)")
+		netPlan    = flag.String("netplan", "", "structured network fault plan applied to every injected run, e.g. \"link:1-2,drop:0-3:2,crash:5\"")
+		algorithm  = flag.String("algorithm", "", "resilient collective variant for registry-aware workloads (empty = baseline; see -app shoot)")
 		noSem      = flag.Bool("no-semantic", false, "disable semantic-driven pruning")
 		noCtx      = flag.Bool("no-context", false, "disable context-driven pruning")
 		noML       = flag.Bool("no-ml", false, "disable ML-driven pruning")
@@ -112,6 +117,7 @@ func run() error {
 	if *iters > 0 {
 		cfg.Iters = *iters
 	}
+	cfg.Algorithm = *algorithm
 
 	opts := fastfit.DefaultOptions()
 	opts.TrialsPerPoint = *trials
@@ -152,8 +158,18 @@ func run() error {
 		opts.Policy = fastfit.PolicyDataBuffer
 	case "allparams":
 		opts.Policy = fastfit.PolicyAllParams
+	case "network":
+		opts.Policy = fastfit.PolicyNetwork
 	default:
 		return fmt.Errorf("unknown policy %q", *policy)
+	}
+	opts.Topology = *topology
+	if *netPlan != "" {
+		plan, err := fastfit.ParseNetPlan(*netPlan)
+		if err != nil {
+			return err
+		}
+		opts.NetPlan = plan
 	}
 
 	engine := fastfit.New(app, cfg, opts)

@@ -1,0 +1,98 @@
+// Algorithm shootout: sweep every resilient-collective variant through the
+// same workload on a ring interconnect and report what each one costs
+// against what it survives. Overhead is the fault-free network accounting
+// (messages, link hops, accumulated latency); coverage is the classified
+// verdict of one run under each of two standing fault models — a severed
+// link and a crashed node. Both runs are deterministic, so the whole table
+// reproduces bit-for-bit.
+//
+//	go run ./examples/algorithm_shootout
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/fastfit/fastfit"
+)
+
+func main() {
+	app, err := fastfit.LookupApp("shoot")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := app.DefaultConfig()
+	cfg.Ranks = 8
+
+	linkPlan, err := fastfit.ParseNetPlan("link:1-2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	crashPlan, err := fastfit.ParseNetPlan(fmt.Sprintf("crash:%d", cfg.Ranks-1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-10s %6s %8s %6s %10s  %-10s %s\n",
+		"algorithm", "msgs", "vs base", "hops", "latency", "link loss", "node crash")
+	var baseMsgs int64
+	for _, name := range fastfit.AlgorithmNames() {
+		cfg.Algorithm = name
+
+		// Overhead: one fault-free run on an instrumented ring network.
+		topo, err := fastfit.ParseTopology("ring", cfg.Ranks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		net := fastfit.NewNetwork(topo)
+		res := fastfit.RunRanks(fastfit.RunOptions{
+			NumRanks: cfg.Ranks,
+			Seed:     cfg.Seed,
+			Timeout:  time.Minute,
+			Network:  net,
+		}, func(r *fastfit.Rank) error { return app.Main(r, cfg) })
+		if err := res.FirstError(); err != nil {
+			log.Fatalf("%s fault-free run: %v", name, err)
+		}
+		stats := net.Stats()
+		if name == "baseline" {
+			baseMsgs = stats.Messages
+		}
+		factor := float64(stats.Messages)
+		if baseMsgs > 0 {
+			factor /= float64(baseMsgs)
+		}
+
+		// Coverage: one classified run per standing fault plan. The golden
+		// reference comes from the engine's fault-free profiling run.
+		linkOut := verdict(app, cfg, linkPlan)
+		crashOut := verdict(app, cfg, crashPlan)
+
+		fmt.Printf("%-10s %6d %7.2fx %6d %10v  %-10s %s\n",
+			name, stats.Messages, factor, stats.Hops,
+			time.Duration(stats.LatencyNs).Round(time.Microsecond),
+			linkOut, crashOut)
+	}
+	fmt.Println("\nlink loss = ring link 1-2 severed at start of run; node crash = last rank dead at start of run")
+	fmt.Println("SUCCESS: completed with golden results; APP_DETECTED: refused to run degraded;")
+	fmt.Println("WRONG_ANS: survivors completed with a degraded answer; INF_LOOP: deadlocked waiting on the fault")
+}
+
+// verdict classifies one run of the workload under a standing network fault
+// plan against the variant's own golden reference.
+func verdict(app fastfit.App, cfg fastfit.Config, plan []fastfit.NetFault) fastfit.Outcome {
+	opts := fastfit.DefaultOptions()
+	opts.Topology = "ring"
+	opts.NetPlan = plan
+	opts.RunTimeout = time.Minute
+	engine := fastfit.New(app, cfg, opts)
+	if _, err := engine.Profile(); err != nil {
+		log.Fatalf("%s profile: %v", cfg.Algorithm, err)
+	}
+	out, res := engine.RunOnce()
+	if res.Cancelled {
+		log.Fatalf("%s planned run cancelled", cfg.Algorithm)
+	}
+	return out
+}

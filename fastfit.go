@@ -54,6 +54,7 @@ import (
 	"github.com/fastfit/fastfit/internal/core"
 	"github.com/fastfit/fastfit/internal/fault"
 	"github.com/fastfit/fastfit/internal/mpi"
+	"github.com/fastfit/fastfit/internal/resilient"
 )
 
 // ---- simulated MPI runtime ----
@@ -251,6 +252,10 @@ const (
 	// PolicyAllParams flips bits in a uniformly random input parameter
 	// (the paper's §II basic methodology).
 	PolicyAllParams = core.PolicyAllParams
+	// PolicyNetwork injects network faults — egress message drops, egress
+	// link failures and mid-run node crashes — at collective call sites
+	// instead of corrupting data.
+	PolicyNetwork = core.PolicyNetwork
 )
 
 // Point is one fault injection point with its application features.
@@ -317,6 +322,10 @@ const (
 type (
 	// CampaignStarted opens every campaign's event stream.
 	CampaignStarted = core.CampaignStarted
+	// FaultDomainEvent reports one element of the campaign's standing
+	// network fault environment (topology, failed links, drop budgets,
+	// crashed nodes), emitted directly after CampaignStarted.
+	FaultDomainEvent = core.FaultDomainEvent
 	// PhaseChanged announces entry into a pipeline stage.
 	PhaseChanged = core.PhaseChanged
 	// PointStarted announces that injection of one point has begun.
@@ -455,3 +464,74 @@ func Advise(measured []PointResult, th AdviceThresholds) []Advice {
 func LoadCampaignJSON(path string) (*CampaignResult, error) {
 	return core.LoadCampaignJSON(path)
 }
+
+// ---- topology and network faults ----
+
+// Topology describes a simulated interconnect: which directed links exist
+// and how messages are routed across them. Routing is a pure function of
+// the message's endpoints, so link-fault campaigns classify
+// deterministically.
+type Topology = mpi.Topology
+
+// ParseTopology resolves a topology spec — "flat" (the paper's implicit
+// full crossbar), "ring", "torus" or "torus:XxY" — over n ranks. The empty
+// spec means flat.
+func ParseTopology(spec string, n int) (Topology, error) { return mpi.ParseTopology(spec, n) }
+
+// Network overlays link/egress fault state and message accounting on a
+// Topology; pass one to RunOptions.Network to route a simulated run's
+// point-to-point traffic through it.
+type Network = mpi.Network
+
+// NewNetwork builds a fault-free network over a topology.
+func NewNetwork(topo Topology) *Network { return mpi.NewNetwork(topo) }
+
+// NetStats is a network's message/hop/latency accounting, the overhead
+// side of the algorithm-shootout comparison.
+type NetStats = mpi.NetStats
+
+// NetFault is one element of a structured network fault plan.
+type NetFault = fault.NetFault
+
+// NetFaultKind discriminates NetFault entries.
+type NetFaultKind = fault.NetFaultKind
+
+// Network fault kinds.
+const (
+	// LinkFail permanently severs the link between two ranks at start.
+	LinkFail = fault.LinkFail
+	// LinkDrop silently drops the next Count messages on an egress link.
+	LinkDrop = fault.LinkDrop
+	// NodeCrash marks a rank's node dead before launch.
+	NodeCrash = fault.NodeCrash
+)
+
+// ParseNetPlan parses a comma-separated fault plan such as
+// "link:1-2,drop:0-3:2,crash:5". Set the result as Options.NetPlan to
+// apply it at the start of every injected run.
+func ParseNetPlan(spec string) ([]NetFault, error) { return fault.ParseNetPlan(spec) }
+
+// LoadNetPlanJSON parses a JSON-encoded fault plan ([]NetFault).
+func LoadNetPlanJSON(data []byte) ([]NetFault, error) { return fault.LoadNetPlanJSON(data) }
+
+// NetPlanString renders a plan in ParseNetPlan syntax.
+func NetPlanString(plan []NetFault) string { return fault.NetPlanString(plan) }
+
+// ---- resilient collective algorithms ----
+
+// Algorithm is one collective-implementation variant from the resilient
+// zoo; campaigns sweep variants against a fixed fault plan via
+// Config.Algorithm (see the shoot workload and examples/algorithm_shootout).
+type Algorithm = resilient.Algorithm
+
+// AlgorithmNames returns the registered variant names, sorted: baseline,
+// checksum, voted, corrected, hbreorg, ftring (plus any registered by the
+// embedding program).
+func AlgorithmNames() []string { return resilient.Names() }
+
+// LookupAlgorithm resolves a variant by name; "" means "baseline".
+func LookupAlgorithm(name string) (Algorithm, error) { return resilient.Get(name) }
+
+// RegisterAlgorithm adds a variant under its Name, replacing any previous
+// entry.
+func RegisterAlgorithm(a Algorithm) { resilient.Register(a) }

@@ -91,7 +91,7 @@ func TestLookup(t *testing.T) {
 	if _, err := Lookup("nope"); err == nil {
 		t.Fatalf("lookup nope should fail")
 	}
-	if len(Names()) != 5 {
-		t.Fatalf("expected 5 apps, got %v", Names())
+	if len(Names()) != 6 {
+		t.Fatalf("expected 6 apps, got %v", Names())
 	}
 }

@@ -1,0 +1,82 @@
+package shoot
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/fastfit/fastfit/internal/apps"
+	"github.com/fastfit/fastfit/internal/mpi"
+	"github.com/fastfit/fastfit/internal/resilient"
+)
+
+func runShoot(t *testing.T, cfg apps.Config, net *mpi.Network) mpi.RunResult {
+	t.Helper()
+	app := New()
+	return mpi.Run(mpi.RunOptions{
+		NumRanks: cfg.Ranks,
+		Seed:     cfg.Seed,
+		Timeout:  10 * time.Second,
+		Network:  net,
+	}, func(r *mpi.Rank) error { return app.Main(r, cfg) })
+}
+
+// Every zoo variant must report bit-identical results on a fault-free run:
+// the kernel is int64/OpSum throughout precisely so reordered combine
+// chains stay exact. WRONG_ANS verdicts in a shootout campaign are then
+// attributable to faults alone.
+func TestShootVariantsAgreeFaultFree(t *testing.T) {
+	cfg := New().DefaultConfig()
+	cfg.Ranks = 4
+	cfg.Scale = 8
+	var want [][]float64
+	for _, name := range resilient.Names() {
+		cfg.Algorithm = name
+		res := runShoot(t, cfg, nil)
+		if err := res.FirstError(); err != nil || res.Deadlock {
+			t.Fatalf("%s: err=%v deadlock=%v", name, err, res.Deadlock)
+		}
+		got := make([][]float64, len(res.Ranks))
+		for i, rr := range res.Ranks {
+			got[i] = rr.Values
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s reported %v, baseline reported %v", name, got, want)
+		}
+	}
+}
+
+// The same holds on a ring network with no faults: routing adds hops and
+// latency but must not change any reported value.
+func TestShootNetworkedMatchesFlat(t *testing.T) {
+	cfg := New().DefaultConfig()
+	cfg.Ranks = 4
+	cfg.Scale = 8
+	cfg.Algorithm = "ftring"
+	flat := runShoot(t, cfg, nil)
+	topo, err := mpi.ParseTopology("ring", cfg.Ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringed := runShoot(t, cfg, mpi.NewNetwork(topo))
+	for i := range flat.Ranks {
+		if !reflect.DeepEqual(flat.Ranks[i].Values, ringed.Ranks[i].Values) {
+			t.Fatalf("rank %d: flat %v != ring %v", i, flat.Ranks[i].Values, ringed.Ranks[i].Values)
+		}
+	}
+}
+
+func TestShootUnknownAlgorithm(t *testing.T) {
+	cfg := New().DefaultConfig()
+	cfg.Ranks = 2
+	cfg.Scale = 4
+	cfg.Algorithm = "no-such-variant"
+	res := runShoot(t, cfg, nil)
+	if err := res.FirstError(); err == nil {
+		t.Fatal("expected an error for an unknown algorithm variant")
+	}
+}

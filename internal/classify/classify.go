@@ -75,6 +75,15 @@ func ClassifyTol(golden, res mpi.RunResult, tol float64) Outcome {
 // priority order a job launcher reports: a crash beats an MPI abort beats
 // an application abort beats a hang. The second return is false when the
 // run completed and must be compared against the golden results.
+//
+// A run whose only errors are node crashes (mpi.NodeCrashed — the network
+// fault domain took nodes down, and every surviving rank ran to completion)
+// is classified by what the survivors produced: their values are compared
+// against the golden run with the dead ranks excluded. A crash that starves
+// its peers never reaches that path — the starved ranks die with
+// mpi.Killed, which outranks NodeCrashed in FirstError and lands here as
+// INF_LOOP. A run with no survivors at all behaves like a job that produced
+// nothing and was torn down: INF_LOOP.
 func failureClass(res mpi.RunResult) (Outcome, bool) {
 	switch res.FirstError().(type) {
 	case mpi.SegFault:
@@ -85,6 +94,11 @@ func failureClass(res mpi.RunResult) (Outcome, bool) {
 		return AppDetected, true
 	case mpi.Killed:
 		return InfLoop, true
+	case mpi.NodeCrashed:
+		if !anySurvivor(res) {
+			return InfLoop, true
+		}
+		// Survivor-aware comparison decides SUCCESS vs WRONG_ANS.
 	}
 	if res.Deadlock || res.TimedOut {
 		return InfLoop, true
@@ -92,13 +106,29 @@ func failureClass(res mpi.RunResult) (Outcome, bool) {
 	return Success, false
 }
 
+// anySurvivor reports whether at least one rank finished without error.
+func anySurvivor(res mpi.RunResult) bool {
+	for _, rr := range res.Ranks {
+		if rr.Err == nil {
+			return true
+		}
+	}
+	return false
+}
+
 // sameResults compares the per-rank reported values against the golden run
-// with relative tolerance tol.
+// with relative tolerance tol. Ranks that ended with an error are excluded:
+// on the only path that reaches this comparison with per-rank errors
+// present, those errors are node crashes, and a crashed node reports
+// nothing — only the survivors' outputs are comparable.
 func sameResults(golden, res mpi.RunResult, tol float64) bool {
 	if len(golden.Ranks) != len(res.Ranks) {
 		return false
 	}
 	for i := range golden.Ranks {
+		if res.Ranks[i].Err != nil {
+			continue
+		}
 		g, r := golden.Ranks[i].Values, res.Ranks[i].Values
 		if len(g) != len(r) {
 			return false

@@ -18,17 +18,19 @@ import (
 type Digest struct {
 	tol   float64
 	ranks []rankDigest
-
-	// hasNaN records whether any golden value is NaN. closeEnough treats
-	// NaN as never equal to anything (including an identical NaN), so a
-	// NaN-bearing golden run makes every completed run WRONG_ANS; the
-	// bit-equality fast path would wrongly accept an identical NaN.
-	hasNaN bool
 }
 
 type rankDigest struct {
 	bits []uint64
 	vals []float64
+
+	// hasNaN records whether any of this rank's golden values is NaN.
+	// closeEnough treats NaN as never equal to anything (including an
+	// identical NaN), so a surviving rank compared against NaN-bearing
+	// golden values is always WRONG_ANS; the bit-equality fast path would
+	// wrongly accept an identical NaN. Tracked per rank (not globally) so
+	// a crashed rank's NaN cannot condemn a run whose survivors all match.
+	hasNaN bool
 }
 
 // NewDigest precomputes the digest of a golden run with the given relative
@@ -48,7 +50,7 @@ func NewDigest(golden mpi.RunResult, tol float64) *Digest {
 			rd.bits[j] = math.Float64bits(v)
 			rd.vals[j] = v
 			if math.IsNaN(v) {
-				d.hasNaN = true
+				rd.hasNaN = true
 			}
 		}
 		d.ranks[i] = rd
@@ -62,17 +64,22 @@ func (d *Digest) Classify(res mpi.RunResult) Outcome {
 	if o, failed := failureClass(res); failed {
 		return o
 	}
-	if d.hasNaN {
-		// No run compares equal to a golden run containing NaN.
-		return WrongAns
-	}
 	if len(res.Ranks) != len(d.ranks) {
 		return WrongAns
 	}
 	for i := range d.ranks {
+		// Crashed ranks are excluded exactly as in sameResults: only the
+		// survivors' outputs are comparable.
+		if res.Ranks[i].Err != nil {
+			continue
+		}
 		g := &d.ranks[i]
 		r := res.Ranks[i].Values
 		if len(r) != len(g.vals) {
+			return WrongAns
+		}
+		if g.hasNaN {
+			// A surviving rank can never compare equal to NaN goldens.
 			return WrongAns
 		}
 		for j, v := range r {

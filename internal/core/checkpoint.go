@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"github.com/fastfit/fastfit/internal/apps"
+	"github.com/fastfit/fastfit/internal/fault"
 )
 
 // A campaign checkpoint is an append-only JSONL journal: a header line
@@ -44,6 +45,15 @@ func CampaignFingerprint(appName string, cfg apps.Config, opts Options, points [
 	fmt.Fprintf(h, "acc=%g|batch=%d|mintrain=%d|levels=%d|trees=%d|depth=%d|",
 		o.AccuracyThreshold, o.MLBatch, o.MLMinTrain, o.Levels, o.ForestTrees, o.ForestDepth)
 	fmt.Fprintf(h, "adaptive=%t|conf=%g|", o.AdaptiveTrials, o.Confidence)
+	// The network fault domain and algorithm variant are appended only when
+	// set, so fingerprints of classic campaigns (and their existing
+	// checkpoints) are unchanged.
+	if cfg.Algorithm != "" {
+		fmt.Fprintf(h, "alg=%s|", cfg.Algorithm)
+	}
+	if o.Topology != "" || len(o.NetPlan) > 0 {
+		fmt.Fprintf(h, "topo=%s|netplan=%s|", o.Topology, fault.NetPlanString(o.NetPlan))
+	}
 	fmt.Fprintf(h, "npoints=%d|", len(points))
 	for _, p := range points {
 		fmt.Fprintf(h, "%d/%s/%d/%d/%d/%d|", p.Rank, p.SiteName, int(p.Type), p.Invocation, p.NInv, int(p.Phase))

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/fastfit/fastfit/internal/apps"
+	"github.com/fastfit/fastfit/internal/fault"
 )
 
 // Options configures a FastFIT campaign.
@@ -57,6 +58,21 @@ type Options struct {
 	// Policy selects which parameter each fault-injection test corrupts.
 	Policy FaultPolicy
 
+	// Topology selects the simulated interconnect every injected run routes
+	// its messages through: "flat", "ring" or "torus[:XxY]" (mpi.ParseTopology).
+	// Empty keeps the paper's perfectly reliable flat network at zero cost —
+	// unless NetPlan or PolicyNetwork forces a network, in which case empty
+	// means "flat".
+	Topology string
+	// NetPlan is the structured network fault plan — permanent link
+	// failures, egress drop bursts and node crashes (fault.ParseNetPlan) —
+	// applied at the start of every *injected* run. The golden and profiling
+	// runs stay fault-free: the plan is part of the fault model under study,
+	// not of the reference behaviour, so a campaign measures how each
+	// algorithm variant's outcome distribution shifts under the same
+	// standing fault environment.
+	NetPlan []fault.NetFault
+
 	// AdaptiveTrials enables sequential early stopping: a Wilson-interval
 	// settling rule (internal/stats) watches each point's outcome stream
 	// and stops injecting once the dominant outcome is statistically
@@ -104,6 +120,12 @@ const (
 	// (the paper's §II basic methodology, used for the per-parameter
 	// studies).
 	PolicyAllParams
+	// PolicyNetwork injects a random network fault at the addressed call
+	// instead of corrupting data: a permanent egress link failure, a
+	// transient drop burst on one of the rank's links, or a node crash
+	// (the topology-aware fault domain). Requires a Topology (empty means
+	// flat) so every link fault lands on a real link.
+	PolicyNetwork
 )
 
 // DefaultOptions returns the paper's configuration: all three pruning

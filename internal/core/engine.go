@@ -29,6 +29,13 @@ type Engine struct {
 	prof   *profile.Profile
 	golden mpi.RunResult
 	digest *classify.Digest
+
+	// Network-fault-domain configuration, resolved once (netSetup): the
+	// parsed topology shared by every injected run, or nil when the
+	// campaign has no network dimension.
+	netOnce sync.Once
+	topo    mpi.Topology
+	netErr  error
 }
 
 // App returns the engine's workload.
@@ -52,14 +59,65 @@ func (e *Engine) logf(format string, args ...any) {
 	}
 }
 
-// emitCampaignStarted opens a campaign's event stream.
+// emitCampaignStarted opens a campaign's event stream, followed by one
+// FaultDomainEvent per element of the standing network fault environment so
+// stream consumers know what every injected run executes under before the
+// first point completes.
 func (e *Engine) emitCampaignStarted() {
 	e.emit(CampaignStarted{
 		App:            e.app.Name(),
 		Ranks:          e.cfg.Ranks,
 		TrialsPerPoint: e.opts.TrialsPerPoint,
 		MLPruning:      e.opts.MLPruning,
+		Algorithm:      e.cfg.Algorithm,
 	})
+	if e.netSetup() == nil && e.topo != nil {
+		e.emit(FaultDomainEvent{Kind: "topology", Spec: e.topo.Name()})
+		for _, nf := range e.opts.NetPlan {
+			e.emit(FaultDomainEvent{
+				Kind: nf.Kind.String(), Spec: nf.String(),
+				Rank: nf.Rank, Peer: nf.Peer, Count: nf.Count,
+			})
+		}
+	}
+}
+
+// netSetup resolves the network fault domain once: it parses the topology
+// and validates the structured plan. It returns nil with e.topo == nil when
+// the campaign has no network dimension at all (no topology, no plan, and a
+// non-network policy) — runs then keep the paper's reliable flat fabric at
+// zero cost.
+func (e *Engine) netSetup() error {
+	e.netOnce.Do(func() {
+		if e.opts.Topology == "" && len(e.opts.NetPlan) == 0 && e.opts.Policy != PolicyNetwork {
+			return
+		}
+		topo, err := mpi.ParseTopology(e.opts.Topology, e.cfg.Ranks)
+		if err != nil {
+			e.netErr = err
+			return
+		}
+		if err := fault.ValidateNetPlan(e.opts.NetPlan, e.cfg.Ranks); err != nil {
+			e.netErr = err
+			return
+		}
+		e.topo = topo
+	})
+	return e.netErr
+}
+
+// trialNetwork builds one injected run's private interconnect with the
+// structured plan pre-applied, returning the at-start crashed ranks. Each
+// run gets its own Network because injectors and plans mutate link state.
+// Nil when the campaign has no network dimension (or its configuration is
+// invalid — Profile surfaces that error before any trial runs).
+func (e *Engine) trialNetwork() (*mpi.Network, []int) {
+	if e.netSetup() != nil || e.topo == nil {
+		return nil, nil
+	}
+	net := mpi.NewNetwork(e.topo)
+	crashed := fault.ApplyNetPlan(net, e.opts.NetPlan)
+	return net, crashed
 }
 
 // Profile runs the application once fault-free, collecting the
@@ -70,6 +128,9 @@ func (e *Engine) emitCampaignStarted() {
 func (e *Engine) Profile() (*profile.Profile, error) {
 	if e.prof != nil {
 		return e.prof, nil
+	}
+	if err := e.netSetup(); err != nil {
+		return nil, fmt.Errorf("network fault domain of %s: %w", e.app.Name(), err)
 	}
 	col := profile.NewCollector(e.cfg.Ranks)
 	res := e.run(col)
@@ -128,7 +189,20 @@ func (e *Engine) RunOnce(faults ...fault.Fault) (classify.Outcome, mpi.RunResult
 // meaningless and must be discarded by the caller (check res.Cancelled).
 func (e *Engine) RunOnceCtx(ctx context.Context, faults ...fault.Fault) (classify.Outcome, mpi.RunResult) {
 	inj := fault.NewInjector(nil, faults...)
-	res := e.runCtx(ctx, inj)
+	net, crashed := e.trialNetwork()
+	if net != nil {
+		inj.AttachNetwork(net)
+	}
+	res := mpi.Run(mpi.RunOptions{
+		NumRanks:       e.cfg.Ranks,
+		Seed:           e.cfg.Seed,
+		Timeout:        e.opts.RunTimeout,
+		Hook:           inj,
+		Context:        ctx,
+		DisablePooling: e.opts.DisablePooling,
+		Network:        net,
+		CrashedRanks:   crashed,
+	}, func(r *mpi.Rank) error { return e.app.Main(r, e.cfg) })
 	return e.classifyRun(res), res
 }
 
@@ -194,6 +268,8 @@ func (e *Engine) trialFault(rng *rand.Rand, p Point, target *fault.Target) fault
 		return fault.RandomFaultOn(rng, p.Rank, p.Site, p.Invocation, *target)
 	case e.opts.Policy == PolicyAllParams:
 		return fault.RandomFault(rng, p.Rank, p.Site, p.Invocation, p.Type)
+	case e.opts.Policy == PolicyNetwork:
+		return fault.RandomNetFault(rng, p.Rank, p.Site, p.Invocation, e.cfg.Ranks)
 	default:
 		return fault.DataBufferFault(rng, p.Rank, p.Site, p.Invocation, p.Type)
 	}

@@ -20,10 +20,10 @@ import (
 // OnPointObserver).
 
 // Event is one record in a campaign's observation stream. The concrete
-// types below form a closed sum: CampaignStarted, PhaseChanged,
-// PointStarted, PointCompleted, PointSettled, PointRefined, BatchVerified,
-// PointRetried, PointQuarantined, CheckpointAppended, CampaignFinished and
-// Note.
+// types below form a closed sum: CampaignStarted, FaultDomainEvent,
+// PhaseChanged, PointStarted, PointCompleted, PointSettled, PointRefined,
+// BatchVerified, PointRetried, PointQuarantined, CheckpointAppended,
+// CampaignFinished and Note.
 type Event interface{ event() }
 
 // Observer receives campaign events. Events are delivered serially (never
@@ -94,6 +94,24 @@ type CampaignStarted struct {
 	Ranks          int
 	TrialsPerPoint int
 	MLPruning      bool
+	// Algorithm is the collective-implementation variant the workload runs
+	// (apps.Config.Algorithm); empty for apps that don't consult the
+	// resilient-algorithm registry.
+	Algorithm string
+}
+
+// FaultDomainEvent reports one element of the campaign's standing network
+// fault environment: the topology itself (Kind "topology") and one event per
+// structured plan entry (Kind "link", "drop" or "crash"). Emitted directly
+// after CampaignStarted, before any point runs, so stream consumers can
+// render "links down: N" from the first progress line. Campaigns without a
+// network dimension emit none.
+type FaultDomainEvent struct {
+	Kind  string // "topology", "link", "drop", "crash"
+	Spec  string // e.g. "ring", "link:2-3", "drop:0-1:4", "crash:5"
+	Rank  int    // faulted rank (link/drop/crash)
+	Peer  int    // link peer (link/drop)
+	Count int    // dropped-message budget (drop)
 }
 
 // PhaseChanged announces entry into a pipeline stage. Points is the size of
@@ -220,6 +238,7 @@ type Note struct {
 }
 
 func (CampaignStarted) event()    {}
+func (FaultDomainEvent) event()   {}
 func (PhaseChanged) event()       {}
 func (PointStarted) event()       {}
 func (PointCompleted) event()     {}

@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/fastfit/fastfit/internal/fault"
+	"github.com/fastfit/fastfit/internal/mpi"
 )
 
 // fuzzFingerprint is the fingerprint the fuzz targets validate against.
@@ -108,6 +111,77 @@ func FuzzLoadCampaignJSON(f *testing.F) {
 		}
 		if _, err := ReadCampaignJSON(&buf); err != nil {
 			t.Fatalf("accepted campaign fails to round-trip: %v", err)
+		}
+	})
+}
+
+// FuzzTopologyConfig: the topology and fault-plan loaders — the two
+// user-facing configuration surfaces of the network fault domain — must
+// never panic on mangled input, and anything they accept must be
+// internally consistent (routing stays on links, plans validate against
+// the rank count they were validated for).
+func FuzzTopologyConfig(f *testing.F) {
+	f.Add("flat", "link:1-2,drop:0-3:2,crash:5", []byte(`[{"Kind":0,"Rank":1,"Peer":2}]`), 8)
+	f.Add("ring", "drop:0-1", []byte(`[{"Kind":2,"Rank":3}]`), 4)
+	f.Add("torus:4x2", "", []byte(`[]`), 8)
+	f.Add("Torus:2X2", "crash:0", []byte(`null`), 4)
+	f.Add("torus:3x3", "link:1-1", []byte(`[{"Kind":99}]`), 8)    // dims mismatch, self-link
+	f.Add("torus:0x0", "link:a-b", []byte(`{"not":"a plan"}`), 0) // zero everything
+	f.Add("mesh", "drop:1-2:-4", []byte("\x00\x01"), -3)          // unknown kind, bad count
+	f.Add("torus:", "gremlin:9", []byte(`[{"Kind":1,"Count":-1}]`), 1)
+	f.Add("", ",,link:,", []byte(`[1,2,3]`), 2)
+	f.Add("torus:9999999999x9999999999", "crash:", []byte(``), 1<<30)
+
+	f.Fuzz(func(t *testing.T, topoSpec, planSpec string, planJSON []byte, ranks int) {
+		topo, err := mpi.ParseTopology(topoSpec, ranks)
+		if err == nil {
+			if topo.Nodes() != ranks {
+				t.Fatalf("ParseTopology(%q, %d) accepted a topology spanning %d nodes", topoSpec, ranks, topo.Nodes())
+			}
+			// Routing sanity on small accepted topologies: every first hop
+			// must be a direct neighbor of the sender.
+			if ranks >= 2 && ranks <= 16 {
+				for from := 0; from < ranks; from++ {
+					nbrs := topo.Neighbors(from)
+					for to := 0; to < ranks; to++ {
+						if to == from {
+							continue
+						}
+						hop := topo.NextHop(from, to)
+						ok := false
+						for _, nb := range nbrs {
+							if nb == hop {
+								ok = true
+							}
+						}
+						if !ok {
+							t.Fatalf("%s: NextHop(%d,%d)=%d is not a neighbor %v", topo.Name(), from, to, hop, nbrs)
+						}
+					}
+				}
+			}
+		} else if err.Error() == "" {
+			t.Fatal("topology error with empty message")
+		}
+
+		for _, parse := range []func() ([]fault.NetFault, error){
+			func() ([]fault.NetFault, error) { return fault.ParseNetPlan(planSpec) },
+			func() ([]fault.NetFault, error) { return fault.LoadNetPlanJSON(planJSON) },
+		} {
+			plan, err := parse()
+			if err != nil {
+				if err.Error() == "" {
+					t.Fatal("net plan error with empty message")
+				}
+				continue
+			}
+			// A parsed plan validated against an accepted topology must apply
+			// to a fresh network without panicking.
+			if topo != nil && ranks >= 1 && ranks <= 16 {
+				if fault.ValidateNetPlan(plan, ranks) == nil {
+					fault.ApplyNetPlan(mpi.NewNetwork(topo), plan)
+				}
+			}
 		}
 	})
 }

@@ -46,6 +46,10 @@ type StreamStats struct {
 	trialsSaved    int // budgeted trials reclaimed by early stopping
 	refined        int // points extended by the refinement pass
 	trialsRefined  int // extra trials respent by the refinement pass
+	topology       string
+	linksDown      int // standing permanent link failures (FaultDomainEvent)
+	dropBursts     int // standing transient drop bursts
+	nodesDown      int // standing at-start node crashes
 	finished       bool
 	cancelled      bool
 }
@@ -70,7 +74,19 @@ func (s *StreamStats) OnEvent(ev Event) {
 		s.injected, s.fromCheckpoint, s.quarantined, s.retries = 0, 0, 0, 0
 		s.batches, s.verifyAccuracy, s.predicted = 0, 0, 0
 		s.settled, s.trialsSaved, s.refined, s.trialsRefined = 0, 0, 0, 0
+		s.topology, s.linksDown, s.dropBursts, s.nodesDown = "", 0, 0, 0
 		s.finished, s.cancelled = false, false
+	case FaultDomainEvent:
+		switch ev.Kind {
+		case "topology":
+			s.topology = ev.Spec
+		case "link":
+			s.linksDown++
+		case "drop":
+			s.dropBursts++
+		case "crash":
+			s.nodesDown++
+		}
 	case PhaseChanged:
 		s.phase = ev.Phase
 		if ev.Points > 0 && (ev.Phase == CampaignInjecting || ev.Phase == CampaignLearning) {
@@ -149,6 +165,10 @@ type StreamSnapshot struct {
 	TrialsSaved    int // budgeted trials reclaimed by early stopping
 	Refined        int // points extended by the refinement pass
 	TrialsRefined  int // extra trials respent by the refinement pass
+	Topology       string
+	LinksDown      int // standing permanent link failures in the fault plan
+	DropBursts     int // standing transient drop bursts in the fault plan
+	NodesDown      int // standing at-start node crashes in the fault plan
 	Counts         classify.Counts
 	ErrorRate      float64
 	VerifyAccuracy float64
@@ -176,6 +196,10 @@ func (s *StreamStats) Snapshot() StreamSnapshot {
 		TrialsSaved:    s.trialsSaved,
 		Refined:        s.refined,
 		TrialsRefined:  s.trialsRefined,
+		Topology:       s.topology,
+		LinksDown:      s.linksDown,
+		DropBursts:     s.dropBursts,
+		NodesDown:      s.nodesDown,
 		Counts:         s.counts,
 		ErrorRate:      s.counts.ErrorRate(),
 		VerifyAccuracy: s.verifyAccuracy,
@@ -206,6 +230,15 @@ func (sn StreamSnapshot) ProgressLine() string {
 	}
 	if sn.Counts.Total() > 0 {
 		fmt.Fprintf(&sb, " | err %.1f%%", 100*sn.ErrorRate)
+	}
+	if sn.LinksDown > 0 || sn.DropBursts > 0 || sn.NodesDown > 0 {
+		fmt.Fprintf(&sb, " | links down: %d", sn.LinksDown)
+		if sn.DropBursts > 0 {
+			fmt.Fprintf(&sb, ", drop bursts: %d", sn.DropBursts)
+		}
+		if sn.NodesDown > 0 {
+			fmt.Fprintf(&sb, ", nodes down: %d", sn.NodesDown)
+		}
 	}
 	if sn.PointsPerSec > 0 {
 		fmt.Fprintf(&sb, " | %.1f pts/s", sn.PointsPerSec)
@@ -350,7 +383,16 @@ func eventJSON(ev Event) (string, any) {
 			Ranks          int    `json:"ranks"`
 			TrialsPerPoint int    `json:"trialsPerPoint"`
 			MLPruning      bool   `json:"mlPruning"`
-		}{ev.App, ev.Ranks, ev.TrialsPerPoint, ev.MLPruning}
+			Algorithm      string `json:"algorithm,omitempty"`
+		}{ev.App, ev.Ranks, ev.TrialsPerPoint, ev.MLPruning, ev.Algorithm}
+	case FaultDomainEvent:
+		return "FaultDomainEvent", struct {
+			Kind  string `json:"kind"`
+			Spec  string `json:"spec"`
+			Rank  int    `json:"rank,omitempty"`
+			Peer  int    `json:"peer,omitempty"`
+			Count int    `json:"count,omitempty"`
+		}{ev.Kind, ev.Spec, ev.Rank, ev.Peer, ev.Count}
 	case PhaseChanged:
 		return "PhaseChanged", struct {
 			Phase  string `json:"phase"`

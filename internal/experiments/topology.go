@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/fastfit/fastfit/internal/classify"
+	"github.com/fastfit/fastfit/internal/core"
+	"github.com/fastfit/fastfit/internal/fault"
+	"github.com/fastfit/fastfit/internal/mpi"
+	"github.com/fastfit/fastfit/internal/resilient"
+)
+
+// Topology is the algorithm shootout: every resilient-collective variant
+// runs the same shoot workload on a ring interconnect, and each is measured
+// twice — overhead on a fault-free fabric (message/hop/latency accounting
+// from the Network), and coverage under two standing fault models (one
+// severed link; one crashed node) as the campaign outcome distribution.
+// This is the experiment the topology fault domain exists to enable: the
+// paper's Table I methodology applied to the fault-tolerance scheme itself
+// as the swept parameter.
+func Topology(st *Store) (*Result, error) {
+	r := newResult("topology", "Algorithm shootout: overhead vs. coverage per resilient-collective variant (ring, link loss and node crash)")
+	n := st.Scale.Ranks
+	variants := resilient.Names()
+
+	linkPlan, err := fault.ParseNetPlan("link:1-2")
+	if err != nil {
+		return nil, err
+	}
+	crashPlan, err := fault.ParseNetPlan(fmt.Sprintf("crash:%d", n-1))
+	if err != nil {
+		return nil, err
+	}
+
+	var rows [][]string
+	var baseMsgs int64
+	for _, name := range variants {
+		stats, err := shootOverhead(st, name)
+		if err != nil {
+			return nil, fmt.Errorf("overhead run (%s): %w", name, err)
+		}
+		if name == "baseline" {
+			baseMsgs = stats.Messages
+		}
+
+		linkOut, err := shootVerdict(st, name, linkPlan)
+		if err != nil {
+			return nil, fmt.Errorf("link-loss run (%s): %w", name, err)
+		}
+		crashOut, err := shootVerdict(st, name, crashPlan)
+		if err != nil {
+			return nil, fmt.Errorf("node-crash run (%s): %w", name, err)
+		}
+
+		msgFactor := float64(stats.Messages)
+		if baseMsgs > 0 {
+			msgFactor /= float64(baseMsgs)
+		}
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%d", stats.Messages),
+			fmt.Sprintf("%.2fx", msgFactor),
+			fmt.Sprintf("%d", stats.Hops),
+			fmt.Sprintf("%v", time.Duration(stats.LatencyNs).Round(time.Microsecond)),
+			linkOut.String(),
+			crashOut.String(),
+		})
+		r.Series["msgs:"+name] = []float64{float64(stats.Messages)}
+		r.Series["hops:"+name] = []float64{float64(stats.Hops)}
+		r.Series["latencyNs:"+name] = []float64{float64(stats.LatencyNs)}
+		r.Series["verdict:"+name] = []float64{float64(linkOut), float64(crashOut)}
+	}
+	r.Labels["variants"] = variants
+	r.Labels["verdict"] = []string{"link loss", "node crash"}
+
+	r.Text = table(
+		[]string{"algorithm", "msgs", "vs base", "hops", "latency", "link loss", "node crash"},
+		rows,
+	)
+	r.Notes = append(r.Notes,
+		"overhead: one fault-free run of the shoot workload on a ring network; message counts on fault-free runs are exactly reproducible",
+		"verdicts are deterministic: routing is a pure function of message endpoints and the standing plan is applied at start of run, so each (variant, fault model) cell is a single classified run against the golden reference",
+		"the unprotected baseline deadlocks (INF_LOOP) under both fault models, as do the payload-integrity variants (checksum/voted/corrected protect data, not liveness); ftring reroutes around one severed ring link (SUCCESS) but refuses a dead node (APP_DETECTED); hbreorg reorganizes around dead nodes — completing with a degraded survivor sum (WRONG_ANS) — yet starves on a dead link, which its failure detector cannot see",
+	)
+	return r, nil
+}
+
+// shootOverhead runs the shoot workload once per variant on a fault-free
+// ring and snapshots the network accounting.
+func shootOverhead(st *Store, algorithm string) (mpi.NetStats, error) {
+	app, cfg, err := st.AppConfig("shoot")
+	if err != nil {
+		return mpi.NetStats{}, err
+	}
+	cfg.Algorithm = algorithm
+	topo, err := mpi.ParseTopology("ring", cfg.Ranks)
+	if err != nil {
+		return mpi.NetStats{}, err
+	}
+	net := mpi.NewNetwork(topo)
+	res := mpi.Run(mpi.RunOptions{
+		NumRanks: cfg.Ranks,
+		Seed:     cfg.Seed,
+		Timeout:  time.Minute,
+		Network:  net,
+	}, func(rk *mpi.Rank) error { return app.Main(rk, cfg) })
+	if err := res.FirstError(); err != nil {
+		return mpi.NetStats{}, err
+	}
+	if res.Deadlock || res.TimedOut {
+		return mpi.NetStats{}, fmt.Errorf("fault-free run hung (deadlock=%v timeout=%v)", res.Deadlock, res.TimedOut)
+	}
+	return net.Stats(), nil
+}
+
+// shootVerdict classifies one run of the shoot workload under a standing
+// network fault plan. The profiling run is fault-free (it builds the golden
+// reference), then a single no-extra-faults trial runs on the planned
+// interconnect; because routing and the plan are deterministic, that one
+// verdict is the (variant, fault model) cell — no sampling needed.
+func shootVerdict(st *Store, algorithm string, plan []fault.NetFault) (classify.Outcome, error) {
+	app, cfg, err := st.AppConfig("shoot")
+	if err != nil {
+		return 0, err
+	}
+	cfg.Algorithm = algorithm
+	opts := st.Options()
+	opts.MLPruning = false
+	opts.Topology = "ring"
+	opts.NetPlan = plan
+	st.logf("running %s under %s ...", algorithm, fault.NetPlanString(plan))
+	e := core.New(app, cfg, opts)
+	if _, err := e.Profile(); err != nil {
+		return 0, err
+	}
+	out, res := e.RunOnce()
+	if res.Cancelled {
+		return 0, fmt.Errorf("planned run of %s was cancelled", algorithm)
+	}
+	return out, nil
+}

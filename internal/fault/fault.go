@@ -25,11 +25,27 @@ const (
 	TargetOp                      // the reduction-op handle
 	TargetRoot                    // the root rank
 	TargetComm                    // the communicator handle
+
+	// Network fault-domain targets (see netfault.go). They ride the same
+	// Fault struct and injector plan machinery as parameter flips —
+	// addressed to a (rank, site, invocation) triple — but are applied to
+	// the run's Network instead of the call's arguments. Bit encodes the
+	// peer (and, for drops, a burst length) instead of a bit index.
+	TargetNetLink // permanent egress link failure at the faulted rank
+	TargetNetDrop // transient egress message drops at the faulted rank
+	TargetNetNode // the faulted rank's node crashes mid-collective
 	NumTargets
 )
 
 var targetNames = [NumTargets]string{
 	"sendbuf", "recvbuf", "count", "counts[]", "datatype", "op", "root", "comm",
+	"net:link", "net:drop", "net:node",
+}
+
+// IsNet reports whether the target belongs to the network fault domain
+// (applied to the interconnect, not to call arguments).
+func (t Target) IsNet() bool {
+	return t == TargetNetLink || t == TargetNetDrop || t == TargetNetNode
 }
 
 func (t Target) String() string {

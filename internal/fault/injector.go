@@ -15,6 +15,7 @@ type Injector struct {
 	applied []Fault
 	misses  []Fault
 	chain   mpi.Hook // optional downstream hook (e.g. a profiler)
+	net     *mpi.Network
 }
 
 var _ mpi.Hook = (*Injector)(nil)
@@ -25,23 +26,81 @@ func NewInjector(chain mpi.Hook, faults ...Fault) *Injector {
 	return &Injector{faults: faults, chain: chain}
 }
 
-// BeforeCollective implements mpi.Hook.
+// AttachNetwork routes this run's net-target faults (TargetNetLink/NetDrop/
+// NetNode) to the given network. Without one, net faults are recorded as
+// misses — their target is absent, like a flip aimed at an empty buffer.
+// Call before the run starts.
+func (in *Injector) AttachNetwork(net *mpi.Network) {
+	in.mu.Lock()
+	in.net = net
+	in.mu.Unlock()
+}
+
+// BeforeCollective implements mpi.Hook. It runs on the calling rank's own
+// goroutine, which is what makes mid-run egress faults origin-scoped: the
+// fault state flipped here is only ever consulted by this same goroutine's
+// subsequent sends.
 func (in *Injector) BeforeCollective(call *mpi.CollectiveCall) {
+	var crash *Fault
 	in.mu.Lock()
 	for i := range in.faults {
 		f := in.faults[i]
-		if f.Rank == call.Rank && f.Site == call.Site && f.Invocation == call.Invocation {
-			if f.Apply(call) {
+		if f.Rank != call.Rank || f.Site != call.Site || f.Invocation != call.Invocation {
+			continue
+		}
+		if f.Target.IsNet() {
+			if in.applyNetLocked(f, &crash) {
 				in.applied = append(in.applied, f)
 			} else {
 				in.misses = append(in.misses, f)
 			}
+			continue
+		}
+		if f.Apply(call) {
+			in.applied = append(in.applied, f)
+		} else {
+			in.misses = append(in.misses, f)
 		}
 	}
 	in.mu.Unlock()
+	// A node crash kills the rank at the collective's entry. The panic is
+	// raised after the lock is released (and instead of the downstream
+	// hook: a crashed node profiles nothing).
+	if crash != nil {
+		panic(mpi.NodeCrashed{Rank: call.Rank, Reason: crash.String()})
+	}
 	if in.chain != nil {
 		in.chain.BeforeCollective(call)
 	}
+}
+
+// applyNetLocked applies one net-target fault. Held under in.mu; crash
+// faults are deferred to the caller so the panic happens outside the lock.
+func (in *Injector) applyNetLocked(f Fault, crash **Fault) bool {
+	switch f.Target {
+	case TargetNetNode:
+		fc := f
+		*crash = &fc
+		return true
+	case TargetNetLink, TargetNetDrop:
+		if in.net == nil {
+			return false
+		}
+		// Bit selects one of the faulted rank's real outgoing links, so
+		// every link fault lands on a link that actually carries traffic.
+		nbrs := in.net.Topology().Neighbors(f.Rank)
+		if len(nbrs) == 0 {
+			return false
+		}
+		hop := nbrs[f.Bit%len(nbrs)]
+		if f.Target == TargetNetLink {
+			in.net.FailEgress(f.Rank, hop)
+		} else {
+			in.net.DropEgress(f.Rank, hop, netDropCount(f.Bit, len(nbrs)))
+		}
+		return true
+	}
+	return false
 }
 
 // AfterCollective implements mpi.Hook.

@@ -92,6 +92,21 @@ type Killed struct {
 
 func (k Killed) Error() string { return "rank killed: " + k.Reason }
 
+// NodeCrashed is raised when the network fault domain takes a node (and the
+// rank on it) down — either before launch (RunOptions.CrashedRanks) or
+// mid-collective via an injected crash fault. It is a *fabric-level* death,
+// not an application or MPI failure: classification of a crash-only run is
+// decided by what the surviving ranks manage to do, so FirstError ranks it
+// below every other error kind.
+type NodeCrashed struct {
+	Rank   int
+	Reason string
+}
+
+func (e NodeCrashed) Error() string {
+	return fmt.Sprintf("rank %d node crashed: %s", e.Rank, e.Reason)
+}
+
 // abortf raises an MPIError for the given rank and operation.
 func abortf(rank int, op string, class ErrClass, format string, args ...any) {
 	panic(MPIError{Class: class, Rank: rank, Op: op, Detail: fmt.Sprintf(format, args...)})

@@ -203,6 +203,7 @@ func (rk *Rank) bind(w *World, seed, budget int64) {
 	}
 	clear(rk.invents)
 	clear(rk.collSeq)
+	clear(rk.libSeq)
 	rk.phase = PhaseInit
 	rk.errHandling = false
 	rk.work = 0

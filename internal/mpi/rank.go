@@ -75,6 +75,7 @@ type Rank struct {
 
 	collSeq map[Comm]int64 // per-communicator collective sequence numbers
 	invents map[uintptr]int
+	libSeq  map[string]int // resilient-library invocation counters (see LibSeq)
 
 	work   int64 // accumulated work units (see Tick)
 	budget int64
@@ -237,9 +238,24 @@ const anyTagSentinel int64 = -2
 // slabs and recycled by the receiving collective; user payloads use plain
 // allocations because Recv hands them to the application.
 func (r *Rank) sendRaw(ci *commInfo, comm Comm, dst int, tag int64, data []byte) {
+	w := r.world
+	wdst := ci.members[dst]
+	if w.faulty {
+		// Fault domain active: consult it before any copy is made. A
+		// message to a dead node, or one whose route hits a failed link or
+		// an armed drop, is silently discarded — exactly what a lossy
+		// fabric does. On the default reliable network this whole block is
+		// one predicted-false branch, preserving the zero-alloc hot path.
+		if w.dead[wdst].Load() {
+			return
+		}
+		if w.net != nil && !w.net.deliver(r.id, wdst) {
+			return
+		}
+	}
 	var cp []byte
 	var pooled *slab
-	if n := len(data); n > 0 && tag >= maxUserTag && n <= maxSlabBytes && r.world.pooling {
+	if n := len(data); n > 0 && tag >= maxUserTag && n <= maxSlabBytes && w.pooling {
 		pooled = getSlab(n)
 		cp = pooled.b[:n]
 	} else {
@@ -248,21 +264,38 @@ func (r *Rank) sendRaw(ci *commInfo, comm Comm, dst int, tag int64, data []byte)
 	copy(cp, data)
 	me := ci.rankOf[r.id]
 	msg := message{comm: comm, src: me, tag: tag, data: cp, pooled: pooled}
-	target := r.world.ranks[ci.members[dst]]
+	target := w.ranks[wdst]
 	select {
 	case target.inbox <- msg:
-		r.world.progress.Add(1)
+		w.progress.Add(1)
 		return
 	default:
 	}
-	r.world.blocked.Add(1)
-	select {
-	case target.inbox <- msg:
-		r.world.blocked.Add(-1)
-		r.world.progress.Add(1)
-	case <-r.world.done:
-		r.world.blocked.Add(-1)
-		panic(Killed{Reason: r.world.killWhy.Load().(string)})
+	w.blocked.Add(1)
+	for {
+		var ep chan struct{}
+		if w.faulty {
+			// Epoch channel first, then the death mask: a death published
+			// in between closes the channel we hold, so the select below
+			// cannot sleep through it.
+			ep = *w.epoch.Load()
+			if w.dead[wdst].Load() {
+				w.blocked.Add(-1)
+				msg.recycle()
+				return
+			}
+		}
+		select {
+		case target.inbox <- msg:
+			w.blocked.Add(-1)
+			w.progress.Add(1)
+			return
+		case <-ep:
+			// Membership changed; re-check whether dst is still alive.
+		case <-w.done:
+			w.blocked.Add(-1)
+			panic(Killed{Reason: w.killWhy.Load().(string)})
+		}
 	}
 }
 

@@ -44,6 +44,16 @@ type RunOptions struct {
 	// differential test harness uses this switch to prove the pooled and
 	// unpooled paths are outcome-identical.
 	DisablePooling bool
+	// Network, when non-nil, routes every point-to-point message (and the
+	// internal traffic of every collective) through a simulated
+	// interconnect with faultable links (see network.go). Nil preserves
+	// the paper's perfectly reliable flat network at zero cost.
+	Network *Network
+	// CrashedRanks lists world ranks whose node failed before launch:
+	// their goroutines never start, their results carry NodeCrashed, and
+	// the surviving ranks see them dead from the first instruction
+	// (AliveAtStart is false). Out-of-range entries are ignored.
+	CrashedRanks []int
 }
 
 // RankResult reports how one rank finished.
@@ -65,9 +75,11 @@ type RunResult struct {
 // FirstError returns the highest-priority error across ranks, or nil. The
 // priority order matches how a batch system reports a job that failed for
 // several reasons at once: a crash beats an MPI abort beats an application
-// abort beats a kill.
+// abort beats a kill. A node crash ranks below everything else: when the
+// only errors are NodeCrashed, the run's fate is decided by what the
+// surviving ranks did, not by the crash itself.
 func (r RunResult) FirstError() error {
-	var app, mpiErr, seg, killed error
+	var app, mpiErr, seg, killed, crashed error
 	for _, rr := range r.Ranks {
 		switch e := rr.Err.(type) {
 		case nil:
@@ -83,13 +95,17 @@ func (r RunResult) FirstError() error {
 			if app == nil {
 				app = e
 			}
+		case NodeCrashed:
+			if crashed == nil {
+				crashed = e
+			}
 		default:
 			if killed == nil {
 				killed = e
 			}
 		}
 	}
-	for _, e := range []error{seg, mpiErr, app, killed} {
+	for _, e := range []error{seg, mpiErr, app, killed, crashed} {
 		if e != nil {
 			return e
 		}
@@ -117,6 +133,18 @@ type World struct {
 	finished atomic.Int64 // ranks that returned
 	progress atomic.Int64 // bumped on every successful message match
 	failed   atomic.Int64 // ranks that ended in a panic or error
+
+	// Network fault domain (nil/false on the default reliable network, so
+	// the no-fault hot path pays a single branch in sendRaw).
+	faulty      bool
+	net         *Network
+	dead        []atomic.Bool                 // world-rank death mask
+	deadAtStart []bool                        // immutable after launch
+	epoch       atomic.Pointer[chan struct{}] // closed+swapped on membership change
+
+	// Heartbeat failure-detection monitor (see detector.go).
+	hbMu sync.Mutex
+	hb   *heartbeat
 }
 
 // commInfo is the runtime's communicator descriptor. The comms table is
@@ -153,6 +181,26 @@ func (w *World) killed() bool {
 	default:
 		return false
 	}
+}
+
+// markDead publishes world rank's death to the fault domain and wakes every
+// blocked peer so RecvOrFail and sendRaw re-sample the death mask. Called on
+// the dying rank's own goroutine, after all of its sends — that ordering is
+// what makes consumption-point failure detection deterministic.
+func (w *World) markDead(rank int) {
+	if !w.faulty || rank < 0 || rank >= w.size {
+		return
+	}
+	w.dead[rank].Store(true)
+	ch := make(chan struct{})
+	old := w.epoch.Swap(&ch)
+	if old != nil {
+		close(*old)
+	}
+}
+
+func (w *World) rankDead(rank int) bool {
+	return w.faulty && w.dead[rank].Load()
 }
 
 // Run executes fn on opts.NumRanks simulated MPI processes and collects the
@@ -203,17 +251,45 @@ func Run(opts RunOptions, fn func(r *Rank) error) RunResult {
 		rk.bind(w, rankSeed(opts.Seed, i), budget)
 	}
 
+	if opts.Network != nil || len(opts.CrashedRanks) > 0 {
+		w.faulty = true
+		w.net = opts.Network
+		w.dead = make([]atomic.Bool, n)
+		w.deadAtStart = make([]bool, n)
+		ch := make(chan struct{})
+		w.epoch.Store(&ch)
+		for _, cr := range opts.CrashedRanks {
+			if cr >= 0 && cr < n {
+				w.dead[cr].Store(true)
+				w.deadAtStart[cr] = true
+			}
+		}
+	}
+
 	results := make([]RankResult, n)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := 0; i < n; i++ {
+		if w.faulty && w.deadAtStart[i] {
+			// The node failed before launch: its goroutine never starts.
+			// It still counts as finished+failed so quiescence arithmetic
+			// (fin+blk == size) and starved-peer reaping stay exact.
+			results[i] = RankResult{Rank: i, Err: NodeCrashed{Rank: i, Reason: "node failed before launch"}}
+			w.finished.Add(1)
+			w.rankFailed()
+			continue
+		}
 		wg.Add(1)
 		go func(rk *Rank) {
 			defer wg.Done()
 			defer w.finished.Add(1)
 			defer func() {
 				if p := recover(); p != nil {
-					results[rk.id] = RankResult{Rank: rk.id, Err: panicToError(rk.id, p), Values: rk.reported}
+					err := panicToError(rk.id, p)
+					if _, crashed := err.(NodeCrashed); crashed {
+						w.markDead(rk.id)
+					}
+					results[rk.id] = RankResult{Rank: rk.id, Err: err, Values: rk.reported}
 					w.rankFailed()
 					return
 				}
@@ -253,6 +329,11 @@ func Run(opts RunOptions, fn func(r *Rank) error) RunResult {
 	} else {
 		deadlock, timedOut, cancelled = w.supervise(allDone, ctxDone, timeout)
 	}
+
+	// All rank goroutines are joined on every path above; the heartbeat
+	// monitor (if a resilient collective started one) is stopped and joined
+	// before any rank state is recycled.
+	w.stopHeartbeat()
 
 	if pooling {
 		// Every exit path above has joined all rank goroutines, so the
@@ -338,6 +419,8 @@ func panicToError(rank int, p any) error {
 	case AppError:
 		return e
 	case Killed:
+		return e
+	case NodeCrashed:
 		return e
 	case error:
 		// A genuine Go runtime panic (index out of range, nil deref, ...)
