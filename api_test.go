@@ -1,0 +1,173 @@
+package fastfit
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update", false, "rewrite testdata/api.golden")
+
+// TestPublicAPISurface pins the exported surface of the fastfit facade —
+// every type, function, constant and variable, with kind and (for funcs)
+// signature — against testdata/api.golden. API changes are then deliberate:
+// a redesign regenerates the file with
+//
+//	go test . -run TestPublicAPISurface -update
+//
+// and the diff of api.golden documents exactly what was added, renamed or
+// removed in the change that did it.
+func TestPublicAPISurface(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fastfit.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var decls []string
+	add := func(format string, args ...any) { decls = append(decls, fmt.Sprintf(format, args...)) }
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *ast.FuncDecl:
+			if d.Recv == nil && d.Name.IsExported() {
+				add("func %s%s", d.Name.Name, signatureOf(d.Type))
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch spec := spec.(type) {
+				case *ast.TypeSpec:
+					if spec.Name.IsExported() {
+						add("type %s = %s", spec.Name.Name, exprOf(spec.Type))
+					}
+				case *ast.ValueSpec:
+					for _, name := range spec.Names {
+						if name.IsExported() {
+							add("%s %s", declKind(d.Tok), name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(decls)
+	got := strings.Join(decls, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "api.golden")
+	if *updateAPI {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing API golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("the public fastfit API drifted from testdata/api.golden.\n"+
+			"If the change is deliberate, regenerate with:\n  go test . -run TestPublicAPISurface -update\n"+
+			"diff:\n%s", apiDiff(string(want), got))
+	}
+}
+
+func declKind(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}
+
+// signatureOf renders a function type as its parameter/result source text.
+func signatureOf(ft *ast.FuncType) string {
+	var sb strings.Builder
+	sb.WriteString("(")
+	sb.WriteString(fieldsOf(ft.Params))
+	sb.WriteString(")")
+	if ft.Results != nil && len(ft.Results.List) > 0 {
+		res := fieldsOf(ft.Results)
+		if len(ft.Results.List) == 1 && len(ft.Results.List[0].Names) == 0 {
+			sb.WriteString(" " + res)
+		} else {
+			sb.WriteString(" (" + res + ")")
+		}
+	}
+	return sb.String()
+}
+
+func fieldsOf(fl *ast.FieldList) string {
+	if fl == nil {
+		return ""
+	}
+	var parts []string
+	for _, f := range fl.List {
+		typ := exprOf(f.Type)
+		if len(f.Names) == 0 {
+			parts = append(parts, typ)
+			continue
+		}
+		var names []string
+		for _, n := range f.Names {
+			names = append(names, n.Name)
+		}
+		parts = append(parts, strings.Join(names, ", ")+" "+typ)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// exprOf renders the type expressions the facade actually uses.
+func exprOf(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprOf(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprOf(e.X)
+	case *ast.ArrayType:
+		return "[]" + exprOf(e.Elt)
+	case *ast.MapType:
+		return "map[" + exprOf(e.Key) + "]" + exprOf(e.Value)
+	case *ast.Ellipsis:
+		return "..." + exprOf(e.Elt)
+	case *ast.FuncType:
+		return "func" + signatureOf(e)
+	case *ast.InterfaceType:
+		return "interface{...}"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+// apiDiff renders a line-level diff of the two surface listings.
+func apiDiff(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	var sb strings.Builder
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !gotSet[l] {
+			fmt.Fprintf(&sb, "- %s\n", l)
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !wantSet[l] {
+			fmt.Fprintf(&sb, "+ %s\n", l)
+		}
+	}
+	return sb.String()
+}

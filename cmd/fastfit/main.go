@@ -122,14 +122,14 @@ func run() error {
 	opts := fastfit.DefaultOptions()
 	opts.TrialsPerPoint = *trials
 	opts.Seed = *seed
-	opts.AdaptiveTrials = *adaptive
+	opts.Adaptive.Enabled = *adaptive
 	opts.Confidence = *confidence
-	if *verbose {
-		opts.Logf = func(format string, args ...any) {
-			fmt.Printf("[fastfit] "+format+"\n", args...)
-		}
-	}
 	var observers []fastfit.Observer
+	if *verbose {
+		observers = append(observers, fastfit.LogfObserver(func(format string, args ...any) {
+			fmt.Printf("[fastfit] "+format+"\n", args...)
+		}))
+	}
 	if *progress {
 		observers = append(observers, progressObserver(os.Stderr))
 	}
@@ -150,9 +150,9 @@ func run() error {
 	}
 	opts.AccuracyThreshold = *threshold
 	opts.Levels = *levels
-	opts.SemanticPruning = !*noSem
-	opts.ContextPruning = !*noCtx
-	opts.MLPruning = !*noML
+	opts.Pruning.Semantic = !*noSem
+	opts.Pruning.Context = !*noCtx
+	opts.ML.Pruning = !*noML
 	switch *policy {
 	case "databuffer":
 		opts.Policy = fastfit.PolicyDataBuffer
@@ -169,7 +169,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		opts.NetPlan = plan
+		opts.Network.Plan = plan
 	}
 
 	engine := fastfit.New(app, cfg, opts)
@@ -226,7 +226,7 @@ func run() error {
 	fmt.Println()
 
 	agg := fastfit.OutcomeBreakdown(res.Measured)
-	if opts.AdaptiveTrials && res.Injected > 0 {
+	if opts.Adaptive.Enabled && res.Injected > 0 {
 		budget := res.Injected * opts.TrialsPerPoint
 		fmt.Printf("adaptive budgets: ran %d of %d budgeted tests (%.1f%% saved)\n",
 			agg.Total(), budget, 100*(1-float64(agg.Total())/float64(budget)))

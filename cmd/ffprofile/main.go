@@ -4,16 +4,17 @@
 // semantic- and context-driven pruning techniques consume.
 //
 // With -trials it additionally drives N injected trials through the
-// engine hot path and reports per-trial wall time and memory churn, which
-// is how the numbers in EXPERIMENTS.md were gathered; -nopool disables
-// the buffer arena for before/after comparison.
+// engine hot path and reports per-trial wall time, memory churn and the
+// fork-at-injection-site accounting, which is how the numbers in
+// EXPERIMENTS.md were gathered; -nopool disables the buffer arena and
+// -nofork disables snapshot forking for before/after comparison.
 //
 // Usage:
 //
 //	ffprofile -app lu -ranks 16
 //	ffprofile -app minimd -points
 //	ffprofile -app lu -ranks 32 -trials 200
-//	ffprofile -app lu -ranks 32 -trials 200 -nopool
+//	ffprofile -app lu -ranks 32 -trials 200 -nopool -nofork
 package main
 
 import (
@@ -45,6 +46,7 @@ func run() error {
 		points  = flag.Bool("points", false, "also list the pruned injection points")
 		trials  = flag.Int("trials", 0, "run N injected trials and report ms/trial, allocs/trial, KB/trial")
 		nopool  = flag.Bool("nopool", false, "disable the buffer arena (per-trial allocation baseline)")
+		nofork  = flag.Bool("nofork", false, "disable fork-at-injection-site execution (full-replay baseline)")
 	)
 	flag.Parse()
 
@@ -65,6 +67,7 @@ func run() error {
 
 	opts := fastfit.DefaultOptions()
 	opts.DisablePooling = *nopool
+	opts.Fork.Disable = *nofork
 	engine := fastfit.New(app, cfg, opts)
 	prof, err := engine.Profile()
 	if err != nil {
@@ -127,9 +130,18 @@ func measureTrials(engine *core.Engine, n int, nopool bool) error {
 	if nopool {
 		mode = "nopool"
 	}
+	st := engine.SnapshotStats()
+	if st.Forked > 0 {
+		mode += ", forked"
+	} else {
+		mode += ", full replay"
+	}
 	fmt.Printf("\ninjected trials: %d (%s)\n", n, mode)
 	fmt.Printf("  %8.3f ms/trial\n", float64(elapsed.Nanoseconds())/float64(n)/1e6)
 	fmt.Printf("  %8.0f allocs/trial\n", float64(m1.Mallocs-m0.Mallocs)/float64(n))
 	fmt.Printf("  %8.1f KB/trial\n", float64(m1.TotalAlloc-m0.TotalAlloc)/float64(n)/1024)
+	if st.Forked+st.Replayed > 0 {
+		fmt.Printf("  forked %d / replayed %d trials (%d snapshots)\n", st.Forked, st.Replayed, st.Snapshots)
+	}
 	return nil
 }

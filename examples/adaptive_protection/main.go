@@ -137,7 +137,7 @@ func main() {
 	cfg.Ranks = 8
 	opts := fastfit.DefaultOptions()
 	opts.TrialsPerPoint = 20
-	opts.MLPruning = false
+	opts.ML.Pruning = false
 	engine := fastfit.New(app, cfg, opts)
 	res, err := engine.RunCampaign()
 	if err != nil {

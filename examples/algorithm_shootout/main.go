@@ -84,7 +84,7 @@ func main() {
 func verdict(app fastfit.App, cfg fastfit.Config, plan []fastfit.NetFault) fastfit.Outcome {
 	opts := fastfit.DefaultOptions()
 	opts.Topology = "ring"
-	opts.NetPlan = plan
+	opts.Network.Plan = plan
 	opts.RunTimeout = time.Minute
 	engine := fastfit.New(app, cfg, opts)
 	if _, err := engine.Profile(); err != nil {

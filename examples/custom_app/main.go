@@ -115,7 +115,7 @@ func main() {
 	app := heat{}
 	opts := fastfit.DefaultOptions()
 	opts.TrialsPerPoint = 20
-	opts.MLPruning = false // measure every pruned point for the report
+	opts.ML.Pruning = false // measure every pruned point for the report
 
 	engine := fastfit.New(app, app.DefaultConfig(), opts)
 	result, err := engine.RunCampaign()

@@ -28,7 +28,7 @@ func main() {
 
 	opts := fastfit.DefaultOptions()
 	opts.TrialsPerPoint = 30
-	opts.MLPruning = false                 // measure everything for the figures
+	opts.ML.Pruning = false                // measure everything for the figures
 	opts.Policy = fastfit.PolicyDataBuffer // the paper's §V-C policy
 
 	engine := fastfit.New(app, cfg, opts)

@@ -25,7 +25,7 @@ func main() {
 	// Measure every pruned point once.
 	base := fastfit.DefaultOptions()
 	base.TrialsPerPoint = 20
-	base.MLPruning = false
+	base.ML.Pruning = false
 	engine := fastfit.New(app, cfg, base)
 	measured, err := engine.RunCampaign()
 	if err != nil {
@@ -52,7 +52,7 @@ func main() {
 	fmt.Println("accuracy threshold vs points eliminated (paper Fig. 6):")
 	for th := 0.45; th <= 0.751; th += 0.05 {
 		opts := base
-		opts.MLPruning = true
+		opts.ML.Pruning = true
 		opts.AccuracyThreshold = th
 		e := fastfit.New(app, cfg, opts)
 		lr := e.LearnCampaignWith(points, lookup)

@@ -238,8 +238,36 @@ type OutcomeCounts = classify.Counts
 // application configuration.
 type Engine = core.Engine
 
-// Options configures a campaign.
+// Options configures a campaign. The options are grouped into embedded
+// sub-structs by concern (see ExecOptions, PruningOptions, MLOptions,
+// AdaptiveOptions, NetworkOptions, ForkOptions); unambiguous field reads
+// keep working through embedded-field promotion (opts.Seed,
+// opts.TrialsPerPoint, ...).
 type Options = core.Options
+
+// ExecOptions groups trial-execution options (budget, seed, timeout,
+// concurrency, pooling, policy) — the Exec sub-struct of Options.
+type ExecOptions = core.Exec
+
+// PruningOptions groups the static pruning switches — the Pruning
+// sub-struct of Options.
+type PruningOptions = core.Pruning
+
+// MLOptions groups the ML-driven-pruning options — the ML sub-struct of
+// Options.
+type MLOptions = core.ML
+
+// AdaptiveOptions groups the sequential early-stopping options — the
+// Adaptive sub-struct of Options.
+type AdaptiveOptions = core.Adaptive
+
+// NetworkOptions groups the standing network fault environment — the
+// Network sub-struct of Options.
+type NetworkOptions = core.Network
+
+// ForkOptions groups the fork-at-injection-site execution options — the
+// Fork sub-struct of Options.
+type ForkOptions = core.Fork
 
 // FaultPolicy selects which parameter each injection test corrupts.
 type FaultPolicy = core.FaultPolicy
@@ -291,7 +319,8 @@ func New(app App, cfg Config, opts Options) *Engine { return core.New(app, cfg, 
 // Event is one record in a campaign's observation stream — the sum type
 // whose concrete members are CampaignStarted, PhaseChanged, PointStarted,
 // PointCompleted, PointSettled, PointRefined, BatchVerified, PointRetried,
-// PointQuarantined, CheckpointAppended, CampaignFinished and Note.
+// PointQuarantined, CheckpointAppended, SnapshotStats, CampaignFinished and
+// Note.
 type Event = core.Event
 
 // Observer receives campaign events via Options.Observer. Delivery is
@@ -334,7 +363,7 @@ type (
 	// monotonic progress counts.
 	PointCompleted = core.PointCompleted
 	// PointSettled reports a point the adaptive settling rule stopped
-	// before its full trial budget (Options.AdaptiveTrials).
+	// before its full trial budget (Options.Adaptive.Enabled).
 	PointSettled = core.PointSettled
 	// PointRefined reports a point extended by the adaptive refinement
 	// pass after exhausting its budget unsettled.
@@ -347,6 +376,10 @@ type (
 	PointQuarantined = core.PointQuarantined
 	// CheckpointAppended reports a durably journalled point record.
 	CheckpointAppended = core.CheckpointAppended
+	// SnapshotStats reports the fork-at-injection-site accounting (distinct
+	// snapshots, forked trials, full-replay trials), emitted once right
+	// before CampaignFinished.
+	SnapshotStats = core.SnapshotStats
 	// CampaignFinished closes the stream with the final accounting.
 	CampaignFinished = core.CampaignFinished
 	// Note is a free-text progress line.
@@ -379,16 +412,10 @@ func CreateJSONLObserver(path string) (*JSONLObserver, error) {
 	return core.CreateJSONLObserver(path)
 }
 
-// LogfObserver adapts a printf-style logger to the event stream (the
-// compatibility shim behind the deprecated Options.Logf).
+// LogfObserver adapts a printf-style logger to the event stream, rendering
+// notes, ML verifications and supervision incidents as progress lines.
 func LogfObserver(logf func(format string, args ...any)) Observer {
 	return core.LogfObserver(logf)
-}
-
-// OnPointObserver adapts the deprecated SupervisorOptions.OnPoint callback
-// to the event stream.
-func OnPointObserver(cb func(index, completed, total int)) Observer {
-	return core.OnPointObserver(cb)
 }
 
 // ---- campaign supervision ----
@@ -507,7 +534,7 @@ const (
 )
 
 // ParseNetPlan parses a comma-separated fault plan such as
-// "link:1-2,drop:0-3:2,crash:5". Set the result as Options.NetPlan to
+// "link:1-2,drop:0-3:2,crash:5". Set the result as Options.Network.Plan to
 // apply it at the start of every injected run.
 func ParseNetPlan(spec string) ([]NetFault, error) { return fault.ParseNetPlan(spec) }
 

@@ -16,7 +16,6 @@ package ft
 import (
 	"math"
 	"math/cmplx"
-	"math/rand"
 
 	"github.com/fastfit/fastfit/internal/apps"
 	"github.com/fastfit/fastfit/internal/mpi"
@@ -79,7 +78,7 @@ func (FT) Main(r *mpi.Rank, cfg apps.Config) error {
 	// --- input phase: random initial field ---
 	r.SetPhase(mpi.PhaseInput)
 	r.Tick(planes*n*n*3 + 10)
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(r.ID())*7577))
+	rng := r.SeededRand(cfg.Seed + int64(r.ID())*7577)
 	for zl := 0; zl < planes; zl++ {
 		for y := 0; y < n; y++ {
 			for x := 0; x < n; x++ {

@@ -18,8 +18,6 @@
 package is
 
 import (
-	"math/rand"
-
 	"github.com/fastfit/fastfit/internal/apps"
 	"github.com/fastfit/fastfit/internal/mpi"
 )
@@ -82,7 +80,7 @@ func (IS) Main(r *mpi.Rank, cfg apps.Config) error {
 	// --- input phase: pseudo-random key generation ---
 	r.SetPhase(mpi.PhaseInput)
 	r.Tick(nkeys*5 + 10)
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(r.ID())*6007))
+	rng := r.SeededRand(cfg.Seed + int64(r.ID())*6007)
 	for i := 0; i < nkeys; i++ {
 		// NPB IS keys are the average of four uniform draws, giving a
 		// binomial-ish distribution centred at maxKey/2.

@@ -14,7 +14,6 @@ package lu
 
 import (
 	"math"
-	"math/rand"
 
 	"github.com/fastfit/fastfit/internal/apps"
 	"github.com/fastfit/fastfit/internal/mpi"
@@ -65,7 +64,7 @@ func (LU) Main(r *mpi.Rank, cfg apps.Config) error {
 	// --- input phase: random right-hand side, zero initial guess ---
 	r.SetPhase(mpi.PhaseInput)
 	r.Tick(rows*n*2 + 10)
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(r.ID())*3571))
+	rng := r.SeededRand(cfg.Seed + int64(r.ID())*3571)
 	for i := range b {
 		b[i] = rng.Float64() - 0.5
 	}

@@ -14,7 +14,6 @@ package mg
 
 import (
 	"math"
-	"math/rand"
 
 	"github.com/fastfit/fastfit/internal/apps"
 	"github.com/fastfit/fastfit/internal/mpi"
@@ -85,7 +84,7 @@ func (MG) Main(r *mpi.Rank, cfg apps.Config) error {
 	// --- input phase: sparse random right-hand side (NPB MG style) ---
 	r.SetPhase(mpi.PhaseInput)
 	r.Tick(n*n*maxI(fine.planes, 1)*2 + 10)
-	rng := rand.New(rand.NewSource(cfg.Seed)) // same stream everywhere: global charges
+	rng := r.SeededRand(cfg.Seed) // same stream everywhere: global charges
 	for k := 0; k < 20; k++ {
 		x := 1 + rng.Intn(maxI(n-2, 1))
 		y := 1 + rng.Intn(maxI(n-2, 1))

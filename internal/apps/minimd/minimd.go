@@ -15,7 +15,6 @@ package minimd
 
 import (
 	"math"
-	"math/rand"
 
 	"github.com/fastfit/fastfit/internal/apps"
 	"github.com/fastfit/fastfit/internal/mpi"
@@ -82,7 +81,7 @@ func (MiniMD) Main(r *mpi.Rank, cfg apps.Config) error {
 	// --- input phase: lattice positions with thermal jitter ---
 	r.SetPhase(mpi.PhaseInput)
 	r.Tick(perRank*4 + 10)
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(r.ID())*8111))
+	rng := r.SeededRand(cfg.Seed + int64(r.ID())*8111)
 	lo := float64(r.ID()) * slab
 	hi := lo + slab
 	atoms := make([]atom, 0, perRank*2)

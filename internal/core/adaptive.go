@@ -85,7 +85,7 @@ func (e *Engine) InjectPointAdaptive(ctx context.Context, p Point, pointIdx int)
 // injectAuto dispatches to the adaptive or fixed-budget injector according
 // to Options.AdaptiveTrials.
 func (e *Engine) injectAuto(ctx context.Context, p Point, pointIdx int) (PointResult, error) {
-	if e.opts.AdaptiveTrials {
+	if e.opts.Adaptive.Enabled {
 		return e.InjectPointAdaptive(ctx, p, pointIdx)
 	}
 	return e.injectPointFiltered(ctx, p, pointIdx, e.opts.TrialsPerPoint, nil)
@@ -167,7 +167,7 @@ type refineGrant struct {
 // function of the phase-1 results, which is what keeps serial, supervised
 // and resumed campaigns identical.
 func (e *Engine) refineGrants(phase1 map[int]PointResult) []refineGrant {
-	if !e.opts.AdaptiveTrials {
+	if !e.opts.Adaptive.Enabled {
 		return nil
 	}
 	budget := e.opts.TrialsPerPoint
@@ -260,7 +260,7 @@ func phase1Result(pr PointResult, base int) PointResult {
 // emitSettled reports a point that stopped before its full budget.
 func (e *Engine) emitSettled(idx int, pr PointResult, fromCheckpoint bool) {
 	budget := e.opts.TrialsPerPoint
-	if !e.opts.AdaptiveTrials || len(pr.Trials) >= budget {
+	if !e.opts.Adaptive.Enabled || len(pr.Trials) >= budget {
 		return
 	}
 	e.emit(PointSettled{

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"context"
 	"path/filepath"
-	"sync/atomic"
 	"testing"
 	"time"
 
@@ -16,8 +15,8 @@ import (
 func adaptiveTestOptions() Options {
 	opts := DefaultOptions()
 	opts.TrialsPerPoint = 32
-	opts.MLPruning = false
-	opts.AdaptiveTrials = true
+	opts.ML.Pruning = false
+	opts.Adaptive.Enabled = true
 	opts.RunTimeout = 10 * time.Second
 	return opts
 }
@@ -44,7 +43,7 @@ func TestAdaptiveDominantOutcomeAgreement(t *testing.T) {
 	for seed := int64(1); seed <= seeds; seed++ {
 		fixedOpts := adaptiveTestOptions()
 		fixedOpts.Parallelism = 8
-		fixedOpts.AdaptiveTrials = false
+		fixedOpts.Adaptive.Enabled = false
 		fixedOpts.Seed = seed
 		fixed, err := microEngine(fixedOpts).RunCampaign()
 		if err != nil {
@@ -152,15 +151,15 @@ func TestAdaptiveInterruptResumeDeterminism(t *testing.T) {
 	ckpt := filepath.Join(dir, "interrupted.ckpt")
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	var done atomic.Int32
-	part, err := NewSupervisor(supTestEngine(t, opts), SupervisorOptions{
+	intOpts := opts
+	intOpts.Observer = ObserverFunc(func(ev Event) {
+		if pc, ok := ev.(PointCompleted); ok && pc.Completed == 3 {
+			cancel()
+		}
+	})
+	part, err := NewSupervisor(supTestEngine(t, intOpts), SupervisorOptions{
 		Workers:    2,
 		Checkpoint: ckpt,
-		OnPoint: func(index, completed, totalPts int) {
-			if done.Add(1) == 3 {
-				cancel()
-			}
-		},
 	}).Run(ctx)
 	if err != nil {
 		t.Fatal(err)
@@ -192,8 +191,8 @@ func TestAdaptiveInterruptResumeDeterminism(t *testing.T) {
 // refined records.
 func TestAdaptiveMLSerialSupervisedResumeIdentity(t *testing.T) {
 	opts := adaptiveTestOptions()
-	opts.MLPruning = true
-	opts.MLBatch = 4
+	opts.ML.Pruning = true
+	opts.ML.Batch = 4
 	dir := t.TempDir()
 
 	serial, err := supTestEngine(t, opts).RunCampaign()
@@ -215,15 +214,15 @@ func TestAdaptiveMLSerialSupervisedResumeIdentity(t *testing.T) {
 	ckpt := filepath.Join(dir, "interrupted.ckpt")
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	var done atomic.Int32
-	part, err := NewSupervisor(supTestEngine(t, opts), SupervisorOptions{
+	intOpts := opts
+	intOpts.Observer = ObserverFunc(func(ev Event) {
+		if pc, ok := ev.(PointCompleted); ok && pc.Completed == 2 {
+			cancel()
+		}
+	})
+	part, err := NewSupervisor(supTestEngine(t, intOpts), SupervisorOptions{
 		Workers:    2,
 		Checkpoint: ckpt,
-		OnPoint: func(index, completed, totalPts int) {
-			if done.Add(1) == 2 {
-				cancel()
-			}
-		},
 	}).Run(ctx)
 	if err != nil {
 		t.Fatal(err)

@@ -61,13 +61,13 @@ func (e *Engine) planCampaign() (*campaignPlan, error) {
 
 	e.emit(PhaseChanged{Phase: CampaignPruning, Points: len(points)})
 	e.logf("profiled %s: %d injection points", e.app.Name(), len(points))
-	if e.opts.SemanticPruning {
+	if e.opts.Pruning.Semantic {
 		points, res.SemanticReduction = SemanticPrune(prof, points)
 		e.logf("semantic pruning: %d points (%.1f%% eliminated)", len(points), 100*res.SemanticReduction)
 	}
 	res.AfterSemantic = len(points)
 
-	if e.opts.ContextPruning {
+	if e.opts.Pruning.Context {
 		points, res.ContextReduction = ContextPrune(points)
 		e.logf("context pruning: %d points (%.1f%% eliminated)", len(points), 100*res.ContextReduction)
 	}
@@ -97,7 +97,7 @@ func (e *Engine) RunCampaign() (*CampaignResult, error) {
 		return nil, err
 	}
 	res, points := plan.res, plan.points
-	if e.opts.MLPruning {
+	if e.opts.ML.Pruning {
 		lr := e.LearnCampaign(points)
 		res.Learn = &lr
 		res.Measured = lr.Measured
@@ -121,6 +121,7 @@ func (e *Engine) RunCampaign() (*CampaignResult, error) {
 		e.refineMeasuredSerial(res.Measured, nil)
 	}
 	fin := plan.finish()
+	e.emit(e.stats.snapshot())
 	e.emit(CampaignFinished{
 		App:       fin.AppName,
 		Injected:  fin.Injected,

@@ -41,18 +41,18 @@ func CampaignFingerprint(appName string, cfg apps.Config, opts Options, points [
 	fmt.Fprintf(h, "v%d|app=%s|ranks=%d|scale=%d|iters=%d|appseed=%d|", checkpointVersion,
 		appName, cfg.Ranks, cfg.Scale, cfg.Iters, cfg.Seed)
 	fmt.Fprintf(h, "trials=%d|seed=%d|policy=%d|sem=%t|ctx=%t|ml=%t|",
-		o.TrialsPerPoint, o.Seed, o.Policy, o.SemanticPruning, o.ContextPruning, o.MLPruning)
+		o.TrialsPerPoint, o.Seed, o.Policy, o.Pruning.Semantic, o.Pruning.Context, o.ML.Pruning)
 	fmt.Fprintf(h, "acc=%g|batch=%d|mintrain=%d|levels=%d|trees=%d|depth=%d|",
-		o.AccuracyThreshold, o.MLBatch, o.MLMinTrain, o.Levels, o.ForestTrees, o.ForestDepth)
-	fmt.Fprintf(h, "adaptive=%t|conf=%g|", o.AdaptiveTrials, o.Confidence)
+		o.AccuracyThreshold, o.ML.Batch, o.ML.MinTrain, o.Levels, o.ForestTrees, o.ForestDepth)
+	fmt.Fprintf(h, "adaptive=%t|conf=%g|", o.Adaptive.Enabled, o.Confidence)
 	// The network fault domain and algorithm variant are appended only when
 	// set, so fingerprints of classic campaigns (and their existing
 	// checkpoints) are unchanged.
 	if cfg.Algorithm != "" {
 		fmt.Fprintf(h, "alg=%s|", cfg.Algorithm)
 	}
-	if o.Topology != "" || len(o.NetPlan) > 0 {
-		fmt.Fprintf(h, "topo=%s|netplan=%s|", o.Topology, fault.NetPlanString(o.NetPlan))
+	if o.Topology != "" || len(o.Network.Plan) > 0 {
+		fmt.Fprintf(h, "topo=%s|netplan=%s|", o.Topology, fault.NetPlanString(o.Network.Plan))
 	}
 	fmt.Fprintf(h, "npoints=%d|", len(points))
 	for _, p := range points {

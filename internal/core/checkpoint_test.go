@@ -74,14 +74,14 @@ func TestCheckpointRoundTrip(t *testing.T) {
 func TestCheckpointRejectsMismatchedFingerprint(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "c.ckpt")
 	pts := ckptTestPoints()
-	fp := CampaignFingerprint("toy", apps.Config{Ranks: 4}, Options{Seed: 1}, pts)
+	fp := CampaignFingerprint("toy", apps.Config{Ranks: 4}, Options{Exec: Exec{Seed: 1}}, pts)
 	ck, err := CreateCheckpoint(path, fp, "toy", 4, len(pts))
 	if err != nil {
 		t.Fatal(err)
 	}
 	ck.Close()
 
-	other := CampaignFingerprint("toy", apps.Config{Ranks: 4}, Options{Seed: 2}, pts)
+	other := CampaignFingerprint("toy", apps.Config{Ranks: 4}, Options{Exec: Exec{Seed: 2}}, pts)
 	if other == fp {
 		t.Fatal("fingerprint must depend on the campaign seed")
 	}

@@ -12,8 +12,9 @@ import (
 	"github.com/fastfit/fastfit/internal/fault"
 )
 
-// Options configures a FastFIT campaign.
-type Options struct {
+// Exec groups the options governing how trials execute: budgets, seeds,
+// timeouts, concurrency and the runtime fast paths.
+type Exec struct {
 	// TrialsPerPoint is the number of random fault-injection tests at each
 	// fault injection point (the paper uses at least 100).
 	TrialsPerPoint int
@@ -27,53 +28,50 @@ type Options struct {
 	// Parallelism is the number of injected runs executed concurrently.
 	// Zero picks a conservative default based on GOMAXPROCS.
 	Parallelism int
-
 	// DisablePooling turns off the simulated runtime's buffer arena
 	// (mpi.RunOptions.DisablePooling) and the precomputed golden digest,
 	// falling back to per-run allocation and full golden comparison. The
 	// differential tests use this to prove the pooled fast path is
 	// outcome-identical; campaigns leave it off.
 	DisablePooling bool
+	// Policy selects which parameter each fault-injection test corrupts.
+	Policy FaultPolicy
+}
 
-	// SemanticPruning enables the rank-equivalence reduction (§III-A).
-	SemanticPruning bool
-	// ContextPruning enables the call-stack invocation reduction (§III-B).
-	ContextPruning bool
-	// MLPruning enables prediction of untested points (§III-C).
-	MLPruning bool
+// Pruning groups the two static pruning techniques. The third (ML-driven
+// pruning) carries its own knobs and lives in ML.
+type Pruning struct {
+	// Semantic enables the rank-equivalence reduction (§III-A).
+	Semantic bool
+	// Context enables the call-stack invocation reduction (§III-B).
+	Context bool
+}
 
+// ML groups the machine-learning-driven pruning options (§III-C).
+type ML struct {
+	// Pruning enables prediction of untested points.
+	Pruning bool
 	// AccuracyThreshold is the prediction-accuracy target that stops the
 	// injection/learning feedback loop (the paper selects 0.65).
 	AccuracyThreshold float64
-	// MLBatch is the number of points injected per loop iteration before
+	// Batch is the number of points injected per loop iteration before
 	// the model is re-verified. Zero means 8.
-	MLBatch int
-	// MLMinTrain is the minimum number of measured points before the first
-	// verification. Zero means 2*MLBatch.
-	MLMinTrain int
+	Batch int
+	// MinTrain is the minimum number of measured points before the first
+	// verification. Zero means 2*Batch.
+	MinTrain int
 	// Levels is the number of error-rate bands used as ML labels (the
 	// paper uses four: low, medium-low, medium-high, high).
 	Levels int
+	// ForestTrees and ForestDepth bound the random forest. Zeros pick the
+	// ml package defaults.
+	ForestTrees int
+	ForestDepth int
+}
 
-	// Policy selects which parameter each fault-injection test corrupts.
-	Policy FaultPolicy
-
-	// Topology selects the simulated interconnect every injected run routes
-	// its messages through: "flat", "ring" or "torus[:XxY]" (mpi.ParseTopology).
-	// Empty keeps the paper's perfectly reliable flat network at zero cost —
-	// unless NetPlan or PolicyNetwork forces a network, in which case empty
-	// means "flat".
-	Topology string
-	// NetPlan is the structured network fault plan — permanent link
-	// failures, egress drop bursts and node crashes (fault.ParseNetPlan) —
-	// applied at the start of every *injected* run. The golden and profiling
-	// runs stay fault-free: the plan is part of the fault model under study,
-	// not of the reference behaviour, so a campaign measures how each
-	// algorithm variant's outcome distribution shifts under the same
-	// standing fault environment.
-	NetPlan []fault.NetFault
-
-	// AdaptiveTrials enables sequential early stopping: a Wilson-interval
+// Adaptive groups the sequential early-stopping options.
+type Adaptive struct {
+	// Enabled turns on sequential early stopping: a Wilson-interval
 	// settling rule (internal/stats) watches each point's outcome stream
 	// and stops injecting once the dominant outcome is statistically
 	// separated from the runner-up; the saved trials fund a refinement
@@ -81,31 +79,72 @@ type Options struct {
 	// total budget never exceeds TrialsPerPoint × points, and with a fixed
 	// Seed the campaign result is identical across the serial, supervised
 	// and interrupt/resume paths.
-	AdaptiveTrials bool
+	Enabled bool
 	// Confidence is the settling rule's two-sided interval confidence in
 	// (0,1). Zero (or an out-of-range value) means 0.95.
 	Confidence float64
+}
 
-	// ForestTrees and ForestDepth bound the random forest. Zeros pick the
-	// ml package defaults.
-	ForestTrees int
-	ForestDepth int
+// Network groups the standing network fault environment.
+type Network struct {
+	// Topology selects the simulated interconnect every injected run routes
+	// its messages through: "flat", "ring" or "torus[:XxY]" (mpi.ParseTopology).
+	// Empty keeps the paper's perfectly reliable flat network at zero cost —
+	// unless Plan or PolicyNetwork forces a network, in which case empty
+	// means "flat".
+	Topology string
+	// Plan is the structured network fault plan — permanent link
+	// failures, egress drop bursts and node crashes (fault.ParseNetPlan) —
+	// applied at the start of every *injected* run. The golden and profiling
+	// runs stay fault-free: the plan is part of the fault model under study,
+	// not of the reference behaviour, so a campaign measures how each
+	// algorithm variant's outcome distribution shifts under the same
+	// standing fault environment.
+	Plan []fault.NetFault
+}
+
+// Fork groups the fork-at-injection-site execution options. Forking is on
+// by default: the engine records the golden run's communication once and
+// serves each trial's pre-injection prefix from the tape (see
+// internal/mpi trace.go/fork.go), falling back to full from-t=0 replay
+// whenever a trial is not forkable (multi-fault plans, network faults, or
+// an application using unreplayable features). Forked and replayed trials
+// are byte-identical; the differential suite pins it.
+type Fork struct {
+	// Disable turns forking off, executing every trial from t=0. The
+	// campaign outcome is identical either way; this knob exists for
+	// differential testing and ablation benchmarks.
+	Disable bool
+}
+
+// Options configures a FastFIT campaign.
+//
+// The options are grouped into embedded sub-structs by concern: Exec
+// (trial execution), Pruning (static pruning), ML (learning loop),
+// Adaptive (early stopping), Network (standing fault environment) and
+// Fork (fork-at-injection-site execution). Unambiguous field reads keep
+// working through Go's embedded-field promotion (opts.Seed,
+// opts.TrialsPerPoint, ...); fields whose names changed in the regrouping
+// (SemanticPruning→Pruning.Semantic, ContextPruning→Pruning.Context,
+// MLPruning→ML.Pruning, MLBatch→ML.Batch, MLMinTrain→ML.MinTrain,
+// NetPlan→Network.Plan, AdaptiveTrials→Adaptive.Enabled) are a documented
+// one-release break; see DESIGN.md "Options regrouping".
+type Options struct {
+	Exec
+	Pruning
+	ML
+	Adaptive
+	Network
+	Fork
 
 	// Observer, when set, receives the campaign's typed event stream:
 	// CampaignStarted, phase changes, per-point results, ML batch
-	// verifications and CampaignFinished. This is the single observation
-	// surface shared by RunCampaign, the learn loop and the Supervisor;
-	// attach a StreamStats for running statistics or a JSONLObserver for a
-	// machine-readable journal, and combine consumers with MultiObserver.
+	// verifications, SnapshotStats and CampaignFinished. This is the single
+	// observation surface shared by RunCampaign, the learn loop and the
+	// Supervisor; attach a StreamStats for running statistics or a
+	// JSONLObserver for a machine-readable journal, and combine consumers
+	// with MultiObserver.
 	Observer Observer
-
-	// Logf, when set, receives campaign progress lines (phase changes,
-	// batch completions, model verifications).
-	//
-	// Deprecated: use Observer. Logf is kept as a compatibility adapter —
-	// it is wrapped in a LogfObserver and fed from the event stream, so
-	// existing callers keep receiving the same lines.
-	Logf func(format string, args ...any)
 }
 
 // FaultPolicy selects the injected parameter per test.
@@ -133,37 +172,33 @@ const (
 // error-rate levels.
 func DefaultOptions() Options {
 	return Options{
-		TrialsPerPoint:    100,
-		Seed:              1,
-		SemanticPruning:   true,
-		ContextPruning:    true,
-		MLPruning:         true,
-		AccuracyThreshold: 0.65,
-		Levels:            4,
+		Exec:    Exec{TrialsPerPoint: 100, Seed: 1},
+		Pruning: Pruning{Semantic: true, Context: true},
+		ML:      ML{Pruning: true, AccuracyThreshold: 0.65, Levels: 4},
 	}
 }
 
 func (o Options) withDefaults() Options {
 	if o.TrialsPerPoint <= 0 {
-		o.TrialsPerPoint = 100
+		o.Exec.TrialsPerPoint = 100
 	}
 	if o.RunTimeout <= 0 {
-		o.RunTimeout = 2 * time.Second
+		o.Exec.RunTimeout = 2 * time.Second
 	}
-	if o.MLBatch <= 0 {
-		o.MLBatch = 8
+	if o.ML.Batch <= 0 {
+		o.ML.Batch = 8
 	}
-	if o.MLMinTrain <= 0 {
-		o.MLMinTrain = 2 * o.MLBatch
+	if o.ML.MinTrain <= 0 {
+		o.ML.MinTrain = 2 * o.ML.Batch
 	}
 	if o.Levels <= 0 {
-		o.Levels = 4
+		o.ML.Levels = 4
 	}
 	if o.AccuracyThreshold <= 0 {
-		o.AccuracyThreshold = 0.65
+		o.ML.AccuracyThreshold = 0.65
 	}
 	if o.Confidence <= 0 || o.Confidence >= 1 {
-		o.Confidence = 0.95
+		o.Adaptive.Confidence = 0.95
 	}
 	return o
 }
@@ -172,8 +207,5 @@ func (o Options) withDefaults() Options {
 func New(app apps.App, cfg apps.Config, opts Options) *Engine {
 	e := &Engine{app: app, cfg: cfg, opts: opts.withDefaults()}
 	e.events.attach(e.opts.Observer)
-	if e.opts.Logf != nil {
-		e.events.attach(LogfObserver(e.opts.Logf))
-	}
 	return e
 }

@@ -247,7 +247,7 @@ func TestInjectPointTargetRestrictsParameter(t *testing.T) {
 func TestRunCampaignAccounting(t *testing.T) {
 	opts := DefaultOptions()
 	opts.TrialsPerPoint = 5
-	opts.MLBatch = 4
+	opts.ML.Batch = 4
 	e := toyEngine(t, opts)
 	res, err := e.RunCampaign()
 	if err != nil {
@@ -280,8 +280,8 @@ func TestLearnCampaignThresholdBehaviour(t *testing.T) {
 	// verification batch, so later points are predicted, not injected.
 	opts := DefaultOptions()
 	opts.TrialsPerPoint = 3
-	opts.MLBatch = 3
-	opts.MLMinTrain = 3
+	opts.ML.Batch = 3
+	opts.ML.MinTrain = 3
 	opts.AccuracyThreshold = 0.01
 	e := toyEngine(t, opts)
 	if _, err := e.Profile(); err != nil {
@@ -314,8 +314,8 @@ func TestLearnCampaignThresholdBehaviour(t *testing.T) {
 func TestLearnCampaignWithReplaysCache(t *testing.T) {
 	opts := DefaultOptions()
 	opts.TrialsPerPoint = 3
-	opts.MLBatch = 3
-	opts.MLMinTrain = 3
+	opts.ML.Batch = 3
+	opts.ML.MinTrain = 3
 	opts.AccuracyThreshold = 0.01
 	e := toyEngine(t, opts)
 	if _, err := e.Profile(); err != nil {

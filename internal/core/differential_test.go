@@ -30,7 +30,7 @@ func diffTestOptions(seed int64) Options {
 	opts := DefaultOptions()
 	opts.Seed = seed
 	opts.TrialsPerPoint = 3
-	opts.MLPruning = false
+	opts.ML.Pruning = false
 	opts.RunTimeout = 10 * time.Second
 	return opts
 }
@@ -76,14 +76,15 @@ func runDiffResumed(t *testing.T, opts Options, pooled bool) diffCampaign {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	first, err := NewSupervisor(diffTestEngine(t, opts), SupervisorOptions{
+	intOpts := opts
+	intOpts.Observer = ObserverFunc(func(ev Event) {
+		if pc, ok := ev.(PointCompleted); ok && pc.Completed == 2 {
+			cancel()
+		}
+	})
+	first, err := NewSupervisor(diffTestEngine(t, intOpts), SupervisorOptions{
 		Workers:    1,
 		Checkpoint: ckpt,
-		OnPoint: func(index, completed, total int) {
-			if completed == 2 {
-				cancel()
-			}
-		},
 	}).Run(ctx)
 	if err != nil {
 		t.Fatalf("interrupted leg (pooled=%t): %v", pooled, err)
@@ -152,14 +153,14 @@ func TestDifferentialPooledIdentity(t *testing.T) {
 			})
 			t.Run("ml", func(t *testing.T) {
 				opts := diffTestOptions(seed)
-				opts.MLPruning = true
-				opts.MLBatch = 2
-				opts.MLMinTrain = 4
+				opts.ML.Pruning = true
+				opts.ML.Batch = 2
+				opts.ML.MinTrain = 4
 				compareDiff(t, "ml", runDiffSerial(t, opts, true), runDiffSerial(t, opts, false))
 			})
 			t.Run("adaptive", func(t *testing.T) {
 				opts := diffTestOptions(seed)
-				opts.AdaptiveTrials = true
+				opts.Adaptive.Enabled = true
 				opts.TrialsPerPoint = 12
 				compareDiff(t, "adaptive", runDiffSerial(t, opts, true), runDiffSerial(t, opts, false))
 			})

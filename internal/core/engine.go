@@ -36,6 +36,12 @@ type Engine struct {
 	netOnce sync.Once
 	topo    mpi.Topology
 	netErr  error
+
+	// Fork-at-injection-site state (fork.go): the workload's snapshot
+	// store, resolved once, plus the campaign's fork accounting.
+	forkOnce sync.Once
+	forkSt   *forkState
+	stats    snapshotStats
 }
 
 // App returns the engine's workload.
@@ -64,16 +70,17 @@ func (e *Engine) logf(format string, args ...any) {
 // stream consumers know what every injected run executes under before the
 // first point completes.
 func (e *Engine) emitCampaignStarted() {
+	e.stats.reset()
 	e.emit(CampaignStarted{
 		App:            e.app.Name(),
 		Ranks:          e.cfg.Ranks,
 		TrialsPerPoint: e.opts.TrialsPerPoint,
-		MLPruning:      e.opts.MLPruning,
+		MLPruning:      e.opts.ML.Pruning,
 		Algorithm:      e.cfg.Algorithm,
 	})
 	if e.netSetup() == nil && e.topo != nil {
 		e.emit(FaultDomainEvent{Kind: "topology", Spec: e.topo.Name()})
-		for _, nf := range e.opts.NetPlan {
+		for _, nf := range e.opts.Network.Plan {
 			e.emit(FaultDomainEvent{
 				Kind: nf.Kind.String(), Spec: nf.String(),
 				Rank: nf.Rank, Peer: nf.Peer, Count: nf.Count,
@@ -89,7 +96,7 @@ func (e *Engine) emitCampaignStarted() {
 // zero cost.
 func (e *Engine) netSetup() error {
 	e.netOnce.Do(func() {
-		if e.opts.Topology == "" && len(e.opts.NetPlan) == 0 && e.opts.Policy != PolicyNetwork {
+		if e.opts.Topology == "" && len(e.opts.Network.Plan) == 0 && e.opts.Policy != PolicyNetwork {
 			return
 		}
 		topo, err := mpi.ParseTopology(e.opts.Topology, e.cfg.Ranks)
@@ -97,7 +104,7 @@ func (e *Engine) netSetup() error {
 			e.netErr = err
 			return
 		}
-		if err := fault.ValidateNetPlan(e.opts.NetPlan, e.cfg.Ranks); err != nil {
+		if err := fault.ValidateNetPlan(e.opts.Network.Plan, e.cfg.Ranks); err != nil {
 			e.netErr = err
 			return
 		}
@@ -116,7 +123,7 @@ func (e *Engine) trialNetwork() (*mpi.Network, []int) {
 		return nil, nil
 	}
 	net := mpi.NewNetwork(e.topo)
-	crashed := fault.ApplyNetPlan(net, e.opts.NetPlan)
+	crashed := fault.ApplyNetPlan(net, e.opts.Network.Plan)
 	return net, crashed
 }
 
@@ -187,8 +194,29 @@ func (e *Engine) RunOnce(faults ...fault.Fault) (classify.Outcome, mpi.RunResult
 // RunOnceCtx is RunOnce with cancellation: when ctx is done the simulated
 // world is torn down mid-run. The classification of a cancelled run is
 // meaningless and must be discarded by the caller (check res.Cancelled).
+//
+// Single-fault trials fork from the injection-prefix snapshot when one is
+// available (fork.go) and replay from t=0 otherwise; the two paths are
+// classification-identical, so which one a trial takes is invisible outside
+// the SnapshotStats accounting.
 func (e *Engine) RunOnceCtx(ctx context.Context, faults ...fault.Fault) (classify.Outcome, mpi.RunResult) {
 	inj := fault.NewInjector(nil, faults...)
+	if len(faults) == 1 {
+		if fk := e.trialFork(faults[0]); fk != nil {
+			e.stats.forked.Add(1)
+			res := mpi.Run(mpi.RunOptions{
+				NumRanks:       e.cfg.Ranks,
+				Seed:           e.cfg.Seed,
+				Timeout:        e.opts.RunTimeout,
+				Hook:           inj,
+				Context:        ctx,
+				DisablePooling: e.opts.DisablePooling,
+				Fork:           fk,
+			}, func(r *mpi.Rank) error { return e.app.Main(r, e.cfg) })
+			return e.classifyRun(res), res
+		}
+	}
+	e.stats.replayed.Add(1)
 	net, crashed := e.trialNetwork()
 	if net != nil {
 		inj.AttachNetwork(net)

@@ -15,15 +15,15 @@ import (
 // (FINJ, Netti et al., makes the same argument): running outcome
 // distributions, progress bars, JSONL journals for dashboards and any
 // future consumer all attach to this one surface instead of growing new
-// ad-hoc callbacks. The legacy Options.Logf and SupervisorOptions.OnPoint
-// hooks survive as thin adapters over this stream (LogfObserver,
-// OnPointObserver).
+// ad-hoc callbacks. (The legacy Options.Logf and SupervisorOptions.OnPoint
+// callback hooks have been removed; LogfObserver remains as the bridge for
+// printf-style logging.)
 
 // Event is one record in a campaign's observation stream. The concrete
 // types below form a closed sum: CampaignStarted, FaultDomainEvent,
 // PhaseChanged, PointStarted, PointCompleted, PointSettled, PointRefined,
 // BatchVerified, PointRetried, PointQuarantined, CheckpointAppended,
-// CampaignFinished and Note.
+// SnapshotStats, CampaignFinished and Note.
 type Event interface{ event() }
 
 // Observer receives campaign events. Events are delivered serially (never
@@ -216,6 +216,18 @@ type CheckpointAppended struct {
 	Records int
 }
 
+// SnapshotStats reports the campaign's fork-at-injection-site accounting,
+// emitted once right before CampaignFinished: Snapshots distinct injection
+// prefixes were forked from, Forked trials ran from a prefix snapshot and
+// Replayed trials fell back to full replay from t=0 (multi-fault trials,
+// network fault domains, unreplayable workloads). Forked + Replayed is the
+// campaign's simulated-run total, excluding profiling and tape recording.
+type SnapshotStats struct {
+	Snapshots int
+	Forked    int
+	Replayed  int
+}
+
 // CampaignFinished closes the stream of a campaign that ran to completion
 // or was cancelled (a campaign aborted by a hard error emits no finish
 // event — the error return is the signal). Counts is the outcome breakdown
@@ -231,8 +243,7 @@ type CampaignFinished struct {
 }
 
 // Note is a free-text progress line that has no structured representation
-// (profiling retries, pruning summaries). LogfObserver renders it verbatim,
-// preserving the historical Options.Logf output.
+// (profiling retries, pruning summaries). LogfObserver renders it verbatim.
 type Note struct {
 	Text string
 }
@@ -248,6 +259,7 @@ func (BatchVerified) event()      {}
 func (PointRetried) event()       {}
 func (PointQuarantined) event()   {}
 func (CheckpointAppended) event() {}
+func (SnapshotStats) event()      {}
 func (CampaignFinished) event()   {}
 func (Note) event()               {}
 
@@ -284,8 +296,8 @@ func (em *emitter) emit(ev Event) {
 }
 
 // LogfObserver adapts a printf-style logger to the event stream, rendering
-// events into the progress lines Options.Logf historically received. It is
-// the compatibility shim behind the deprecated Options.Logf field.
+// notes, ML verifications and supervision incidents as human-readable
+// progress lines (the fastfit CLI's -v output).
 func LogfObserver(logf func(format string, args ...any)) Observer {
 	return ObserverFunc(func(ev Event) {
 		switch ev := ev.(type) {
@@ -301,26 +313,6 @@ func LogfObserver(logf func(format string, args ...any)) Observer {
 			if !ev.FromCheckpoint {
 				logf("point %d (%v) quarantined after %d attempts: %s",
 					ev.Point.Index, ev.Point.Point.String(), ev.Point.Attempts, ev.Point.Err)
-			}
-		}
-	})
-}
-
-// OnPointObserver adapts the deprecated SupervisorOptions.OnPoint callback
-// to the event stream: the callback fires for every point measured or
-// quarantined in this run, in completion order with monotonic completed
-// counts. Checkpoint-restored points are skipped, preserving the original
-// callback's semantics (it never saw restored points).
-func OnPointObserver(cb func(index, completed, total int)) Observer {
-	return ObserverFunc(func(ev Event) {
-		switch ev := ev.(type) {
-		case PointCompleted:
-			if !ev.FromCheckpoint {
-				cb(ev.Index, ev.Completed, ev.Total)
-			}
-		case PointQuarantined:
-			if !ev.FromCheckpoint {
-				cb(ev.Point.Index, ev.Completed, ev.Total)
 			}
 		}
 	})

@@ -139,8 +139,8 @@ func TestSupervisorEventStream(t *testing.T) {
 // verifications interleave with completions.
 func TestStreamStatsMatchesBreakdownML(t *testing.T) {
 	opts := supTestOptions()
-	opts.MLPruning = true
-	opts.MLBatch = 4
+	opts.ML.Pruning = true
+	opts.ML.Batch = 4
 	opts.Parallelism = 2
 	stats := NewStreamStats()
 	rec := &eventRecorder{}
@@ -289,8 +289,8 @@ func TestStreamStatsAcrossResumeDirect(t *testing.T) {
 // the resumed learner replays journalled injections.
 func TestStreamStatsAcrossResumeML(t *testing.T) {
 	opts := supTestOptions()
-	opts.MLPruning = true
-	opts.MLBatch = 4
+	opts.ML.Pruning = true
+	opts.ML.Batch = 4
 
 	res, stats, events := interruptAndResume(t, opts, 2)
 	completions, _ := assertWellOrdered(t, events)
@@ -302,36 +302,38 @@ func TestStreamStatsAcrossResumeML(t *testing.T) {
 	}
 }
 
-// TestDeprecatedAdaptersStillFire: Logf and OnPoint callers compile
-// unchanged and keep receiving their callbacks, now fed by the event
-// stream through LogfObserver/OnPointObserver.
-func TestDeprecatedAdaptersStillFire(t *testing.T) {
+// TestLogfObserverAndPointEvents: the Observer stream replaces the removed
+// Options.Logf / SupervisorOptions.OnPoint callbacks — LogfObserver renders
+// progress lines, and PointCompleted events carry monotonic completed
+// counts for per-point progress tracking.
+func TestLogfObserverAndPointEvents(t *testing.T) {
 	opts := supTestOptions()
 	var logLines atomic.Int32
-	opts.Logf = func(format string, args ...any) { logLines.Add(1) }
-
 	var mu sync.Mutex
 	var completeds []int
-	sup, err := NewSupervisor(supTestEngine(t, opts), SupervisorOptions{
-		Workers: 4,
-		OnPoint: func(index, completed, total int) {
-			mu.Lock()
-			completeds = append(completeds, completed)
-			mu.Unlock()
-		},
-	}).Run(context.Background())
+	opts.Observer = MultiObserver(
+		LogfObserver(func(format string, args ...any) { logLines.Add(1) }),
+		ObserverFunc(func(ev Event) {
+			if pc, ok := ev.(PointCompleted); ok && !pc.FromCheckpoint {
+				mu.Lock()
+				completeds = append(completeds, pc.Completed)
+				mu.Unlock()
+			}
+		}),
+	)
+	sup, err := NewSupervisor(supTestEngine(t, opts), SupervisorOptions{Workers: 4}).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if logLines.Load() == 0 {
-		t.Fatal("Options.Logf received no lines")
+		t.Fatal("LogfObserver received no lines")
 	}
 	if len(completeds) != len(sup.Measured) {
-		t.Fatalf("OnPoint fired %d times, want %d", len(completeds), len(sup.Measured))
+		t.Fatalf("PointCompleted fired %d times, want %d", len(completeds), len(sup.Measured))
 	}
 	for i, c := range completeds {
 		if c != i+1 {
-			t.Fatalf("OnPoint completed counts not monotonic: %v", completeds)
+			t.Fatalf("PointCompleted counts not monotonic: %v", completeds)
 		}
 	}
 }

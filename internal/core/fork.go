@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/fastfit/fastfit/internal/fault"
+	"github.com/fastfit/fastfit/internal/mpi"
+)
+
+// Fork-at-injection-site trial execution. Every trial of a point injects at
+// the same (rank, site, invocation) prefix, so everything a trial simulates
+// before the faulted call is byte-identical to the golden run. The engine
+// records one extra golden run per workload (mpi.RunOptions.Record), cuts a
+// causally consistent snapshot per distinct injection prefix (mpi.Trace.Fork)
+// and runs trials from the snapshot: pre-cut communication is served from the
+// tape while the app's compute executes live, which skips the pre-injection
+// collective schedule entirely. FastFI (PAPERS.md) derives its
+// order-of-magnitude speedup from the same fork-from-snapshot idea.
+//
+// Falling back to full replay is always correct and happens whenever a trial
+// is not forkable: multi-fault runs, network fault-domain campaigns
+// (topologies and plans perturb delivery before the injection site), traces
+// the recorder poisoned (wildcard receives, derived communicators, ...), or
+// prefixes whose faulted call never appears on the tape. The forked≡replayed
+// differential suite pins that both paths classify identically, so outcomes
+// stay pure functions of (seed, plan, algorithm) either way.
+
+// forkKey identifies one distinct injection prefix: all trials of a point
+// share it, so one snapshot serves the whole trial budget.
+type forkKey struct {
+	rank int
+	site uintptr
+	inv  int
+}
+
+// forkState is the snapshot store of one workload fingerprint: the recorded
+// golden trace plus the forks cut from it, one per injection prefix. A nil
+// trace caches "this workload is unreplayable" so the recording run is not
+// retried; nil fork entries cache "this prefix has no snapshot".
+type forkState struct {
+	trace *mpi.Trace
+
+	mu    sync.Mutex
+	forks map[forkKey]*mpi.Fork
+}
+
+// fork returns the snapshot for one injection prefix, cutting and caching it
+// on first use.
+func (st *forkState) fork(key forkKey) *mpi.Fork {
+	if st == nil || st.trace == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	fk, ok := st.forks[key]
+	if !ok {
+		if len(st.forks) >= forkStateCap {
+			return nil // cap reached: over-cap prefixes fall back to full replay
+		}
+		fk = st.trace.Fork(key.rank, key.site, key.inv)
+		st.forks[key] = fk
+	}
+	return fk
+}
+
+const (
+	// forkCacheCap bounds the workload fingerprints whose traces stay
+	// resident; campaigns beyond it evict an arbitrary older entry.
+	forkCacheCap = 8
+	// forkStateCap bounds the snapshots cut per fingerprint. Campaign point
+	// counts sit far below it; it exists so a pathological sweep cannot hold
+	// an unbounded number of cut/prestock slices.
+	forkStateCap = 4096
+)
+
+// forkCache shares snapshot stores across engines of the same workload
+// fingerprint, so a sweep that builds one engine per campaign (ffexp,
+// resumed supervisors) records the golden tape once, not once per campaign.
+// Fingerprints cover everything the tape depends on — app identity and the
+// full apps.Config — so cross-fingerprint campaigns never share snapshots.
+var forkCache = struct {
+	sync.Mutex
+	m map[string]*forkState
+}{m: map[string]*forkState{}}
+
+// forkFingerprint keys the shared snapshot cache. Any Config field changes
+// the simulated communication schedule, so all of them participate.
+func (e *Engine) forkFingerprint() string {
+	return fmt.Sprintf("%s|ranks=%d|scale=%d|iters=%d|seed=%d|alg=%s",
+		e.app.Name(), e.cfg.Ranks, e.cfg.Scale, e.cfg.Iters, e.cfg.Seed, e.cfg.Algorithm)
+}
+
+// forkSetup resolves the engine's snapshot store once: it consults the
+// shared cache and, on a miss, records one extra golden run with the tape
+// recorder attached. Nil when forking is disabled or the campaign has a
+// network fault domain (those plans perturb delivery before the injection
+// site, so prefixes are unsnapshottable and every trial replays in full).
+func (e *Engine) forkSetup() *forkState {
+	e.forkOnce.Do(func() {
+		if e.opts.Fork.Disable || e.netSetup() != nil || e.topo != nil {
+			return
+		}
+		fp := e.forkFingerprint()
+		forkCache.Lock()
+		st, ok := forkCache.m[fp]
+		forkCache.Unlock()
+		if ok {
+			e.forkSt = st
+			return
+		}
+		res := mpi.Run(mpi.RunOptions{
+			NumRanks:       e.cfg.Ranks,
+			Seed:           e.cfg.Seed,
+			Timeout:        e.opts.RunTimeout,
+			Record:         true,
+			DisablePooling: e.opts.DisablePooling,
+		}, func(r *mpi.Rank) error { return e.app.Main(r, e.cfg) })
+		st = &forkState{forks: map[forkKey]*mpi.Fork{}}
+		if res.Trace.Forkable() && res.FirstError() == nil {
+			st.trace = res.Trace
+		}
+		forkCache.Lock()
+		if len(forkCache.m) >= forkCacheCap {
+			for k := range forkCache.m {
+				delete(forkCache.m, k)
+				break
+			}
+		}
+		forkCache.m[fp] = st
+		forkCache.Unlock()
+		e.forkSt = st
+	})
+	return e.forkSt
+}
+
+// trialFork returns the snapshot one trial forks from, or nil when the
+// trial must replay in full. It also maintains the campaign's snapshot
+// accounting (SnapshotStats).
+func (e *Engine) trialFork(f fault.Fault) *mpi.Fork {
+	if f.Target.IsNet() {
+		return nil
+	}
+	key := forkKey{rank: f.Rank, site: f.Site, inv: f.Invocation}
+	fk := e.forkSetup().fork(key)
+	if fk != nil {
+		e.stats.noteSnapshot(key)
+	}
+	return fk
+}
+
+// snapshotStats is the engine's fork accounting, reset when a campaign's
+// event stream opens and published as one SnapshotStats event right before
+// CampaignFinished. Snapshots counts the distinct prefixes this campaign
+// forked from — not cache misses, which would make the stream depend on
+// whether an earlier campaign in the process warmed the shared cache.
+type snapshotStats struct {
+	forked   atomic.Int64 // trials run from a prefix snapshot
+	replayed atomic.Int64 // trials that fell back to full replay from t=0
+
+	mu   sync.Mutex
+	used map[forkKey]struct{} // distinct prefixes forked from
+}
+
+func (s *snapshotStats) reset() {
+	s.forked.Store(0)
+	s.replayed.Store(0)
+	s.mu.Lock()
+	s.used = nil
+	s.mu.Unlock()
+}
+
+func (s *snapshotStats) noteSnapshot(key forkKey) {
+	s.mu.Lock()
+	if s.used == nil {
+		s.used = make(map[forkKey]struct{})
+	}
+	s.used[key] = struct{}{}
+	s.mu.Unlock()
+}
+
+// SnapshotStats returns the engine's current fork accounting — the same
+// values the SnapshotStats event carries at campaign end. Useful for tools
+// (ffprofile) that report fork effectiveness without observing a stream.
+func (e *Engine) SnapshotStats() SnapshotStats { return e.stats.snapshot() }
+
+// snapshot renders the accounting as its stream event.
+func (s *snapshotStats) snapshot() SnapshotStats {
+	s.mu.Lock()
+	used := len(s.used)
+	s.mu.Unlock()
+	return SnapshotStats{
+		Snapshots: used,
+		Forked:    int(s.forked.Load()),
+		Replayed:  int(s.replayed.Load()),
+	}
+}

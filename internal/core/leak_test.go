@@ -57,9 +57,9 @@ func TestGoroutineLeakAdaptiveEarlySettle(t *testing.T) {
 	cfg.Scale = 32
 	opts := DefaultOptions()
 	opts.TrialsPerPoint = 64 // plenty of headroom for the rule to cut into
-	opts.AdaptiveTrials = true
+	opts.Adaptive.Enabled = true
 	opts.Parallelism = 16 // waves much wider than the typical stopping index
-	opts.MLPruning = false
+	opts.ML.Pruning = false
 	opts.RunTimeout = 10 * time.Second
 	e := New(app, cfg, opts)
 	if _, err := e.Profile(); err != nil {
@@ -175,8 +175,8 @@ func TestSupervisorPaperScalePooled(t *testing.T) {
 	cfg.Scale = 48
 	opts := DefaultOptions()
 	opts.TrialsPerPoint = 32 // enough headroom for the settling rule to fire
-	opts.MLPruning = false
-	opts.AdaptiveTrials = true
+	opts.ML.Pruning = false
+	opts.Adaptive.Enabled = true
 	opts.RunTimeout = 30 * time.Second
 	if raceEnabled || testing.Short() {
 		cfg.Ranks = 16

@@ -94,7 +94,7 @@ func (e *Engine) learnCampaignBatched(points []Point, inject batchInjector) (Lea
 	aborted := false
 	i := 0
 	for i < len(pts) {
-		end := i + opts.MLBatch
+		end := i + opts.ML.Batch
 		if end > len(pts) {
 			end = len(pts)
 		}
@@ -118,7 +118,7 @@ func (e *Engine) learnCampaignBatched(points []Point, inject batchInjector) (Lea
 
 		// Verification: how well does the current model predict the batch
 		// it has not seen?
-		if forest != nil && len(res.Measured) >= opts.MLMinTrain && len(batch) > 0 {
+		if forest != nil && len(res.Measured) >= opts.ML.MinTrain && len(batch) > 0 {
 			correct := 0
 			for _, pr := range batch {
 				pred := forest.Predict(pr.Point.FeatureVector())
@@ -145,7 +145,7 @@ func (e *Engine) learnCampaignBatched(points []Point, inject batchInjector) (Lea
 		res.Measured = append(res.Measured, batch...)
 		res.MeasuredIdx = append(res.MeasuredIdx, batchIdxs...)
 		i = end
-		if len(res.Measured) >= opts.MLMinTrain {
+		if len(res.Measured) >= opts.ML.MinTrain {
 			forest = e.trainLevelForest(res.Measured)
 		}
 	}

@@ -26,14 +26,14 @@ func netDiffOptions(t *testing.T, seed int64) Options {
 	opts := DefaultOptions()
 	opts.Seed = seed
 	opts.TrialsPerPoint = 3
-	opts.MLPruning = false
+	opts.ML.Pruning = false
 	opts.RunTimeout = 10 * time.Second
 	opts.Topology = "torus:2x2"
 	plan, err := fault.ParseNetPlan("link:1-2,drop:0-3:2,crash:3")
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts.NetPlan = plan
+	opts.Network.Plan = plan
 	return opts
 }
 
@@ -84,14 +84,15 @@ func runNetResumed(t *testing.T, opts Options, algorithm string) diffCampaign {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	first, err := NewSupervisor(netDiffEngine(t, opts, algorithm), SupervisorOptions{
+	intOpts := opts
+	intOpts.Observer = ObserverFunc(func(ev Event) {
+		if pc, ok := ev.(PointCompleted); ok && pc.Completed == 2 {
+			cancel()
+		}
+	})
+	first, err := NewSupervisor(netDiffEngine(t, intOpts, algorithm), SupervisorOptions{
 		Workers:    1,
 		Checkpoint: ckpt,
-		OnPoint: func(index, completed, total int) {
-			if completed == 2 {
-				cancel()
-			}
-		},
 	}).Run(ctx)
 	if err != nil {
 		t.Fatalf("interrupted leg: %v", err)
@@ -158,14 +159,14 @@ func TestNetworkCampaignDeterminism(t *testing.T) {
 			})
 			t.Run("ml", func(t *testing.T) {
 				opts := netDiffOptions(t, seed)
-				opts.MLPruning = true
-				opts.MLBatch = 2
-				opts.MLMinTrain = 4
+				opts.ML.Pruning = true
+				opts.ML.Batch = 2
+				opts.ML.MinTrain = 4
 				compareNetDiff(t, "ml", runNetSerial(t, opts, alg), runNetSerial(t, opts, alg))
 			})
 			t.Run("adaptive", func(t *testing.T) {
 				opts := netDiffOptions(t, seed)
-				opts.AdaptiveTrials = true
+				opts.Adaptive.Enabled = true
 				opts.TrialsPerPoint = 12
 				compareNetDiff(t, "adaptive", runNetSerial(t, opts, alg), runNetSerial(t, opts, alg))
 			})
@@ -201,7 +202,7 @@ func TestNetworkVariantSweepDiverges(t *testing.T) {
 // pure function of the campaign seed.
 func TestNetworkPolicyDeterminism(t *testing.T) {
 	opts := netDiffOptions(t, 7)
-	opts.NetPlan = nil
+	opts.Network.Plan = nil
 	opts.Policy = PolicyNetwork
 	compareNetDiff(t, "policy-network", runNetSerial(t, opts, "baseline"), runNetSerial(t, opts, "baseline"))
 }

@@ -49,7 +49,7 @@ func TestSmokeCampaignMiniMD(t *testing.T) {
 	cfg.Iters = 4
 	opts := DefaultOptions()
 	opts.TrialsPerPoint = 6
-	opts.MLBatch = 6
+	opts.ML.Batch = 6
 	opts.RunTimeout = 10 * time.Second
 	e := New(app, cfg, opts)
 

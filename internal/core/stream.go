@@ -46,6 +46,9 @@ type StreamStats struct {
 	trialsSaved    int // budgeted trials reclaimed by early stopping
 	refined        int // points extended by the refinement pass
 	trialsRefined  int // extra trials respent by the refinement pass
+	snapshots      int // distinct injection prefixes forked from
+	forkedTrials   int // trials run from a prefix snapshot
+	replayedTrials int // trials that fell back to full replay
 	topology       string
 	linksDown      int // standing permanent link failures (FaultDomainEvent)
 	dropBursts     int // standing transient drop bursts
@@ -74,6 +77,7 @@ func (s *StreamStats) OnEvent(ev Event) {
 		s.injected, s.fromCheckpoint, s.quarantined, s.retries = 0, 0, 0, 0
 		s.batches, s.verifyAccuracy, s.predicted = 0, 0, 0
 		s.settled, s.trialsSaved, s.refined, s.trialsRefined = 0, 0, 0, 0
+		s.snapshots, s.forkedTrials, s.replayedTrials = 0, 0, 0
 		s.topology, s.linksDown, s.dropBursts, s.nodesDown = "", 0, 0, 0
 		s.finished, s.cancelled = false, false
 	case FaultDomainEvent:
@@ -125,6 +129,10 @@ func (s *StreamStats) OnEvent(ev Event) {
 	case BatchVerified:
 		s.batches++
 		s.verifyAccuracy = ev.Accuracy
+	case SnapshotStats:
+		s.snapshots = ev.Snapshots
+		s.forkedTrials = ev.Forked
+		s.replayedTrials = ev.Replayed
 	case CampaignFinished:
 		s.finished = true
 		s.cancelled = ev.Cancelled
@@ -165,6 +173,9 @@ type StreamSnapshot struct {
 	TrialsSaved    int // budgeted trials reclaimed by early stopping
 	Refined        int // points extended by the refinement pass
 	TrialsRefined  int // extra trials respent by the refinement pass
+	Snapshots      int // distinct injection prefixes forked from
+	Forked         int // trials run from a prefix snapshot
+	Replayed       int // trials that fell back to full replay
 	Topology       string
 	LinksDown      int // standing permanent link failures in the fault plan
 	DropBursts     int // standing transient drop bursts in the fault plan
@@ -196,6 +207,9 @@ func (s *StreamStats) Snapshot() StreamSnapshot {
 		TrialsSaved:    s.trialsSaved,
 		Refined:        s.refined,
 		TrialsRefined:  s.trialsRefined,
+		Snapshots:      s.snapshots,
+		Forked:         s.forkedTrials,
+		Replayed:       s.replayedTrials,
 		Topology:       s.topology,
 		LinksDown:      s.linksDown,
 		DropBursts:     s.dropBursts,
@@ -248,6 +262,9 @@ func (sn StreamSnapshot) ProgressLine() string {
 	}
 	if sn.Settled > 0 {
 		fmt.Fprintf(&sb, " | settled %d (saved %d)", sn.Settled, sn.TrialsSaved-sn.TrialsRefined)
+	}
+	if sn.Forked > 0 {
+		fmt.Fprintf(&sb, " | forked %d/%d (%d snapshots)", sn.Forked, sn.Forked+sn.Replayed, sn.Snapshots)
 	}
 	if sn.Quarantined > 0 {
 		fmt.Fprintf(&sb, " | quarantined %d", sn.Quarantined)
@@ -468,6 +485,12 @@ func eventJSON(ev Event) (string, any) {
 			Index   int    `json:"index"`
 			Records int    `json:"records"`
 		}{ev.Path, ev.Index, ev.Records}
+	case SnapshotStats:
+		return "SnapshotStats", struct {
+			Snapshots int `json:"snapshots"`
+			Forked    int `json:"forked"`
+			Replayed  int `json:"replayed"`
+		}{ev.Snapshots, ev.Forked, ev.Replayed}
 	case CampaignFinished:
 		return "CampaignFinished", struct {
 			App         string         `json:"app"`

@@ -46,16 +46,6 @@ type SupervisorOptions struct {
 	// takes longer is declared wedged and retried (then quarantined).
 	// Zero derives a generous bound from TrialsPerPoint and RunTimeout.
 	PointTimeout time.Duration
-	// OnPoint, when set, observes every completed point in completion
-	// order (concurrent workers: the callback is serialised but the
-	// order across workers is nondeterministic). Useful for progress
-	// reporting and for tests that cancel after N points.
-	//
-	// Deprecated: use Options.Observer on the engine. OnPoint is kept as a
-	// compatibility adapter — NewSupervisor wraps it in an OnPointObserver
-	// fed from the event stream, so existing callers keep receiving the
-	// same callbacks (checkpoint-restored points excluded, as before).
-	OnPoint func(index, completed, total int)
 	// Inject overrides the injection function — the seam tests use to
 	// simulate harness panics and hangs deterministically. Nil uses the
 	// engine's InjectPointCtx.
@@ -101,15 +91,12 @@ type SupervisedResult struct {
 	Checkpoint string
 }
 
-// NewSupervisor builds a supervisor over an engine. The deprecated OnPoint
-// callback, when set, is attached to the engine's event stream via
-// OnPointObserver.
+// NewSupervisor builds a supervisor over an engine. Per-point progress is
+// observed through the engine's event stream (Options.Observer): every
+// measured or quarantined point emits a PointCompleted / PointQuarantined
+// event in completion order.
 func NewSupervisor(e *Engine, opts SupervisorOptions) *Supervisor {
-	s := &Supervisor{eng: e, opts: opts.withDefaults(e)}
-	if cb := s.opts.OnPoint; cb != nil {
-		e.events.attach(OnPointObserver(cb))
-	}
-	return s
+	return &Supervisor{eng: e, opts: opts.withDefaults(e)}
 }
 
 // ResumeCampaign resumes a supervised campaign from an existing checkpoint
@@ -221,11 +208,11 @@ func (s *Supervisor) Run(ctx context.Context) (*SupervisedResult, error) {
 		}
 	}
 
-	if e.Options().MLPruning {
+	if e.Options().ML.Pruning {
 		s.runML(ctx, plan, run)
 	} else {
 		s.runDirect(ctx, plan.points, run)
-		if e.Options().AdaptiveTrials && ctx.Err() == nil && run.err() == nil {
+		if e.Options().Adaptive.Enabled && ctx.Err() == nil && run.err() == nil {
 			s.refinePass(ctx, run, func(idx int) Point { return plan.points[idx] }, nil)
 		}
 	}
@@ -238,7 +225,7 @@ func (s *Supervisor) Run(ctx context.Context) (*SupervisedResult, error) {
 	for _, idx := range sortedIdxs(run.quar) {
 		sup.Quarantined = append(sup.Quarantined, run.quar[idx])
 	}
-	if !e.Options().MLPruning {
+	if !e.Options().ML.Pruning {
 		// Deterministic assembly: measured results in injection order,
 		// regardless of which worker finished first — a resumed campaign
 		// is bit-identical to an uninterrupted one.
@@ -247,6 +234,7 @@ func (s *Supervisor) Run(ctx context.Context) (*SupervisedResult, error) {
 		}
 	}
 	fin := plan.finish()
+	e.emit(e.stats.snapshot())
 	e.emit(CampaignFinished{
 		App:         fin.AppName,
 		Injected:    fin.Injected,
@@ -462,7 +450,7 @@ func (s *Supervisor) runML(ctx context.Context, plan *campaignPlan, run *supervi
 	res.MLReduction = lr.Reduction
 	res.VerifyAccuracy = lr.VerifyAccuracy
 
-	if s.eng.Options().AdaptiveTrials && !abortedLoop && ctx.Err() == nil && run.err() == nil {
+	if s.eng.Options().Adaptive.Enabled && !abortedLoop && ctx.Err() == nil && run.err() == nil {
 		// Refine over the measured subset only, then install the refined
 		// records back into Measured at their loop positions.
 		pos := make(map[int]int, len(lr.MeasuredIdx))
@@ -597,7 +585,7 @@ func (s *Supervisor) inject(ctx context.Context, p Point, idx int) (PointResult,
 	if s.opts.Inject != nil {
 		return s.opts.Inject(ctx, p, idx, s.eng.Options().TrialsPerPoint)
 	}
-	if s.eng.Options().AdaptiveTrials {
+	if s.eng.Options().Adaptive.Enabled {
 		return s.eng.InjectPointAdaptive(ctx, p, idx)
 	}
 	return s.eng.InjectPointCtx(ctx, p, idx, s.eng.Options().TrialsPerPoint)

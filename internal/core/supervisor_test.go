@@ -21,7 +21,7 @@ import (
 func supTestOptions() Options {
 	opts := DefaultOptions()
 	opts.TrialsPerPoint = 4
-	opts.MLPruning = false
+	opts.ML.Pruning = false
 	opts.RunTimeout = 10 * time.Second
 	return opts
 }
@@ -91,15 +91,15 @@ func TestSupervisorInterruptResumeDeterminism(t *testing.T) {
 	ckpt := filepath.Join(dir, "interrupted.ckpt")
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	var done atomic.Int32
-	part, err := NewSupervisor(supTestEngine(t, opts), SupervisorOptions{
+	intOpts := opts
+	intOpts.Observer = ObserverFunc(func(ev Event) {
+		if pc, ok := ev.(PointCompleted); ok && pc.Completed == 3 {
+			cancel()
+		}
+	})
+	part, err := NewSupervisor(supTestEngine(t, intOpts), SupervisorOptions{
 		Workers:    2,
 		Checkpoint: ckpt,
-		OnPoint: func(index, completed, totalPts int) {
-			if done.Add(1) == 3 {
-				cancel()
-			}
-		},
 	}).Run(ctx)
 	if err != nil {
 		t.Fatal(err)
@@ -137,9 +137,9 @@ func TestSupervisorInterruptResumeDeterminism(t *testing.T) {
 // replays checkpointed injections so the learner retraces the exact path.
 func TestSupervisorMLResumeDeterminism(t *testing.T) {
 	opts := supTestOptions()
-	opts.MLPruning = true
+	opts.ML.Pruning = true
 	opts.TrialsPerPoint = 4
-	opts.MLBatch = 4
+	opts.ML.Batch = 4
 	dir := t.TempDir()
 
 	full, err := NewSupervisor(supTestEngine(t, opts), SupervisorOptions{
@@ -155,15 +155,15 @@ func TestSupervisorMLResumeDeterminism(t *testing.T) {
 	ckpt := filepath.Join(dir, "interrupted.ckpt")
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	var done atomic.Int32
-	part, err := NewSupervisor(supTestEngine(t, opts), SupervisorOptions{
+	intOpts := opts
+	intOpts.Observer = ObserverFunc(func(ev Event) {
+		if pc, ok := ev.(PointCompleted); ok && pc.Completed == 2 {
+			cancel()
+		}
+	})
+	part, err := NewSupervisor(supTestEngine(t, intOpts), SupervisorOptions{
 		Workers:    2,
 		Checkpoint: ckpt,
-		OnPoint: func(index, completed, totalPts int) {
-			if done.Add(1) == 2 {
-				cancel()
-			}
-		},
 	}).Run(ctx)
 	if err != nil {
 		t.Fatal(err)

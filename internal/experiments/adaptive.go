@@ -7,7 +7,7 @@ import (
 )
 
 // AdaptiveBudget compares adaptive trial budgets (the sequential settling
-// rule plus the refinement pass, Options.AdaptiveTrials) against the fixed
+// rule plus the refinement pass, Options.Adaptive.Enabled) against the fixed
 // per-point budget on every workload: total simulated runs, per-point
 // dominant-outcome agreement, and how many points settled early or were
 // refined. This is the EXPERIMENTS.md adaptive-vs-fixed ablation row. The

@@ -81,7 +81,7 @@ func (st *Store) Options() core.Options {
 	opts := core.DefaultOptions()
 	opts.TrialsPerPoint = st.Scale.TrialsPerPoint
 	opts.Seed = st.Scale.Seed
-	opts.AdaptiveTrials = st.Scale.Adaptive
+	opts.Adaptive.Enabled = st.Scale.Adaptive
 	opts.Confidence = st.Scale.Confidence
 	opts.Observer = st.Observer
 	return opts
@@ -112,7 +112,7 @@ func (st *Store) Engine(name string) (*core.Engine, error) {
 		return nil, err
 	}
 	opts := st.Options()
-	opts.MLPruning = false
+	opts.ML.Pruning = false
 	opts.Policy = policyFor(name)
 	e := core.New(app, cfg, opts)
 	st.engines[name] = e
@@ -172,9 +172,9 @@ func (st *Store) CampaignMode(name string, adaptive bool) (*core.CampaignResult,
 		return nil, err
 	}
 	opts := st.Options()
-	opts.MLPruning = false
+	opts.ML.Pruning = false
 	opts.Policy = policyFor(name)
-	opts.AdaptiveTrials = adaptive
+	opts.Adaptive.Enabled = adaptive
 	e := core.New(app, cfg, opts)
 	mode := "fixed-budget"
 	if adaptive {

@@ -126,9 +126,9 @@ func shootVerdict(st *Store, algorithm string, plan []fault.NetFault) (classify.
 	}
 	cfg.Algorithm = algorithm
 	opts := st.Options()
-	opts.MLPruning = false
+	opts.ML.Pruning = false
 	opts.Topology = "ring"
-	opts.NetPlan = plan
+	opts.Network.Plan = plan
 	st.logf("running %s under %s ...", algorithm, fault.NetPlanString(plan))
 	e := core.New(app, cfg, opts)
 	if _, err := e.Profile(); err != nil {

@@ -60,6 +60,10 @@ func validateCommon(rank int, op string, a *Args, ci *commInfo, needDtype, needO
 // Barrier blocks until every rank of comm has entered it (dissemination
 // algorithm).
 func (r *Rank) Barrier(comm Comm) {
+	if r.replayActive() {
+		r.replayCollective(CollBarrier, nil, nil, comm)
+		return
+	}
 	args := r.newArgs(Args{Comm: comm})
 	call := r.beginCollective(CollBarrier, args)
 	ci := r.commDeref(args.Comm)
@@ -81,6 +85,10 @@ func (r *Rank) Barrier(comm Comm) {
 // Bcast broadcasts count elements of dt from root's buf into every other
 // rank's buf (binomial tree).
 func (r *Rank) Bcast(buf *Buffer, count int, dt Datatype, root int, comm Comm) {
+	if r.replayActive() {
+		r.replayCollective(CollBcast, buf, nil, comm)
+		return
+	}
 	args := r.newArgs(Args{Send: buf, Count: int32(count), Dtype: dt, Root: int32(root), Comm: comm})
 	call := r.beginCollective(CollBcast, args)
 	const op = "MPI_Bcast"
@@ -117,6 +125,10 @@ func (r *Rank) Bcast(buf *Buffer, count int, dt Datatype, root int, comm Comm) {
 // Reduce combines count elements of dt from every rank's send buffer with
 // op, leaving the result in root's recv buffer (binomial tree).
 func (r *Rank) Reduce(send, recv *Buffer, count int, dt Datatype, op Op, root int, comm Comm) {
+	if r.replayActive() {
+		r.replayCollective(CollReduce, send, recv, comm)
+		return
+	}
 	args := r.newArgs(Args{Send: send, Recv: recv, Count: int32(count), Dtype: dt, Op: op, Root: int32(root), Comm: comm})
 	call := r.beginCollective(CollReduce, args)
 	const opName = "MPI_Reduce"
@@ -159,6 +171,10 @@ func (r *Rank) Reduce(send, recv *Buffer, count int, dt Datatype, op Op, root in
 // rank's recv buffer. Power-of-two communicators use recursive doubling;
 // others fall back to reduce-to-zero plus broadcast.
 func (r *Rank) Allreduce(send, recv *Buffer, count int, dt Datatype, op Op, comm Comm) {
+	if r.replayActive() {
+		r.replayCollective(CollAllreduce, send, recv, comm)
+		return
+	}
 	args := r.newArgs(Args{Send: send, Recv: recv, Count: int32(count), Dtype: dt, Op: op, Comm: comm})
 	call := r.beginCollective(CollAllreduce, args)
 	const opName = "MPI_Allreduce"
@@ -223,6 +239,10 @@ func (r *Rank) Allreduce(send, recv *Buffer, count int, dt Datatype, op Op, comm
 // Scatter distributes consecutive count-element blocks of root's send
 // buffer to the ranks' recv buffers (linear from root).
 func (r *Rank) Scatter(send, recv *Buffer, count int, dt Datatype, root int, comm Comm) {
+	if r.replayActive() {
+		r.replayCollective(CollScatter, send, recv, comm)
+		return
+	}
 	args := r.newArgs(Args{Send: send, Recv: recv, Count: int32(count), Dtype: dt, Root: int32(root), Comm: comm})
 	call := r.beginCollective(CollScatter, args)
 	const op = "MPI_Scatter"
@@ -253,6 +273,10 @@ func (r *Rank) Scatter(send, recv *Buffer, count int, dt Datatype, root int, com
 // Gather collects count-element blocks from every rank's send buffer into
 // consecutive blocks of root's recv buffer (linear to root).
 func (r *Rank) Gather(send, recv *Buffer, count int, dt Datatype, root int, comm Comm) {
+	if r.replayActive() {
+		r.replayCollective(CollGather, send, recv, comm)
+		return
+	}
 	args := r.newArgs(Args{Send: send, Recv: recv, Count: int32(count), Dtype: dt, Root: int32(root), Comm: comm})
 	call := r.beginCollective(CollGather, args)
 	const op = "MPI_Gather"
@@ -283,6 +307,10 @@ func (r *Rank) Gather(send, recv *Buffer, count int, dt Datatype, root int, comm
 // Allgather collects every rank's count-element send block into every
 // rank's recv buffer (ring algorithm).
 func (r *Rank) Allgather(send, recv *Buffer, count int, dt Datatype, comm Comm) {
+	if r.replayActive() {
+		r.replayCollective(CollAllgather, send, recv, comm)
+		return
+	}
 	args := r.newArgs(Args{Send: send, Recv: recv, Count: int32(count), Dtype: dt, Comm: comm})
 	call := r.beginCollective(CollAllgather, args)
 	const op = "MPI_Allgather"
@@ -312,6 +340,10 @@ func (r *Rank) Allgather(send, recv *Buffer, count int, dt Datatype, comm Comm) 
 // Alltoall exchanges count-element blocks between every pair of ranks
 // (pairwise exchange).
 func (r *Rank) Alltoall(send, recv *Buffer, count int, dt Datatype, comm Comm) {
+	if r.replayActive() {
+		r.replayCollective(CollAlltoall, send, recv, comm)
+		return
+	}
 	args := r.newArgs(Args{Send: send, Recv: recv, Count: int32(count), Dtype: dt, Comm: comm})
 	call := r.beginCollective(CollAlltoall, args)
 	const op = "MPI_Alltoall"
@@ -341,6 +373,10 @@ func (r *Rank) Alltoall(send, recv *Buffer, count int, dt Datatype, comm Comm) {
 // Alltoallv exchanges variable-sized blocks between every pair of ranks.
 // Counts and displacements are in elements of dt.
 func (r *Rank) Alltoallv(send *Buffer, sendCounts, sendDispls []int32, recv *Buffer, recvCounts, recvDispls []int32, dt Datatype, comm Comm) {
+	if r.replayActive() {
+		r.replayCollective(CollAlltoallv, send, recv, comm)
+		return
+	}
 	args := r.newArgs(Args{
 		Send: send, Recv: recv, Dtype: dt, Comm: comm,
 		SendCounts: sendCounts, SendDispls: sendDispls,
@@ -393,6 +429,10 @@ func (r *Rank) Alltoallv(send *Buffer, sendCounts, sendDispls []int32, recv *Buf
 // (counts[i] elements) to rank i. Implemented as reduce-to-zero followed by
 // a linear scatterv.
 func (r *Rank) ReduceScatter(send, recv *Buffer, counts []int32, dt Datatype, op Op, comm Comm) {
+	if r.replayActive() {
+		r.replayCollective(CollReduceScatter, send, recv, comm)
+		return
+	}
 	args := r.newArgs(Args{Send: send, Recv: recv, Dtype: dt, Op: op, Comm: comm, RecvCounts: counts})
 	call := r.beginCollective(CollReduceScatter, args)
 	const opName = "MPI_Reduce_scatter"
@@ -454,6 +494,10 @@ func (r *Rank) ReduceScatter(send, recv *Buffer, counts []int32, dt Datatype, op
 // Scan computes an inclusive prefix reduction: rank i's recv buffer holds
 // op over the send buffers of ranks 0..i (linear chain).
 func (r *Rank) Scan(send, recv *Buffer, count int, dt Datatype, op Op, comm Comm) {
+	if r.replayActive() {
+		r.replayCollective(CollScan, send, recv, comm)
+		return
+	}
 	args := r.newArgs(Args{Send: send, Recv: recv, Count: int32(count), Dtype: dt, Op: op, Comm: comm})
 	call := r.beginCollective(CollScan, args)
 	const opName = "MPI_Scan"

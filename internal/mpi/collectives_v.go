@@ -9,6 +9,10 @@ package mpi
 // Scatterv distributes counts[i] elements starting at displs[i] of root's
 // send buffer to rank i's recv buffer (recvCount elements posted).
 func (r *Rank) Scatterv(send *Buffer, sendCounts, sendDispls []int32, recv *Buffer, recvCount int, dt Datatype, root int, comm Comm) {
+	if r.replayActive() {
+		r.replayCollective(CollScatterv, send, recv, comm)
+		return
+	}
 	args := r.newArgs(Args{
 		Send: send, Recv: recv, Count: int32(recvCount), Dtype: dt,
 		Root: int32(root), Comm: comm,
@@ -52,6 +56,10 @@ func (r *Rank) Scatterv(send *Buffer, sendCounts, sendDispls []int32, recv *Buff
 // Gatherv collects sendCount elements from every rank into root's recv
 // buffer at displs[i], expecting counts[i] elements from rank i.
 func (r *Rank) Gatherv(send *Buffer, sendCount int, recv *Buffer, recvCounts, recvDispls []int32, dt Datatype, root int, comm Comm) {
+	if r.replayActive() {
+		r.replayCollective(CollGatherv, send, recv, comm)
+		return
+	}
 	args := r.newArgs(Args{
 		Send: send, Recv: recv, Count: int32(sendCount), Dtype: dt,
 		Root: int32(root), Comm: comm,

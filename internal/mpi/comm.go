@@ -50,6 +50,9 @@ func (r *Rank) CommRank(comm Comm) int {
 // has a fresh collective sequence space, providing the usual isolation for
 // library traffic.
 func (r *Rank) CommDup(comm Comm) Comm {
+	if r.world.rec != nil {
+		r.world.rec.poison("derived communicator (CommDup)")
+	}
 	ci := r.commDeref(comm)
 	me := ci.rankOf[r.id]
 	seq := r.nextSeq(comm)
@@ -72,6 +75,9 @@ func (r *Rank) CommDup(comm Comm) Comm {
 // (key, rank). Every member must call it. Ranks passing the same color end
 // up in the same new communicator; the returned handles are world-unique.
 func (r *Rank) CommSplit(comm Comm, color, key int) Comm {
+	if r.world.rec != nil {
+		r.world.rec.poison("derived communicator (CommSplit)")
+	}
 	ci := r.commDeref(comm)
 	me := ci.rankOf[r.id]
 	size := len(ci.members)

@@ -8,6 +8,13 @@ package mpi
 
 // AllreduceFloat64s reduces vals element-wise across comm with op.
 func (r *Rank) AllreduceFloat64s(vals []float64, op Op, comm Comm) []float64 {
+	if r.replayActive() {
+		// During fork replay the inputs are discarded and the result is on
+		// the tape, so the wrappers skip the marshal + result-copy + decode
+		// round-trip and read the recorded span directly (see
+		// replayCollectiveBytes). Same pattern in every wrapper below.
+		return float64sFrom(r.replayCollectiveBytes(CollAllreduce, comm))
+	}
 	send := r.FromFloat64s(vals)
 	recv := r.NewFloat64Buffer(len(vals))
 	r.Allreduce(send, recv, len(vals), Float64, op, comm)
@@ -24,6 +31,9 @@ func (r *Rank) AllreduceFloat64(v float64, op Op, comm Comm) float64 {
 
 // AllreduceInt64s reduces vals element-wise across comm with op.
 func (r *Rank) AllreduceInt64s(vals []int64, op Op, comm Comm) []int64 {
+	if r.replayActive() {
+		return int64sFrom(r.replayCollectiveBytes(CollAllreduce, comm))
+	}
 	send := r.FromInt64s(vals)
 	recv := r.NewInt64Buffer(len(vals))
 	r.Allreduce(send, recv, len(vals), Int64, op, comm)
@@ -40,6 +50,14 @@ func (r *Rank) AllreduceInt64(v int64, op Op, comm Comm) int64 {
 
 // ReduceFloat64s reduces vals to root; non-root ranks receive nil.
 func (r *Rank) ReduceFloat64s(vals []float64, op Op, root int, comm Comm) []float64 {
+	if r.replayActive() {
+		// The tape records a result span only on the root, so the recorded
+		// length also encodes the root/non-root return convention.
+		if b := r.replayCollectiveBytes(CollReduce, comm); b != nil {
+			return float64sFrom(b)
+		}
+		return nil
+	}
 	send := r.FromFloat64s(vals)
 	recv := r.NewFloat64Buffer(len(vals))
 	r.Reduce(send, recv, len(vals), Float64, op, root, comm)
@@ -55,6 +73,9 @@ func (r *Rank) ReduceFloat64s(vals []float64, op Op, root int, comm Comm) []floa
 // BcastFloat64s broadcasts vals from root; every rank passes a slice of the
 // same length and receives the root's values back.
 func (r *Rank) BcastFloat64s(vals []float64, root int, comm Comm) []float64 {
+	if r.replayActive() {
+		return float64sFrom(r.replayCollectiveBytes(CollBcast, comm))
+	}
 	buf := r.FromFloat64s(vals)
 	r.Bcast(buf, len(vals), Float64, root, comm)
 	out := buf.Float64s()
@@ -64,6 +85,9 @@ func (r *Rank) BcastFloat64s(vals []float64, root int, comm Comm) []float64 {
 
 // BcastInt64s broadcasts vals from root.
 func (r *Rank) BcastInt64s(vals []int64, root int, comm Comm) []int64 {
+	if r.replayActive() {
+		return int64sFrom(r.replayCollectiveBytes(CollBcast, comm))
+	}
 	buf := r.FromInt64s(vals)
 	r.Bcast(buf, len(vals), Int64, root, comm)
 	out := buf.Int64s()
@@ -73,6 +97,9 @@ func (r *Rank) BcastInt64s(vals []int64, root int, comm Comm) []int64 {
 
 // AllgatherInt64s gathers one int64 per rank into a slice indexed by rank.
 func (r *Rank) AllgatherInt64s(v int64, comm Comm) []int64 {
+	if r.replayActive() {
+		return int64sFrom(r.replayCollectiveBytes(CollAllgather, comm))
+	}
 	size := r.Size(comm)
 	send := r.FromInt64s([]int64{v})
 	recv := r.NewInt64Buffer(size)
@@ -86,6 +113,9 @@ func (r *Rank) AllgatherInt64s(v int64, comm Comm) []int64 {
 // AllgatherFloat64s gathers vals (same length on every rank) into a
 // rank-major slice.
 func (r *Rank) AllgatherFloat64s(vals []float64, comm Comm) []float64 {
+	if r.replayActive() {
+		return float64sFrom(r.replayCollectiveBytes(CollAllgather, comm))
+	}
 	size := r.Size(comm)
 	send := r.FromFloat64s(vals)
 	recv := r.NewFloat64Buffer(size * len(vals))
@@ -98,6 +128,12 @@ func (r *Rank) AllgatherFloat64s(vals []float64, comm Comm) []float64 {
 
 // GatherFloat64s gathers vals at root; non-root ranks receive nil.
 func (r *Rank) GatherFloat64s(vals []float64, root int, comm Comm) []float64 {
+	if r.replayActive() {
+		if b := r.replayCollectiveBytes(CollGather, comm); b != nil {
+			return float64sFrom(b)
+		}
+		return nil
+	}
 	size := r.Size(comm)
 	send := r.FromFloat64s(vals)
 	var recv *Buffer

@@ -43,6 +43,11 @@ type heartbeat struct {
 // rank of a resilient collective may call it unconditionally. period <= 0
 // selects the default.
 func (r *Rank) StartHeartbeat(period time.Duration) {
+	if r.world.rec != nil {
+		// The monitor samples wall-clock time; its observations cannot be
+		// reproduced from a tape.
+		r.world.rec.poison("heartbeat failure detector")
+	}
 	r.world.startHeartbeat(period)
 }
 

@@ -1,0 +1,276 @@
+package mpi
+
+import (
+	"fmt"
+)
+
+// Fork-at-injection-site execution, part 2: the consistent cut and replay.
+//
+// A Fork is a snapshot of the golden run's communication taken at one
+// injection site: per-rank positions ("the cut") splitting each tape into a
+// replayed prefix and a live suffix, plus the prestocked messages that
+// bridge the two. Forked ranks serve the prefix from the tape — no channel
+// operations, no blocking, no stack captures — and switch to live execution
+// at their cut, with bookkeeping (invocation counters, collective sequence
+// numbers, work charges) mirrored exactly so the injector fires at the same
+// call and post-cut execution is byte-identical to a full replay.
+//
+// The cut must be causally consistent: no replayed event may depend on a
+// live one. Starting from "the faulted collective on the faulted rank goes
+// live", two rules propagate liveness until a fixpoint:
+//
+//  1. p2p: a receive whose matching send is live must itself be live (the
+//     message's content could differ once faults are in play, and the live
+//     sender really will send it).
+//  2. collectives: one instance (identified by its CommWorld sequence
+//     number) is live or replayed uniformly across all ranks — a collective
+//     half served from tape and half executed live would deadlock.
+//
+// Cuts only ever move earlier during propagation, so the fixpoint
+// terminates. Conversely, a replayed receive whose send is also replayed
+// needs no message at all, and a live receive whose matching send was
+// replayed is fed by prestock: the golden payload is placed in the
+// receiver's pending queue at go-live, ahead of any live arrivals — the
+// same order a real run would see, since a sender's pre-cut messages always
+// precede its post-cut ones in channel FIFO order.
+
+// prestockEntry is one golden message a forked rank must find in its
+// pending queue when it goes live: its matching send is replayed (never
+// actually sent) but its receive is live.
+type prestockEntry struct {
+	comm   Comm
+	src    int32 // rank within comm
+	tag    int64
+	off, n int32 // payload span in the receiving rank's tape data
+}
+
+// Fork is an immutable injection-prefix snapshot, shared by every trial at
+// its injection point. Build one with Trace.Fork.
+type Fork struct {
+	trace    *Trace
+	cut      []int
+	prestock [][]prestockEntry
+}
+
+// Cut returns rank's first live tape position (diagnostics).
+func (f *Fork) Cut(rank int) int {
+	if f == nil || rank < 0 || rank >= len(f.cut) {
+		return 0
+	}
+	return f.cut[rank]
+}
+
+// ReplayedEvents returns the total number of tape events the fork serves
+// from the trace instead of executing (diagnostics and ffprofile -fork).
+func (f *Fork) ReplayedEvents() int {
+	if f == nil {
+		return 0
+	}
+	n := 0
+	for _, c := range f.cut {
+		n += c
+	}
+	return n
+}
+
+// Fork computes the injection-prefix snapshot for a fault addressed to the
+// collective at (rank, site, invocation). It returns nil when the trace is
+// not forkable or the addressed call does not appear on the tape (the
+// trial then falls back to full replay).
+func (t *Trace) Fork(rank int, site uintptr, invocation int) *Fork {
+	if !t.Forkable() || rank < 0 || rank >= len(t.ranks) {
+		return nil
+	}
+	// The faulted event: the invocation'th collective at site on rank.
+	pos := -1
+	for i, ev := range t.ranks[rank].events {
+		if ev.kind == evColl && ev.site == site && ev.inv == int32(invocation) {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return nil
+	}
+
+	n := len(t.ranks)
+	cut := make([]int, n)
+	// Index each rank's collective instances by sequence number. Forkable
+	// traces use CommWorld only, so the sequence number alone identifies an
+	// instance across ranks.
+	collPos := make([]map[int64]int, n)
+	for r := 0; r < n; r++ {
+		cut[r] = len(t.ranks[r].events)
+		m := make(map[int64]int)
+		for i, ev := range t.ranks[r].events {
+			if ev.kind == evColl {
+				m[ev.seq] = i
+			}
+		}
+		collPos[r] = m
+	}
+	cut[rank] = pos
+
+	for changed := true; changed; {
+		changed = false
+		// Rule 1: a replayed receive fed by a live send goes live.
+		for r := 0; r < n; r++ {
+			for i, ev := range t.ranks[r].events {
+				if i >= cut[r] {
+					break
+				}
+				if ev.kind == evRecv && int(ev.sendPos) >= cut[ev.sender] {
+					cut[r] = i
+					changed = true
+					break
+				}
+			}
+		}
+		// Rule 2: collective instances are uniformly live or replayed.
+		for r := 0; r < n; r++ {
+			for seq, p := range collPos[r] {
+				if p < cut[r] {
+					continue // replayed on r; only live instances propagate
+				}
+				for r2 := 0; r2 < n; r2++ {
+					if p2, ok := collPos[r2][seq]; ok && p2 < cut[r2] {
+						cut[r2] = p2
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Prestock: live receives whose matching send is replayed.
+	prestock := make([][]prestockEntry, n)
+	for r := 0; r < n; r++ {
+		for _, ev := range t.ranks[r].events[cut[r]:] {
+			if ev.kind == evRecv && int(ev.sendPos) < cut[ev.sender] {
+				prestock[r] = append(prestock[r], prestockEntry{
+					comm: ev.comm, src: ev.peer, tag: ev.tag, off: ev.off, n: ev.n,
+				})
+			}
+		}
+	}
+	return &Fork{trace: t, cut: cut, prestock: prestock}
+}
+
+// replayState is one rank's in-progress prefix replay. It lives on the
+// rank for the replayed portion of a forked run and is cleared at go-live.
+type replayState struct {
+	fork *Fork
+	tape *rankTape
+	pos  int
+	cut  int
+}
+
+// bindFork arms every rank of a freshly bound world to replay its prefix.
+func (w *World) bindFork(f *Fork) {
+	for i, rk := range w.ranks {
+		rk.replay = &replayState{fork: f, tape: &f.trace.ranks[i], cut: f.cut[i]}
+	}
+}
+
+// replayActive reports whether the rank is still inside its replayed
+// prefix, transitioning to live execution at the cut. Every intercepted
+// operation calls this first, so prestock happens before the first live
+// operation needs it.
+func (r *Rank) replayActive() bool {
+	rs := r.replay
+	if rs == nil {
+		return false
+	}
+	if rs.pos < rs.cut {
+		return true
+	}
+	r.goLive()
+	return false
+}
+
+// goLive ends the rank's replay: golden messages whose sends were replayed
+// are materialised into the pending queue (in tape order, which for any
+// one sender+tag is also golden arrival order), and subsequent operations
+// execute normally. Live arrivals already sitting in the inbox are
+// consumed after pending, exactly matching channel FIFO order per sender.
+func (r *Rank) goLive() {
+	rs := r.replay
+	r.replay = nil
+	for _, pe := range rs.fork.prestock[r.id] {
+		data := make([]byte, pe.n)
+		copy(data, rs.tape.span(pe.off, pe.n))
+		r.pending = append(r.pending, message{comm: pe.comm, src: int(pe.src), tag: pe.tag, data: data})
+	}
+}
+
+// replayNext consumes the next tape event, checking the kind invariant: a
+// forked run's pre-cut operations must match the tape exactly, because the
+// prefix is byte-identical to the golden run by construction. A mismatch
+// is a harness bug, not an application outcome.
+func (rs *replayState) replayNext(kind uint8, what string) *traceEvent {
+	ev := &rs.tape.events[rs.pos]
+	if ev.kind != kind {
+		panic(fmt.Sprintf("fork replay divergence: %s at tape position %d holds kind %d", what, rs.pos, ev.kind))
+	}
+	rs.pos++
+	return ev
+}
+
+// replaySend serves a user Send from the tape: the payload was already
+// delivered to the (also replaying) receiver's tape, so nothing moves.
+func (r *Rank) replaySend() {
+	r.replay.replayNext(evSend, "Send")
+}
+
+// replayRecv serves a user Recv from the tape, returning a fresh copy of
+// the golden payload (live Recv hands the application a private copy made
+// at send time, so replay must too).
+func (r *Rank) replayRecv() []byte {
+	ev := r.replay.replayNext(evRecv, "Recv")
+	data := make([]byte, ev.n)
+	copy(data, r.replay.tape.span(ev.off, ev.n))
+	return data
+}
+
+// replayCollective serves one collective from the tape: it mirrors the
+// live path's bookkeeping — the work-budget charge, the per-site
+// invocation counter (from the recorded site, so the injector's addressed
+// invocation index stays exact) and the per-comm sequence number — then
+// writes the recorded result prefix into the same buffer the live
+// algorithm would have written.
+func (r *Rank) replayCollective(t CollType, send, recv *Buffer, comm Comm) {
+	r.Tick(collectiveWorkCharge)
+	ev := r.replay.replayNext(evColl, t.String())
+	if ev.coll != t {
+		panic(fmt.Sprintf("fork replay divergence: tape holds %v, application called %v", ev.coll, t))
+	}
+	r.invents[ev.site]++
+	r.nextSeq(comm)
+	if ev.n > 0 {
+		dst := recv
+		if ev.buf == bufSend {
+			dst = send
+		}
+		dst.WriteAt("fork replay", 0, r.replay.tape.span(ev.off, ev.n))
+	}
+}
+
+// replayCollectiveBytes serves one collective from the tape without going
+// through simulated buffers: it performs replayCollective's bookkeeping and
+// returns the recorded local result span (nil when the call had none —
+// Barrier, or a non-root rank of a rooted operation). The convenience
+// wrappers use it to decode results straight off the immutable tape,
+// skipping the marshal + result-copy + decode round-trip a live call needs.
+func (r *Rank) replayCollectiveBytes(t CollType, comm Comm) []byte {
+	r.Tick(collectiveWorkCharge)
+	ev := r.replay.replayNext(evColl, t.String())
+	if ev.coll != t {
+		panic(fmt.Sprintf("fork replay divergence: tape holds %v, application called %v", ev.coll, t))
+	}
+	r.invents[ev.site]++
+	r.nextSeq(comm)
+	if ev.n == 0 {
+		return nil
+	}
+	return r.replay.tape.span(ev.off, ev.n)
+}

@@ -166,6 +166,9 @@ func (r *Rank) beginCollective(t CollType, args *Args) *CollectiveCall {
 }
 
 func (r *Rank) endCollective(call *CollectiveCall) {
+	if r.world.rec != nil {
+		r.world.rec.recordCollective(r, call)
+	}
 	if r.world.hook != nil {
 		r.world.hook.AfterCollective(call)
 	}

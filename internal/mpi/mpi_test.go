@@ -575,7 +575,7 @@ func TestDeterministicRand(t *testing.T) {
 	draw := func() []float64 {
 		var vals [4]float64
 		res := Run(RunOptions{NumRanks: 4, Seed: 99, Timeout: 5 * time.Second}, func(r *Rank) error {
-			vals[r.ID()] = r.Rand.Float64()
+			vals[r.ID()] = r.Rand().Float64()
 			return nil
 		})
 		requireClean(t, res)

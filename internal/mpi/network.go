@@ -308,6 +308,11 @@ func (r *Rank) LibSeq(key string) int {
 // message lost to a *link* fault with src still alive blocks forever, as a
 // real receiver would, and the quiescence detector reaps the run (INF_LOOP).
 func (r *Rank) RecvOrFail(comm Comm, src, tag int) ([]byte, bool) {
+	if r.world.rec != nil {
+		// Failure-detecting receives consume messages outside the recorded
+		// Recv path; such apps use full replay.
+		r.world.rec.poison("failure-detecting receive (RecvOrFail)")
+	}
 	if tag < 0 || tag >= maxUserTag {
 		abortf(r.id, "RecvOrFail", ErrTag, "tag %d outside [0,%d)", tag, maxUserTag)
 	}
@@ -344,6 +349,7 @@ func (r *Rank) RecvOrFail(comm Comm, src, tag int) ([]byte, bool) {
 		for {
 			select {
 			case m := <-r.inbox:
+				w.absorbed.Add(1)
 				w.progress.Add(1)
 				if match(m) {
 					return m.data, true
@@ -356,10 +362,14 @@ func (r *Rank) RecvOrFail(comm Comm, src, tag int) ([]byte, bool) {
 		if dead {
 			return nil, false
 		}
+		r.blockKind.Store(blockRecv)
 		w.blocked.Add(1)
+		w.notifyQuiesce()
 		select {
 		case m := <-r.inbox:
 			w.blocked.Add(-1)
+			r.blockKind.Store(blockNone)
+			w.absorbed.Add(1)
 			w.progress.Add(1)
 			if match(m) {
 				return m.data, true
@@ -368,8 +378,10 @@ func (r *Rank) RecvOrFail(comm Comm, src, tag int) ([]byte, bool) {
 		case <-ep:
 			// Membership changed; loop to re-sample the death mask.
 			w.blocked.Add(-1)
+			r.blockKind.Store(blockNone)
 		case <-w.done:
 			w.blocked.Add(-1)
+			r.blockKind.Store(blockNone)
 			panic(Killed{Reason: w.killWhy.Load().(string)})
 		}
 	}

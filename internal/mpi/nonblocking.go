@@ -30,6 +30,11 @@ func (r *Rank) Isend(comm Comm, dst, tag int, data []byte) *Request {
 // Irecv posts a nonblocking receive; the match happens at Wait or Test.
 // src may be AnySource and tag may be AnyTag.
 func (r *Rank) Irecv(comm Comm, src, tag int) *Request {
+	if r.world.rec != nil {
+		// Deferred matching decouples the receive from its tape position;
+		// such apps use full replay.
+		r.world.rec.poison("nonblocking receive (Irecv)")
+	}
 	args := r.beginP2P(P2PRecv, P2PArgs{Peer: src, Tag: tag, Comm: comm})
 	if args.Tag != AnyTag && (args.Tag < 0 || args.Tag >= maxUserTag) {
 		abortf(r.id, "MPI_Irecv", ErrTag, "tag %d outside [0,%d)", args.Tag, maxUserTag)
@@ -75,6 +80,7 @@ func (req *Request) Test() (bool, []byte) {
 	for {
 		select {
 		case m := <-r.inbox:
+			r.world.absorbed.Add(1)
 			r.world.progress.Add(1)
 			r.pending = append(r.pending, m)
 		default:

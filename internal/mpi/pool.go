@@ -33,7 +33,7 @@ package mpi
 
 import (
 	"math/bits"
-	"math/rand"
+
 	"sync"
 )
 
@@ -191,16 +191,15 @@ func rankSeed(seed int64, i int) int64 {
 
 // bind attaches a rank to a new run, resetting all per-run state. On a
 // recycled shell the mailbox, pending list and owned-buffer list are
-// already empty (reclaim drained them when the previous run ended);
-// reseeding the existing rand.Rand reproduces rand.New(rand.NewSource(s))
-// exactly, so a recycled rank's random stream is identical to a fresh one.
+// already empty (reclaim drained them when the previous run ended). The
+// default random source is only marked stale here; the first Rand call of
+// the run reseeds it through the fibSource cache (rng.go), reproducing
+// rand.New(rand.NewSource(s)) exactly, so a recycled rank's random stream
+// is identical to a fresh one and ranks that never draw pay nothing.
 func (rk *Rank) bind(w *World, seed, budget int64) {
 	rk.world = w
-	if rk.Rand == nil {
-		rk.Rand = rand.New(rand.NewSource(seed))
-	} else {
-		rk.Rand.Seed(seed)
-	}
+	rk.rndSeed = seed
+	rk.rndLive = false
 	clear(rk.invents)
 	clear(rk.collSeq)
 	clear(rk.libSeq)
@@ -209,6 +208,8 @@ func (rk *Rank) bind(w *World, seed, budget int64) {
 	rk.work = 0
 	rk.budget = budget
 	rk.reported = nil // escapes into RankResult.Values; never recycled
+	rk.replay = nil   // armed by bindFork after every rank is bound
+	rk.blockKind.Store(blockNone)
 }
 
 // reclaim returns a finished run's pooled memory to the arena: leftover

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"math/rand"
+	"sync/atomic"
 )
 
 // Phase labels the coarse execution phase of the application, one of the
@@ -44,6 +45,10 @@ type message struct {
 	tag    int64
 	data   []byte
 	pooled *slab
+	// tracePos is the sender's tape position of this message's send event
+	// when a trace is being recorded (-1 when it is not): the causal edge
+	// the fork cut computation needs (see trace.go).
+	tracePos int32
 }
 
 // recycle returns the message's pooled payload to the arena. Safe to call
@@ -66,9 +71,15 @@ type Rank struct {
 	inbox   chan message
 	pending []message
 
-	// Rand is a deterministic per-rank random source seeded from the run
-	// options, so repeated runs are bit-for-bit reproducible.
-	Rand *rand.Rand
+	// rnd backs Rand, the deterministic per-rank random source seeded from
+	// the run options. It draws from rngSrc, whose cached seeding makes
+	// per-run reseeding cheap (rng.go), and is seeded lazily on first use:
+	// apps that only draw through SeededRand never pay the default
+	// generator's ~5 KB state copy at bind time.
+	rnd     *rand.Rand
+	rndSeed int64
+	rndLive bool // rnd is seeded for the current run
+	rngSrc  fibSource
 
 	phase       Phase
 	errHandling bool
@@ -95,7 +106,33 @@ type Rank struct {
 	// [64]uintptr would escape through lookupStack and cost one heap
 	// allocation per collective call (the alloc-budget tests pin this).
 	pcbuf [64]uintptr
+
+	// replay, when non-nil, serves this rank's communication from a golden
+	// trace until the fork cut is reached (see fork.go).
+	replay *replayState
+
+	// appRand/appSrc back SeededRand, the cheap per-run application RNG.
+	appRand *rand.Rand
+	appSrc  fibSource
+
+	// blockKind/blockPeer publish where this rank is parked — blockRecv
+	// (waiting on its own inbox) or blockSend with the target's world rank
+	// (waiting for capacity in a full inbox) — for the supervisor's
+	// exact-quiescence check (World.exactQuiesced). Set before the matching
+	// blocked.Add(1), cleared after every blocked.Add(-1), so whenever a
+	// rank is counted blocked its park site is already published.
+	blockKind atomic.Int32
+	blockPeer atomic.Int32
 }
+
+// blockKind values. Park sites that never annotate themselves leave
+// blockNone, which makes exactQuiesced conservatively fall back to the
+// wall-clock stuck window.
+const (
+	blockNone int32 = iota
+	blockRecv
+	blockSend
+)
 
 // Tick charges units of computational work to the rank's budget. Applications
 // call it in their outer loops with a cost estimate before performing the
@@ -112,6 +149,37 @@ func (r *Rank) Tick(units int) {
 	if r.budget > 0 && r.work > r.budget {
 		panic(Killed{Reason: "work budget exhausted: runaway execution killed"})
 	}
+}
+
+// SeededRand returns a deterministic generator seeded with seed, with the
+// exact stream of rand.New(rand.NewSource(seed)). Applications that derive
+// a per-rank problem stream from their config seed should use it instead
+// of rand.NewSource: seeding the stdlib source costs ~12 µs, which a
+// 32-rank campaign trial pays 32 times per run, while SeededRand restores
+// a cached state (see rng.go). The returned generator is only valid until
+// the next SeededRand call on this rank; call it once per run.
+func (r *Rank) SeededRand(seed int64) *rand.Rand {
+	if r.appRand == nil {
+		r.appRand = rand.New(&r.appSrc)
+	}
+	r.appRand.Seed(seed)
+	return r.appRand
+}
+
+// Rand returns the rank's default deterministic random source, seeded from
+// the run options so repeated runs are bit-for-bit reproducible (the exact
+// stream of rand.New(rand.NewSource(s)) for the rank's derived seed, see
+// rankSeed). Seeding happens on the first call of each run; apps that never
+// draw from it pay nothing.
+func (r *Rank) Rand() *rand.Rand {
+	if r.rnd == nil {
+		r.rnd = rand.New(&r.rngSrc)
+	}
+	if !r.rndLive {
+		r.rnd.Seed(r.rndSeed)
+		r.rndLive = true
+	}
+	return r.rnd
 }
 
 // ID returns the world rank of this process.
@@ -175,6 +243,10 @@ func (r *Rank) nextSeq(c Comm) int64 {
 
 // Send delivers a user point-to-point message to dst (rank within comm).
 func (r *Rank) Send(comm Comm, dst, tag int, data []byte) {
+	if r.replayActive() {
+		r.replaySend()
+		return
+	}
 	args := r.beginP2P(P2PSend, P2PArgs{Peer: dst, Tag: tag, Data: data, Comm: comm})
 	if args.Tag < 0 || args.Tag >= maxUserTag {
 		abortf(r.id, "MPI_Send", ErrTag, "tag %d outside [0,%d)", args.Tag, maxUserTag)
@@ -196,6 +268,9 @@ func (r *Rank) SendFloat64s(comm Comm, dst, tag int, vals []float64) {
 // Recv blocks until a user message from src with the given tag arrives.
 // src may be AnySource and tag may be AnyTag.
 func (r *Rank) Recv(comm Comm, src, tag int) []byte {
+	if r.replayActive() {
+		return r.replayRecv()
+	}
 	args := r.beginP2P(P2PRecv, P2PArgs{Peer: src, Tag: tag, Comm: comm})
 	if args.Tag != AnyTag && (args.Tag < 0 || args.Tag >= maxUserTag) {
 		abortf(r.id, "MPI_Recv", ErrTag, "tag %d outside [0,%d)", args.Tag, maxUserTag)
@@ -204,19 +279,51 @@ func (r *Rank) Recv(comm Comm, src, tag int) []byte {
 	if args.Peer != AnySource && (args.Peer < 0 || args.Peer >= len(ci.members)) {
 		abortf(r.id, "MPI_Recv", ErrRank, "source %d outside communicator of size %d", args.Peer, len(ci.members))
 	}
+	if r.world.rec != nil && (args.Peer == AnySource || args.Tag == AnyTag) {
+		// A wildcard match depends on arrival interleaving, which the tape's
+		// per-rank cut cannot reconstruct; such apps use full replay.
+		r.world.rec.poison("wildcard receive (AnySource/AnyTag)")
+	}
 	var t int64 = int64(args.Tag)
 	if args.Tag == AnyTag {
 		t = anyTagSentinel
 	}
 	m := r.recvMatch(args.Comm, args.Peer, t)
+	if r.world.rec != nil {
+		r.world.rec.recordRecv(r.id, args.Comm, m.src, ci.members[m.src], m.tag, m.tracePos, m.data)
+	}
 	return m.data
 }
 
 // RecvFloat64s receives and unmarshals float64 values.
 func (r *Rank) RecvFloat64s(comm Comm, src, tag int) []float64 {
-	raw := r.Recv(comm, src, tag)
-	b := &Buffer{mem: raw}
-	return b.Float64s()
+	if r.replayActive() {
+		// The raw bytes never leave this frame, so the replay can decode
+		// straight off the immutable tape instead of paying replayRecv's
+		// private copy (the live path's copy is made at send time; see
+		// sendRaw).
+		ev := r.replay.replayNext(evRecv, "Recv")
+		return float64sFrom(r.replay.tape.span(ev.off, ev.n))
+	}
+	return float64sFrom(r.Recv(comm, src, tag))
+}
+
+// float64sFrom decodes a payload exactly as Buffer.Float64s does.
+func float64sFrom(raw []byte) []float64 {
+	out := make([]float64, len(raw)/8)
+	for i := range out {
+		out[i] = loadFloat64(raw[i*8:])
+	}
+	return out
+}
+
+// int64sFrom decodes a payload exactly as Buffer.Int64s does.
+func int64sFrom(raw []byte) []int64 {
+	out := make([]int64, len(raw)/8)
+	for i := range out {
+		out[i] = loadInt64(raw[i*8:])
+	}
+	return out
 }
 
 // Sendrecv performs the combined exchange of MPI_Sendrecv: data goes to
@@ -263,15 +370,23 @@ func (r *Rank) sendRaw(ci *commInfo, comm Comm, dst int, tag int64, data []byte)
 	}
 	copy(cp, data)
 	me := ci.rankOf[r.id]
-	msg := message{comm: comm, src: me, tag: tag, data: cp, pooled: pooled}
+	tracePos := int32(-1)
+	if w.rec != nil && tag >= 0 && tag < maxUserTag {
+		tracePos = w.rec.recordSend(r.id, comm, dst, tag)
+	}
+	msg := message{comm: comm, src: me, tag: tag, data: cp, pooled: pooled, tracePos: tracePos}
 	target := w.ranks[wdst]
 	select {
 	case target.inbox <- msg:
+		w.delivered.Add(1)
 		w.progress.Add(1)
 		return
 	default:
 	}
+	r.blockPeer.Store(int32(wdst))
+	r.blockKind.Store(blockSend)
 	w.blocked.Add(1)
+	w.notifyQuiesce()
 	for {
 		var ep chan struct{}
 		if w.faulty {
@@ -281,6 +396,7 @@ func (r *Rank) sendRaw(ci *commInfo, comm Comm, dst int, tag int64, data []byte)
 			ep = *w.epoch.Load()
 			if w.dead[wdst].Load() {
 				w.blocked.Add(-1)
+				r.blockKind.Store(blockNone)
 				msg.recycle()
 				return
 			}
@@ -288,12 +404,15 @@ func (r *Rank) sendRaw(ci *commInfo, comm Comm, dst int, tag int64, data []byte)
 		select {
 		case target.inbox <- msg:
 			w.blocked.Add(-1)
+			r.blockKind.Store(blockNone)
+			w.delivered.Add(1)
 			w.progress.Add(1)
 			return
 		case <-ep:
 			// Membership changed; re-check whether dst is still alive.
 		case <-w.done:
 			w.blocked.Add(-1)
+			r.blockKind.Store(blockNone)
 			panic(Killed{Reason: w.killWhy.Load().(string)})
 		}
 	}
@@ -321,20 +440,25 @@ func (r *Rank) recvMatch(comm Comm, src int, tag int64) message {
 			return m
 		}
 	}
+	r.blockKind.Store(blockRecv)
 	for {
 		r.world.blocked.Add(1)
+		r.world.notifyQuiesce()
 		select {
 		case m := <-r.inbox:
 			r.world.blocked.Add(-1)
+			r.world.absorbed.Add(1)
 			// Draining the inbox is progress even when the message does not
 			// match: it frees sender inbox capacity.
 			r.world.progress.Add(1)
 			if match(m) {
+				r.blockKind.Store(blockNone)
 				return m
 			}
 			r.pending = append(r.pending, m)
 		case <-r.world.done:
 			r.world.blocked.Add(-1)
+			r.blockKind.Store(blockNone)
 			panic(Killed{Reason: r.world.killWhy.Load().(string)})
 		}
 	}

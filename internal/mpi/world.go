@@ -3,6 +3,7 @@ package mpi
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +55,15 @@ type RunOptions struct {
 	// the surviving ranks see them dead from the first instruction
 	// (AliveAtStart is false). Out-of-range entries are ignored.
 	CrashedRanks []int
+	// Record captures the run's communication as a Trace (see trace.go)
+	// returned in RunResult.Trace, from which injection-prefix Forks are
+	// built. Meaningful only on golden (fault-free, reliable-network) runs:
+	// a run with a Network or CrashedRanks yields an unforkable trace.
+	Record bool
+	// Fork, when non-nil, serves each rank's pre-injection communication
+	// prefix from a recorded golden trace instead of executing it (see
+	// fork.go). Mutually exclusive with Record.
+	Fork *Fork
 }
 
 // RankResult reports how one rank finished.
@@ -70,6 +80,7 @@ type RunResult struct {
 	TimedOut  bool // the wall-clock timeout cancelled the run
 	Cancelled bool // RunOptions.Context was done before completion
 	Elapsed   time.Duration
+	Trace     *Trace // recorded communication, when RunOptions.Record was set
 }
 
 // FirstError returns the highest-priority error across ranks, or nil. The
@@ -124,6 +135,9 @@ type World struct {
 
 	commMu sync.Mutex // guards comms growth (Comm split/dup)
 
+	// rec, when non-nil, records the run's communication (see trace.go).
+	rec *traceRecorder
+
 	done     chan struct{} // closed to cancel the run
 	doneOnce sync.Once
 	killWhy  atomic.Value // string
@@ -133,6 +147,21 @@ type World struct {
 	finished atomic.Int64 // ranks that returned
 	progress atomic.Int64 // bumped on every successful message match
 	failed   atomic.Int64 // ranks that ended in a panic or error
+
+	// Message conservation counters for the exact-quiescence proof:
+	// delivered counts messages enqueued into an inbox (sender side),
+	// absorbed counts messages taken out (receiver side). A receiver that
+	// has pulled a message but not yet advanced its own state is invisible
+	// to park-site inspection — conservation (delivered - absorbed ==
+	// messages still queued) is what rules that window out.
+	delivered atomic.Int64
+	absorbed  atomic.Int64
+
+	// quiesce wakes the supervisor when a park or exit completes the
+	// fin+blk == size sum, so starved runs are reaped at event latency
+	// instead of on the next poll tick. Buffered; notifications are
+	// best-effort hints verified by exactNow.
+	quiesce chan struct{}
 
 	// Network fault domain (nil/false on the default reliable network, so
 	// the no-fault hot path pays a single branch in sendRaw).
@@ -243,12 +272,22 @@ func Run(opts RunOptions, fn func(r *Rank) error) RunResult {
 		size:    n,
 		hook:    opts.Hook,
 		done:    make(chan struct{}),
+		quiesce: make(chan struct{}, 1),
 		pooling: pooling,
 	}
 	w.comms = []*commInfo{shell.world0}
 	w.ranks = shell.ranks
 	for i, rk := range w.ranks {
 		rk.bind(w, rankSeed(opts.Seed, i), budget)
+	}
+	if opts.Record {
+		w.rec = newTraceRecorder(n)
+		if opts.Network != nil || len(opts.CrashedRanks) > 0 {
+			w.rec.poison("recording run had an active network fault domain")
+		}
+	}
+	if opts.Fork != nil {
+		w.bindFork(opts.Fork)
 	}
 
 	if opts.Network != nil || len(opts.CrashedRanks) > 0 {
@@ -282,7 +321,10 @@ func Run(opts RunOptions, fn func(r *Rank) error) RunResult {
 		wg.Add(1)
 		go func(rk *Rank) {
 			defer wg.Done()
-			defer w.finished.Add(1)
+			defer func() {
+				w.finished.Add(1)
+				w.notifyQuiesce() // this exit may leave only parked ranks
+			}()
 			defer func() {
 				if p := recover(); p != nil {
 					err := panicToError(rk.id, p)
@@ -343,13 +385,20 @@ func Run(opts RunOptions, fn func(r *Rank) error) RunResult {
 		putShell(shell)
 	}
 
-	return RunResult{
+	res := RunResult{
 		Ranks:     results,
 		Deadlock:  deadlock,
 		TimedOut:  timedOut,
 		Cancelled: cancelled,
 		Elapsed:   time.Since(start),
 	}
+	if w.rec != nil {
+		if deadlock || timedOut || cancelled {
+			w.rec.poison("recording run did not complete cleanly")
+		}
+		res.Trace = w.rec.finish()
+	}
+	return res
 }
 
 // supervise watches for completion, deadlock, timeout or external
@@ -359,13 +408,33 @@ func Run(opts RunOptions, fn func(r *Rank) error) RunResult {
 func (w *World) supervise(allDone chan struct{}, ctxDone <-chan struct{}, timeout time.Duration) (deadlock, timedOut, cancelled bool) {
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
-	tick := time.NewTicker(time.Millisecond)
+	const tickPeriod = 250 * time.Microsecond
+	tick := time.NewTicker(tickPeriod)
 	defer tick.Stop()
 
-	// The stuck window must comfortably exceed scheduler jitter: a loaded
-	// machine can leave runnable goroutines unscheduled for a few
-	// milliseconds, which must not be mistaken for quiescence.
-	const stuckWindow = 12
+	// The wall-clock stuck window must comfortably exceed scheduler jitter:
+	// a loaded machine can leave runnable goroutines unscheduled for a few
+	// milliseconds, which must not be mistaken for quiescence. It is the
+	// fallback for runs whose parked ranks are not all annotated, and is
+	// expressed in ticks so its ~12 ms width survives tick-period changes.
+	const stuckWindow = int(12 * time.Millisecond / tickPeriod)
+
+	// reap tears the frozen run down. Campaigns spend a large share of
+	// their wall clock on faulty runs whose survivors starve; this is the
+	// moment that cost is paid, so both the exact path and the fallback
+	// funnel through here.
+	reap := func() bool {
+		if w.failed.Load() > 0 {
+			// Not a deadlock of the application's own making: the surviving
+			// ranks are starved by a failed peer. Reap them like mpirun
+			// tearing down a job whose rank died — the failure itself is
+			// already in the results and dominates classification.
+			w.kill("job abort: peers starved by a failed rank")
+			return false
+		}
+		w.kill("deadlock: all surviving ranks blocked with no progress")
+		return true
+	}
 
 	lastProgress := int64(-1)
 	stuckSamples := 0
@@ -381,31 +450,106 @@ func (w *World) supervise(allDone chan struct{}, ctxDone <-chan struct{}, timeou
 			w.kill("run cancelled")
 			<-allDone
 			return false, false, true
+		case <-w.quiesce:
+			// A park or exit completed the fin+blk == size sum. Verify the
+			// frozen state exactly; a rejected hint costs one scan and the
+			// poll tick below remains as the safety net.
+			if w.exactNow() {
+				deadlock = reap()
+				<-allDone
+				return deadlock, false, false
+			}
 		case <-tick.C:
 			fin := w.finished.Load()
 			blk := w.blocked.Load()
 			prog := w.progress.Load()
 			if fin < int64(w.size) && fin+blk == int64(w.size) && prog == lastProgress {
 				stuckSamples++
-				if stuckSamples >= stuckWindow {
-					if w.failed.Load() > 0 {
-						// Not a deadlock of the application's own making:
-						// the surviving ranks are starved by a failed peer.
-						// Reap them like mpirun tearing down a job whose
-						// rank died — the failure itself is already in the
-						// results and dominates classification.
-						w.kill("job abort: peers starved by a failed rank")
-						<-allDone
-						return false, false, false
-					}
-					w.kill("deadlock: all surviving ranks blocked with no progress")
+				if stuckSamples >= stuckWindow || w.exactNow() {
+					deadlock = reap()
 					<-allDone
-					return true, false, false
+					return deadlock, false, false
 				}
 			} else {
 				stuckSamples = 0
 			}
 			lastProgress = prog
+		}
+	}
+}
+
+// exactNow proves the run is frozen, at this instant, from published park
+// sites and message conservation. It samples every quiescence counter, scans
+// the rank states, then re-checks that no counter moved and scans again: any
+// event that could wake a parked rank bumps a counter — a delivery moves
+// delivered, a drain moves absorbed, a park exit moves blocked, a rank death
+// passes through a neither-blocked-nor-finished unwind that breaks the
+// fin+blk == size sum and then moves finished — so two positive scans
+// bracketed by identical counters cannot straddle a wake in flight.
+func (w *World) exactNow() bool {
+	fin := w.finished.Load()
+	blk := w.blocked.Load()
+	prog := w.progress.Load()
+	del := w.delivered.Load()
+	abs := w.absorbed.Load()
+	if fin >= int64(w.size) || fin+blk != int64(w.size) || !w.exactQuiesced(fin) {
+		return false
+	}
+	runtime.Gosched()
+	return w.finished.Load() == fin && w.blocked.Load() == blk &&
+		w.progress.Load() == prog && w.delivered.Load() == del &&
+		w.absorbed.Load() == abs && w.exactQuiesced(fin)
+}
+
+// exactQuiesced is one scan of exactNow's frozen-state predicate: every
+// unfinished rank is parked in a communication select that provably cannot
+// fire — a receiver whose inbox is empty, or a sender whose target inbox is
+// full — and message conservation holds: everything delivered was either
+// absorbed by a receiver or still sits in an inbox. The conservation term
+// closes the one window park-site inspection cannot see: a receiver that
+// has pulled its message off the channel but not yet advanced its own
+// counters looks parked with an empty inbox, yet the pulled message is
+// missing from every queue. Ranks parked at sites that do not publish a
+// blockKind (none today; the check is written defensively) make the count
+// come up short, falling back to the wall-clock window.
+func (w *World) exactQuiesced(fin int64) bool {
+	parked, queued := int64(0), int64(0)
+	for _, rk := range w.ranks {
+		queued += int64(len(rk.inbox))
+		switch rk.blockKind.Load() {
+		case blockRecv:
+			if len(rk.inbox) != 0 {
+				return false
+			}
+			parked++
+		case blockSend:
+			p := int(rk.blockPeer.Load())
+			if p < 0 || p >= w.size {
+				return false
+			}
+			t := w.ranks[p]
+			if len(t.inbox) != cap(t.inbox) {
+				return false
+			}
+			parked++
+		}
+	}
+	if w.delivered.Load()-w.absorbed.Load() != queued {
+		return false
+	}
+	return parked > 0 && parked == int64(w.size)-fin
+}
+
+// notifyQuiesce pokes the supervisor when the caller's park or exit may
+// have been the last: with every rank now blocked or finished, the run is
+// frozen unless messages are still in flight, which exactNow rules on. The
+// send is a lossy hint — the buffered channel coalesces bursts, and any
+// hint racing a counter move is simply rejected by the verification.
+func (w *World) notifyQuiesce() {
+	if w.finished.Load()+w.blocked.Load() == int64(w.size) {
+		select {
+		case w.quiesce <- struct{}{}:
+		default:
 		}
 	}
 }
