@@ -41,6 +41,7 @@ import (
 
 	"github.com/fastfit/fastfit"
 	"github.com/fastfit/fastfit/internal/classify"
+	"github.com/fastfit/fastfit/internal/cliconf"
 	"github.com/fastfit/fastfit/internal/core"
 	"github.com/fastfit/fastfit/internal/fault"
 	"github.com/fastfit/fastfit/internal/ml"
@@ -63,24 +64,8 @@ func main() {
 }
 
 func run() error {
+	camp := cliconf.Register(flag.CommandLine)
 	var (
-		appName    = flag.String("app", "minimd", "workload to study (is, ft, mg, lu, minimd, shoot)")
-		ranks      = flag.Int("ranks", 0, "number of MPI ranks (0 = app default)")
-		scale      = flag.Int("scale", 0, "problem-size knob (0 = app default)")
-		iters      = flag.Int("iters", 0, "outer iterations (0 = app default)")
-		trials     = flag.Int("trials", 100, "fault-injection tests per point")
-		seed       = flag.Int64("seed", 1, "campaign seed")
-		adaptive   = flag.Bool("adaptive", false, "adaptive trial budgets: stop a point early once its outcome settles, respend savings on uncertain points")
-		confidence = flag.Float64("confidence", 0.95, "settling-rule confidence for -adaptive (in (0,1))")
-		threshold  = flag.Float64("threshold", 0.65, "ML prediction-accuracy threshold")
-		levels     = flag.Int("levels", 4, "error-rate levels for the ML label")
-		policy     = flag.String("policy", "databuffer", "injection policy: databuffer, allparams or network")
-		topology   = flag.String("topology", "", "interconnect topology: flat, ring, torus or torus:XxY (empty = paper's reliable flat fabric)")
-		netPlan    = flag.String("netplan", "", "structured network fault plan applied to every injected run, e.g. \"link:1-2,drop:0-3:2,crash:5\"")
-		algorithm  = flag.String("algorithm", "", "resilient collective variant for registry-aware workloads (empty = baseline; see -app shoot)")
-		noSem      = flag.Bool("no-semantic", false, "disable semantic-driven pruning")
-		noCtx      = flag.Bool("no-context", false, "disable context-driven pruning")
-		noML       = flag.Bool("no-ml", false, "disable ML-driven pruning")
 		corr       = flag.Bool("correlations", false, "print the Table IV feature correlations")
 		advise     = flag.Bool("advise", false, "print per-site protection advice (paper §III-C criterion)")
 		saveJSON   = flag.String("save", "", "write the campaign result to a JSON file")
@@ -99,31 +84,14 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *appName == "all" {
-		return runAllApps(ctx, *ranks, *trials, *seed, *policy)
+	if camp.App == "all" {
+		return runAllApps(ctx, camp.Ranks, camp.Trials, camp.Seed, camp.Policy)
 	}
 
-	app, err := fastfit.LookupApp(*appName)
+	app, cfg, opts, err := camp.Build()
 	if err != nil {
 		return err
 	}
-	cfg := app.DefaultConfig()
-	if *ranks > 0 {
-		cfg.Ranks = *ranks
-	}
-	if *scale > 0 {
-		cfg.Scale = *scale
-	}
-	if *iters > 0 {
-		cfg.Iters = *iters
-	}
-	cfg.Algorithm = *algorithm
-
-	opts := fastfit.DefaultOptions()
-	opts.TrialsPerPoint = *trials
-	opts.Seed = *seed
-	opts.Adaptive.Enabled = *adaptive
-	opts.Confidence = *confidence
 	var observers []fastfit.Observer
 	if *verbose {
 		observers = append(observers, fastfit.LogfObserver(func(format string, args ...any) {
@@ -148,29 +116,6 @@ func run() error {
 	if len(observers) > 0 {
 		opts.Observer = fastfit.MultiObserver(observers...)
 	}
-	opts.AccuracyThreshold = *threshold
-	opts.Levels = *levels
-	opts.Pruning.Semantic = !*noSem
-	opts.Pruning.Context = !*noCtx
-	opts.ML.Pruning = !*noML
-	switch *policy {
-	case "databuffer":
-		opts.Policy = fastfit.PolicyDataBuffer
-	case "allparams":
-		opts.Policy = fastfit.PolicyAllParams
-	case "network":
-		opts.Policy = fastfit.PolicyNetwork
-	default:
-		return fmt.Errorf("unknown policy %q", *policy)
-	}
-	opts.Topology = *topology
-	if *netPlan != "" {
-		plan, err := fastfit.ParseNetPlan(*netPlan)
-		if err != nil {
-			return err
-		}
-		opts.Network.Plan = plan
-	}
 
 	engine := fastfit.New(app, cfg, opts)
 
@@ -187,7 +132,7 @@ func run() error {
 
 	start := time.Now()
 	if *verbose {
-		fmt.Printf("profiling %s (%d ranks, scale %d, %d iters)...\n", *appName, cfg.Ranks, cfg.Scale, cfg.Iters)
+		fmt.Printf("profiling %s (%d ranks, scale %d, %d iters)...\n", camp.App, cfg.Ranks, cfg.Scale, cfg.Iters)
 	}
 	var sup *fastfit.SupervisedResult
 	if *resume {
@@ -201,7 +146,7 @@ func run() error {
 	if sup.Cancelled {
 		fmt.Fprintf(os.Stderr, "\ncampaign interrupted: %d/%d points done\n", len(sup.Measured), sup.AfterContext)
 		if *checkpoint != "" {
-			fmt.Fprintf(os.Stderr, "resume with: fastfit -app %s [same flags] -checkpoint %s -resume\n", *appName, *checkpoint)
+			fmt.Fprintf(os.Stderr, "resume with: fastfit -app %s [same flags] -checkpoint %s -resume\n", camp.App, *checkpoint)
 		} else {
 			fmt.Fprintln(os.Stderr, "partial results discarded; rerun with -checkpoint to make campaigns resumable")
 		}

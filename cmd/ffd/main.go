@@ -1,0 +1,309 @@
+// Command ffd runs the distributed FastFIT campaign service: a coordinator
+// that leases checkpoint index ranges to worker shards over HTTP and merges
+// their journals into a campaign result byte-identical to a single-process
+// run (see internal/dist).
+//
+// Usage:
+//
+//	ffd serve -app lu -trials 40 -listen :7411 -save lu.json
+//	ffd work -connect http://coordinator:7411            # on each shard host
+//	ffd status -connect http://coordinator:7411          # control-plane state
+//
+// `serve` plans the campaign described by the shared fastfit campaign flags
+// and serves it until every index range has been measured and merged; it
+// prints the same summary `fastfit` would for the identical flags. `work`
+// attaches a shard: it rebuilds the engine from the served spec,
+// cross-checks the campaign fingerprint, and loops lease → inject → stream
+// until the campaign finishes. `status` prints the coordinator's lease and
+// subscriber accounting. The live event feed is served as SSE on
+// /v1/events.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/fastfit/fastfit/internal/apps/all"
+	"github.com/fastfit/fastfit/internal/cliconf"
+	"github.com/fastfit/fastfit/internal/core"
+	"github.com/fastfit/fastfit/internal/dist"
+)
+
+// errInterrupted marks a run stopped by SIGINT/SIGTERM; main exits with
+// the conventional 130 so scripts can distinguish interruption from
+// failure.
+var errInterrupted = errors.New("interrupted")
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, errInterrupted) {
+			fmt.Fprintln(os.Stderr, "ffd: interrupted")
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "ffd:", err)
+		os.Exit(1)
+	}
+}
+
+const usage = `ffd runs a distributed FastFIT campaign.
+
+  ffd serve  [campaign flags] [-listen addr] [-checkpoint path] [-save path]
+  ffd work   [-connect url] [-name shard] [-workers n]
+  ffd status [-connect url] [-json]
+
+Run 'ffd <subcommand> -h' for the full flag list.`
+
+func run(args []string) error {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, usage)
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "serve":
+		return runServe(args[1:])
+	case "work":
+		return runWork(args[1:])
+	case "status":
+		return runStatus(args[1:])
+	case "help", "-h", "-help", "--help":
+		fmt.Println(usage)
+		return nil
+	default:
+		fmt.Fprintln(os.Stderr, usage)
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func signalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// runServe hosts the coordinator: it plans the campaign the shared flags
+// describe, serves the lease/journal/event API, and blocks until the
+// record store is complete and merged (or the process is interrupted).
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("ffd serve", flag.ExitOnError)
+	camp := cliconf.Register(fs)
+	var (
+		listen     = fs.String("listen", "127.0.0.1:7411", "address to serve the coordinator API on")
+		leaseTTL   = fs.Duration("lease-ttl", 30*time.Second, "how long a shard may hold a lease without renewing")
+		leaseSize  = fs.Int("lease-size", 64, "maximum indexes per lease")
+		lookahead  = fs.Int("lookahead", 16, "speculative lease distance past the ML replay frontier")
+		checkpoint = fs.String("checkpoint", "", "write the merged campaign journal (JSONL) to this path")
+		saveJSON   = fs.String("save", "", "write the merged campaign result to a JSON file")
+		progress   = fs.Bool("progress", false, "print a live progress line (outcomes, shards, pts/s) to stderr")
+		eventsPath = fs.String("events", "", "append the coordinator's typed event stream as JSONL to this file")
+		verbose    = fs.Bool("v", false, "verbose progress")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	app, cfg, opts, err := camp.Build()
+	if err != nil {
+		return err
+	}
+
+	var observers []core.Observer
+	if *verbose {
+		observers = append(observers, core.LogfObserver(func(format string, args ...any) {
+			fmt.Printf("[ffd] "+format+"\n", args...)
+		}))
+	}
+	if *progress {
+		observers = append(observers, progressObserver(os.Stderr))
+	}
+	if *eventsPath != "" {
+		jo, err := core.CreateJSONLObserver(*eventsPath)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := jo.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "ffd: event stream %s: %v\n", *eventsPath, err)
+			}
+		}()
+		observers = append(observers, jo)
+	}
+	var feed core.Observer
+	if len(observers) > 0 {
+		feed = core.MultiObserver(observers...)
+	}
+
+	// The engine carries no observer: the coordinator authors the live feed
+	// itself (arrival-order point events, lease events, the merged finish).
+	coord, err := dist.NewCoordinator(core.New(app, cfg, opts), dist.CoordinatorOptions{
+		LeaseTTL:  *leaseTTL,
+		LeaseSize: *leaseSize,
+		Lookahead: *lookahead,
+		Supervisor: core.SupervisorOptions{
+			Workers:    1,
+			Checkpoint: *checkpoint,
+		},
+		Observer: feed,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	spec := coord.Spec()
+	fmt.Printf("ffd: serving %s campaign %s (%d points) on http://%s\n",
+		spec.App, spec.Fingerprint, spec.Points, ln.Addr())
+	fmt.Printf("ffd: attach shards with: ffd work -connect http://%s\n", ln.Addr())
+
+	ctx, stop := signalContext()
+	defer stop()
+	start := time.Now()
+	res, err := coord.Result(ctx)
+	if err != nil {
+		if ctx.Err() != nil {
+			st := coord.Status()
+			fmt.Fprintf(os.Stderr, "\ncampaign interrupted: %d/%d points collected\n",
+				st.Recorded+st.Quarantined, st.Points)
+			return errInterrupted
+		}
+		return err
+	}
+
+	fmt.Println(res.Summary())
+	fmt.Printf("campaign wall-clock: %v\n", time.Since(start).Round(time.Millisecond))
+	st := coord.Status()
+	fmt.Printf("leases granted: %d (%d expired and re-leased)\n", st.LeasesGranted, st.LeasesExpired)
+	if len(res.Quarantined) > 0 {
+		fmt.Printf("quarantined %d poison point(s):\n", len(res.Quarantined))
+		for _, q := range res.Quarantined {
+			fmt.Printf("  point %d (%s): %s after %d attempts\n", q.Index, q.Point.String(), q.Err, q.Attempts)
+		}
+	}
+	if *checkpoint != "" {
+		fmt.Printf("merged campaign journal: %s\n", *checkpoint)
+	}
+	if *saveJSON != "" {
+		if err := res.SaveJSON(*saveJSON); err != nil {
+			return err
+		}
+		fmt.Printf("campaign result saved to %s\n", *saveJSON)
+	}
+	return nil
+}
+
+// runWork attaches one shard to a coordinator and runs until the campaign
+// completes.
+func runWork(args []string) error {
+	fs := flag.NewFlagSet("ffd work", flag.ExitOnError)
+	var (
+		connect = fs.String("connect", "http://127.0.0.1:7411", "coordinator base URL")
+		name    = fs.String("name", "", "shard name in lease accounting (default host-pid)")
+		workers = fs.Int("workers", 0, "concurrent injection points on this shard (0 = derive from GOMAXPROCS)")
+		batch   = fs.Int("batch", 8, "journal records per streamed batch")
+		poll    = fs.Duration("poll", 200*time.Millisecond, "poll interval while no work is leasable")
+		verbose = fs.Bool("v", false, "verbose progress")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "shard"
+		}
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	wopts := dist.WorkerOptions{
+		Name:         *name,
+		Lookup:       all.Lookup,
+		Workers:      *workers,
+		BatchSize:    *batch,
+		PollInterval: *poll,
+	}
+	if *verbose {
+		wopts.Observer = core.LogfObserver(func(format string, args ...any) {
+			fmt.Printf("[%s] "+format+"\n", append([]any{*name}, args...)...)
+		})
+	}
+	ctx, stop := signalContext()
+	defer stop()
+	fmt.Printf("ffd: shard %s working for %s\n", *name, *connect)
+	if err := dist.RunWorker(ctx, *connect, wopts); err != nil {
+		if ctx.Err() != nil {
+			return errInterrupted
+		}
+		return err
+	}
+	fmt.Println("ffd: campaign complete")
+	return nil
+}
+
+// runStatus prints the coordinator's control-plane state.
+func runStatus(args []string) error {
+	fs := flag.NewFlagSet("ffd status", flag.ExitOnError)
+	var (
+		connect = fs.String("connect", "http://127.0.0.1:7411", "coordinator base URL")
+		jsonOut = fs.Bool("json", false, "print the raw status reply as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, stop := signalContext()
+	defer stop()
+	st, err := dist.NewClient(*connect, nil).Status(ctx)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		return enc.Encode(st)
+	}
+	fmt.Printf("campaign:   %s (%s)\n", st.App, st.Fingerprint)
+	fmt.Printf("points:     %d total, %d wanted (frontier final: %t)\n", st.Points, st.Needed, st.FrontierDone)
+	fmt.Printf("collected:  %d recorded, %d quarantined (complete: %t, merged: %t)\n",
+		st.Recorded, st.Quarantined, st.Complete, st.Merged)
+	fmt.Printf("leases:     %d granted, %d expired\n", st.LeasesGranted, st.LeasesExpired)
+	for _, l := range st.Leases {
+		fmt.Printf("  %-10s %-16s [%d,%d) %d left, ttl %.0fs\n",
+			l.LeaseID, l.Worker, l.Lo, l.Hi, l.Remaining, l.TTLSeconds)
+	}
+	if len(st.Subscribers) > 0 {
+		fmt.Printf("subscribers:\n")
+		for _, s := range st.Subscribers {
+			fmt.Printf("  #%d sent %d, dropped %d\n", s.ID, s.Sent, s.Dropped)
+		}
+	}
+	if st.Progress != "" {
+		fmt.Printf("progress:   %s\n", st.Progress)
+	}
+	return nil
+}
+
+// progressObserver renders a self-overwriting live progress line from the
+// coordinator's event feed — the same line fastfit -progress prints, plus
+// the shard/lease segment StreamStats folds in from ShardLease events.
+func progressObserver(w io.Writer) core.Observer {
+	stats := core.NewStreamStats()
+	return core.MultiObserver(stats, core.ObserverFunc(func(ev core.Event) {
+		switch ev.(type) {
+		case core.PointCompleted, core.PointQuarantined, core.ShardLease, core.PhaseChanged:
+			fmt.Fprintf(w, "\r%-99s", stats.Snapshot().ProgressLine())
+		case core.CampaignFinished:
+			fmt.Fprintf(w, "\r%-99s\n", stats.Snapshot().ProgressLine())
+		}
+	}))
+}

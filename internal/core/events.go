@@ -23,7 +23,7 @@ import (
 // types below form a closed sum: CampaignStarted, FaultDomainEvent,
 // PhaseChanged, PointStarted, PointCompleted, PointSettled, PointRefined,
 // BatchVerified, PointRetried, PointQuarantined, CheckpointAppended,
-// SnapshotStats, CampaignFinished and Note.
+// SnapshotStats, ShardLease, CampaignFinished and Note.
 type Event interface{ event() }
 
 // Observer receives campaign events. Events are delivered serially (never
@@ -228,6 +228,19 @@ type SnapshotStats struct {
 	Replayed  int
 }
 
+// ShardLease reports a distributed lease transition on the coordinator's
+// event stream (internal/dist): Kind is "granted", "renewed", "completed"
+// or "expired", Lease the lease ID, Worker the shard that held it and
+// [Lo, Hi) the leased index range. Single-process campaigns never emit it,
+// so serial event streams are unchanged by the distributed service.
+type ShardLease struct {
+	Kind   string
+	Lease  string
+	Worker string
+	Lo     int
+	Hi     int
+}
+
 // CampaignFinished closes the stream of a campaign that ran to completion
 // or was cancelled (a campaign aborted by a hard error emits no finish
 // event — the error return is the signal). Counts is the outcome breakdown
@@ -260,6 +273,7 @@ func (PointRetried) event()       {}
 func (PointQuarantined) event()   {}
 func (CheckpointAppended) event() {}
 func (SnapshotStats) event()      {}
+func (ShardLease) event()         {}
 func (CampaignFinished) event()   {}
 func (Note) event()               {}
 

@@ -53,6 +53,9 @@ type StreamStats struct {
 	linksDown      int // standing permanent link failures (FaultDomainEvent)
 	dropBursts     int // standing transient drop bursts
 	nodesDown      int // standing at-start node crashes
+	shardWorkers   map[string]bool // shards ever granted a lease (ShardLease)
+	leasesActive   int             // leases granted and not yet completed/expired
+	leasesExpired  int             // leases reaped past their deadline (re-leased)
 	finished       bool
 	cancelled      bool
 }
@@ -79,6 +82,8 @@ func (s *StreamStats) OnEvent(ev Event) {
 		s.settled, s.trialsSaved, s.refined, s.trialsRefined = 0, 0, 0, 0
 		s.snapshots, s.forkedTrials, s.replayedTrials = 0, 0, 0
 		s.topology, s.linksDown, s.dropBursts, s.nodesDown = "", 0, 0, 0
+		s.shardWorkers = nil
+		s.leasesActive, s.leasesExpired = 0, 0
 		s.finished, s.cancelled = false, false
 	case FaultDomainEvent:
 		switch ev.Kind {
@@ -133,6 +138,20 @@ func (s *StreamStats) OnEvent(ev Event) {
 		s.snapshots = ev.Snapshots
 		s.forkedTrials = ev.Forked
 		s.replayedTrials = ev.Replayed
+	case ShardLease:
+		switch ev.Kind {
+		case "granted":
+			if s.shardWorkers == nil {
+				s.shardWorkers = map[string]bool{}
+			}
+			s.shardWorkers[ev.Worker] = true
+			s.leasesActive++
+		case "completed":
+			s.leasesActive--
+		case "expired":
+			s.leasesActive--
+			s.leasesExpired++
+		}
 	case CampaignFinished:
 		s.finished = true
 		s.cancelled = ev.Cancelled
@@ -180,6 +199,9 @@ type StreamSnapshot struct {
 	LinksDown      int // standing permanent link failures in the fault plan
 	DropBursts     int // standing transient drop bursts in the fault plan
 	NodesDown      int // standing at-start node crashes in the fault plan
+	ShardWorkers   int // distinct worker shards ever granted a lease
+	LeasesActive   int // leases granted and not yet completed or expired
+	LeasesExpired  int // leases reaped past their deadline and re-leased
 	Counts         classify.Counts
 	ErrorRate      float64
 	VerifyAccuracy float64
@@ -214,6 +236,9 @@ func (s *StreamStats) Snapshot() StreamSnapshot {
 		LinksDown:      s.linksDown,
 		DropBursts:     s.dropBursts,
 		NodesDown:      s.nodesDown,
+		ShardWorkers:   len(s.shardWorkers),
+		LeasesActive:   s.leasesActive,
+		LeasesExpired:  s.leasesExpired,
 		Counts:         s.counts,
 		ErrorRate:      s.counts.ErrorRate(),
 		VerifyAccuracy: s.verifyAccuracy,
@@ -253,6 +278,13 @@ func (sn StreamSnapshot) ProgressLine() string {
 		if sn.NodesDown > 0 {
 			fmt.Fprintf(&sb, ", nodes down: %d", sn.NodesDown)
 		}
+	}
+	if sn.ShardWorkers > 0 {
+		fmt.Fprintf(&sb, " | shards %d (%d leases", sn.ShardWorkers, sn.LeasesActive)
+		if sn.LeasesExpired > 0 {
+			fmt.Fprintf(&sb, ", %d re-leased", sn.LeasesExpired)
+		}
+		sb.WriteString(")")
 	}
 	if sn.PointsPerSec > 0 {
 		fmt.Fprintf(&sb, " | %.1f pts/s", sn.PointsPerSec)
@@ -344,12 +376,7 @@ func (o *JSONLObserver) OnEvent(ev Event) {
 		return
 	}
 	o.seq++
-	kind, data := eventJSON(ev)
-	line, err := json.Marshal(struct {
-		Seq   int    `json:"seq"`
-		Event string `json:"event"`
-		Data  any    `json:"data"`
-	}{o.seq, kind, data})
+	line, err := EventEnvelope(o.seq, ev)
 	if err != nil {
 		o.err = err
 		return
@@ -357,6 +384,20 @@ func (o *JSONLObserver) OnEvent(ev Event) {
 	if _, err := o.w.Write(append(line, '\n')); err != nil {
 		o.err = err
 	}
+}
+
+// EventEnvelope renders one event in the wire envelope
+// {"seq":N,"event":"PointCompleted","data":{...}} shared by JSONLObserver
+// lines and the distributed coordinator's SSE frames (no trailing
+// newline). seq is the consumer's gap-detection counter: it must increase
+// by exactly one per event on any single stream.
+func EventEnvelope(seq int, ev Event) ([]byte, error) {
+	kind, data := eventJSON(ev)
+	return json.Marshal(struct {
+		Seq   int    `json:"seq"`
+		Event string `json:"event"`
+		Data  any    `json:"data"`
+	}{seq, kind, data})
 }
 
 // Err returns the first write or encoding error, if any.
@@ -491,6 +532,14 @@ func eventJSON(ev Event) (string, any) {
 			Forked    int `json:"forked"`
 			Replayed  int `json:"replayed"`
 		}{ev.Snapshots, ev.Forked, ev.Replayed}
+	case ShardLease:
+		return "ShardLease", struct {
+			Kind   string `json:"kind"`
+			Lease  string `json:"lease"`
+			Worker string `json:"worker"`
+			Lo     int    `json:"lo"`
+			Hi     int    `json:"hi"`
+		}{ev.Kind, ev.Lease, ev.Worker, ev.Lo, ev.Hi}
 	case CampaignFinished:
 		return "CampaignFinished", struct {
 			App         string         `json:"app"`

@@ -129,22 +129,9 @@ func (s *Supervisor) Run(ctx context.Context) (*SupervisedResult, error) {
 	e := s.eng
 	e.emitCampaignStarted()
 
-	// Profiling is a harness action: retry a hung or failed profile run
-	// with backoff before giving up on the whole campaign.
-	var plan *campaignPlan
-	var err error
-	for attempt := 1; ; attempt++ {
-		plan, err = e.planCampaign()
-		if err == nil {
-			break
-		}
-		if attempt >= s.opts.MaxAttempts || ctx.Err() != nil {
-			return nil, fmt.Errorf("campaign profiling failed after %d attempts: %w", attempt, err)
-		}
-		e.logf("profiling attempt %d failed (%v); retrying", attempt, err)
-		if !sleepCtx(ctx, s.backoff(attempt)) {
-			return nil, ctx.Err()
-		}
+	plan, err := s.planWithRetry(ctx)
+	if err != nil {
+		return nil, err
 	}
 
 	sup := &SupervisedResult{CampaignResult: plan.res, Checkpoint: s.opts.Checkpoint}
@@ -246,10 +233,34 @@ func (s *Supervisor) Run(ctx context.Context) (*SupervisedResult, error) {
 	return sup, nil
 }
 
+// planWithRetry profiles and prunes the campaign, treating a hung or
+// failed profile run as a harness action: retried with backoff before
+// giving up on the whole campaign.
+func (s *Supervisor) planWithRetry(ctx context.Context) (*campaignPlan, error) {
+	e := s.eng
+	for attempt := 1; ; attempt++ {
+		plan, err := e.planCampaign()
+		if err == nil {
+			return plan, nil
+		}
+		if attempt >= s.opts.MaxAttempts || ctx.Err() != nil {
+			return nil, fmt.Errorf("campaign profiling failed after %d attempts: %w", attempt, err)
+		}
+		e.logf("profiling attempt %d failed (%v); retrying", attempt, err)
+		if !sleepCtx(ctx, s.backoff(attempt)) {
+			return nil, ctx.Err()
+		}
+	}
+}
+
 // supervisedRun is the mutable shared state of one Run call.
 type supervisedRun struct {
 	sup  *Supervisor
 	ckpt *Checkpoint
+	// sink, when non-nil, receives each completed point as a journal record
+	// in completion order — the worker shard's streaming hook (RunRange). A
+	// sink error aborts the run just like a checkpoint I/O failure.
+	sink func(PointRecord) error
 
 	mu        sync.Mutex
 	results   map[int]PointResult
@@ -295,6 +306,11 @@ func (r *supervisedRun) record(idx int, pr PointResult) {
 		} else if err == nil {
 			r.appends++
 			e.emit(CheckpointAppended{Path: r.ckpt.Path(), Index: idx, Records: r.appends})
+		}
+	}
+	if r.sink != nil {
+		if err := r.sink(PointRecord{Index: idx, Result: pr, Base: len(pr.Trials)}); err != nil && r.firstErr == nil {
+			r.firstErr = fmt.Errorf("journal sink: point %d: %w", idx, err)
 		}
 	}
 }

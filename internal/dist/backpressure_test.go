@@ -1,0 +1,171 @@
+package dist_test
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/fastfit/fastfit/internal/apps/all"
+	"github.com/fastfit/fastfit/internal/core"
+	"github.com/fastfit/fastfit/internal/dist"
+)
+
+// TestBackpressureStalledSubscriber attaches a subscriber that never reads
+// a frame and runs a full sharded campaign under it. The data plane must
+// not care: the campaign completes, the merged output stays byte-identical
+// to the serial run, and every frame the stalled subscriber missed is
+// accounted as a drop — the published stream equals sent+dropped exactly.
+func TestBackpressureStalledSubscriber(t *testing.T) {
+	opts := testOptions(9)
+	serial := runSerial(t, opts)
+
+	ckpt := filepath.Join(t.TempDir(), "merged.ckpt")
+	coord, err := dist.NewCoordinator(testEngine(t, opts), dist.CoordinatorOptions{
+		LeaseSize:  3,
+		Supervisor: core.SupervisorOptions{Workers: 1, Checkpoint: ckpt},
+	})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	// Attached at the same instant, so both see the same published stream:
+	// one with a single-frame buffer and no reader, one amply buffered.
+	stalled := coord.Hub().Subscribe(1)
+	defer coord.Hub().Unsubscribe(stalled)
+	live := coord.Hub().Subscribe(8192)
+	defer coord.Hub().Unsubscribe(live)
+
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	if err := dist.RunWorker(ctx, srv.URL, dist.WorkerOptions{
+		Name:         "shard-0",
+		Lookup:       all.Lookup,
+		Workers:      2,
+		BatchSize:    2,
+		PollInterval: 5 * time.Millisecond,
+	}); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	res, err := coord.Result(ctx)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+
+	sSent, sDropped := stalled.Stats()
+	lSent, lDropped := live.Stats()
+	if lDropped != 0 {
+		t.Fatalf("amply-buffered subscriber dropped %d frames", lDropped)
+	}
+	if sDropped == 0 {
+		t.Error("stalled subscriber dropped nothing — the campaign was too quiet to test backpressure")
+	}
+	if sSent != 1 {
+		t.Errorf("stalled subscriber with capacity 1 was sent %d frames, want 1", sSent)
+	}
+	if sSent+sDropped != lSent {
+		t.Errorf("drop accounting: stalled sent %d + dropped %d != %d frames published",
+			sSent, sDropped, lSent)
+	}
+	found := false
+	for _, sub := range coord.Status().Subscribers {
+		if sub.Sent == sSent && sub.Dropped == sDropped {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stalled subscriber's accounting missing from status: %+v", coord.Status().Subscribers)
+	}
+	// A stalled dashboard must not perturb the result either.
+	compareLegs(t, "stalled-subscriber", serial, campaignLeg{
+		json:    jsonBytes(t, res.CampaignResult),
+		journal: readFile(t, ckpt),
+	})
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestSSESubscriberLifecycle connects real SSE clients, reads a frame from
+// each, disconnects mid-stream, and verifies the coordinator detaches the
+// subscriber and leaks no goroutines — the serveEvents handler owns none,
+// so a disconnect must return it to the pool.
+func TestSSESubscriberLifecycle(t *testing.T) {
+	opts := testOptions(5)
+	coord, err := dist.NewCoordinator(testEngine(t, opts), dist.CoordinatorOptions{})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	ctx := context.Background()
+	cl := dist.NewClient(srv.URL, nil)
+
+	// Hold one lease; renewing it emits exactly one event per probe below.
+	grant, err := cl.Lease(ctx, dist.LeaseRequest{Worker: "probe"})
+	if err != nil {
+		t.Fatalf("lease: %v", err)
+	}
+	if grant.NoWork || grant.Finished {
+		t.Fatalf("no lease to renew: %+v", grant)
+	}
+
+	hc := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	base := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		sctx, cancel := context.WithCancel(ctx)
+		req, err := http.NewRequestWithContext(sctx, http.MethodGet, srv.URL+"/v1/events", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			t.Fatalf("sse connect %d: %v", i, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sse connect %d: %s", i, resp.Status)
+		}
+		waitFor(t, "subscriber to attach", func() bool {
+			return len(coord.Status().Subscribers) == 1
+		})
+		if _, err := cl.Renew(ctx, dist.RenewRequest{LeaseID: grant.LeaseID, Worker: "probe"}); err != nil {
+			t.Fatalf("renew %d: %v", i, err)
+		}
+		line, err := bufio.NewReader(resp.Body).ReadString('\n')
+		if err != nil {
+			t.Fatalf("sse read %d: %v", i, err)
+		}
+		payload := strings.TrimPrefix(strings.TrimSpace(line), "data: ")
+		if _, err := dist.DecodeEventFrame([]byte(payload)); err != nil {
+			t.Fatalf("sse frame %d: %v (line %q)", i, err, line)
+		}
+		cancel()
+		resp.Body.Close()
+		waitFor(t, "subscriber to detach", func() bool {
+			return len(coord.Status().Subscribers) == 0
+		})
+	}
+	hc.CloseIdleConnections()
+	time.Sleep(200 * time.Millisecond)
+	runtime.GC()
+	after := runtime.NumGoroutine()
+	t.Logf("goroutines: base=%d after=%d", base, after)
+	if after > base+20 {
+		t.Fatalf("goroutine leak across SSE connects: %d -> %d", base, after)
+	}
+}

@@ -1,0 +1,158 @@
+package dist_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/fastfit/fastfit/internal/apps/all"
+	"github.com/fastfit/fastfit/internal/core"
+	"github.com/fastfit/fastfit/internal/dist"
+)
+
+// fakeClock is the injected lease clock: expiry is reaped lazily on API
+// calls, so advancing it past the TTL is the whole failure injection.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// TestChaosReLeaseIdentity kills a worker mid-lease, advances the injected
+// clock past the lease deadline, and lets a second worker pick up the
+// reclaimed range. The re-leased range resumes after the dead shard's
+// acked records (Skip), the lost unflushed tail is re-measured, and the
+// merged campaign must still be byte-identical to the serial run — no
+// duplicated and no lost indexes.
+//
+// Two death sites: between journal batches (all accepted records were
+// flushed) and mid-batch (an accepted record dies unflushed in the
+// worker's pending buffer — the lossiest possible crash).
+func TestChaosReLeaseIdentity(t *testing.T) {
+	const ttl = 30 * time.Second
+	cases := []struct {
+		name string
+		// maxRecords is the chaos hook: with BatchSize 2, dying after 2
+		// records is a batch boundary; after 3 leaves one record unflushed.
+		maxRecords int
+	}{
+		{"between-batches", 2},
+		{"mid-batch", 3},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			opts := testOptions(7)
+			serial := runSerial(t, opts)
+
+			clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+			ckpt := filepath.Join(t.TempDir(), "merged.ckpt")
+			coord, err := dist.NewCoordinator(testEngine(t, opts), dist.CoordinatorOptions{
+				LeaseTTL:  ttl,
+				LeaseSize: 1 << 20, // one lease spans the whole campaign
+				Now:       clk.Now,
+				Supervisor: core.SupervisorOptions{
+					Workers:    1,
+					Checkpoint: ckpt,
+				},
+			})
+			if err != nil {
+				t.Fatalf("coordinator: %v", err)
+			}
+			if pts := coord.Spec().Points; pts <= tc.maxRecords+1 {
+				t.Fatalf("campaign has only %d points; the kill at %d records needs more", pts, tc.maxRecords)
+			}
+			srv := httptest.NewServer(coord.Handler())
+			defer srv.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+			defer cancel()
+
+			// The doomed shard: Workers 1 keeps its completion order (and
+			// therefore which indexes got acked before death) deterministic.
+			err = dist.RunWorker(ctx, srv.URL, dist.WorkerOptions{
+				Name:         "doomed",
+				Lookup:       all.Lookup,
+				Workers:      1,
+				BatchSize:    2,
+				PollInterval: 5 * time.Millisecond,
+				MaxRecords:   tc.maxRecords,
+			})
+			if !errors.Is(err, dist.ErrWorkerKilled) {
+				t.Fatalf("doomed worker: got %v, want ErrWorkerKilled", err)
+			}
+
+			st := coord.Status()
+			if st.Complete {
+				t.Fatal("campaign complete despite the worker dying mid-lease")
+			}
+			if len(st.Leases) != 1 {
+				t.Fatalf("want the dead shard's orphaned lease, have %+v", st.Leases)
+			}
+			if st.Recorded != 2 {
+				// BatchSize 2: exactly one full batch landed before death in
+				// both cases (the mid-batch case additionally lost one
+				// accepted-but-unflushed record).
+				t.Fatalf("dead shard acked %d records, want 2", st.Recorded)
+			}
+
+			// The orphaned lease holds its range until the deadline passes:
+			// a survivor polling now must get NoWork, not a double grant.
+			cl := dist.NewClient(srv.URL, nil)
+			probe, err := cl.Lease(ctx, dist.LeaseRequest{Worker: "probe"})
+			if err != nil {
+				t.Fatalf("probe lease: %v", err)
+			}
+			if !probe.NoWork {
+				t.Fatalf("range re-leased before the lease expired: %+v", probe)
+			}
+
+			clk.Advance(ttl + time.Second)
+
+			// The survivor takes over the reclaimed range and finishes.
+			err = dist.RunWorker(ctx, srv.URL, dist.WorkerOptions{
+				Name:         "survivor",
+				Lookup:       all.Lookup,
+				Workers:      2,
+				BatchSize:    3,
+				PollInterval: 5 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatalf("survivor worker: %v", err)
+			}
+			res, err := coord.Result(ctx)
+			if err != nil {
+				t.Fatalf("merge: %v", err)
+			}
+
+			st = coord.Status()
+			if st.LeasesExpired < 1 {
+				t.Fatalf("no lease was reaped: %+v", st)
+			}
+			if st.Recorded+st.Quarantined != st.Points {
+				t.Fatalf("record store %d+%d does not cover the %d-point campaign",
+					st.Recorded, st.Quarantined, st.Points)
+			}
+			journal := readFile(t, ckpt)
+			compareLegs(t, tc.name, serial, campaignLeg{
+				json:    jsonBytes(t, res.CampaignResult),
+				journal: journal,
+			})
+		})
+	}
+}

@@ -1,0 +1,118 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client speaks the coordinator's HTTP JSON API. All replies pass through
+// the same validating decoders the fuzz suite hammers.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for a coordinator at base (e.g.
+// "http://127.0.0.1:7411"). A nil httpClient uses http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// roundTrip POSTs (or GETs, when body is nil) JSON and returns the reply
+// body. Non-2xx replies surface the server's error text.
+func (cl *Client) roundTrip(ctx context.Context, path string, body any) ([]byte, error) {
+	var (
+		req *http.Request
+		err error
+	)
+	if body == nil {
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet, cl.base+path, nil)
+	} else {
+		var payload []byte
+		payload, err = json.Marshal(body)
+		if err != nil {
+			return nil, fmt.Errorf("%s: encoding request: %w", path, err)
+		}
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost, cl.base+path, bytes.NewReader(payload))
+		if req != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	resp, err := cl.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("%s: reading reply: %w", path, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("%s: %s: %s", path, resp.Status, strings.TrimSpace(string(data)))
+	}
+	return data, nil
+}
+
+// Campaign fetches the coordinator's campaign spec.
+func (cl *Client) Campaign(ctx context.Context) (CampaignSpec, error) {
+	data, err := cl.roundTrip(ctx, "/v1/campaign", nil)
+	if err != nil {
+		return CampaignSpec{}, err
+	}
+	return DecodeCampaignSpec(data)
+}
+
+// Lease requests the next index range.
+func (cl *Client) Lease(ctx context.Context, req LeaseRequest) (LeaseGrant, error) {
+	data, err := cl.roundTrip(ctx, "/v1/lease", req)
+	if err != nil {
+		return LeaseGrant{}, err
+	}
+	return DecodeLeaseGrant(data)
+}
+
+// Renew extends a held lease.
+func (cl *Client) Renew(ctx context.Context, req RenewRequest) (RenewReply, error) {
+	data, err := cl.roundTrip(ctx, "/v1/renew", req)
+	if err != nil {
+		return RenewReply{}, err
+	}
+	return DecodeRenewReply(data)
+}
+
+// Journal streams one batch of completed records.
+func (cl *Client) Journal(ctx context.Context, batch JournalBatch) (JournalReply, error) {
+	data, err := cl.roundTrip(ctx, "/v1/journal", batch)
+	if err != nil {
+		return JournalReply{}, err
+	}
+	var r JournalReply
+	if err := json.Unmarshal(data, &r); err != nil {
+		return JournalReply{}, fmt.Errorf("journal reply: %w", err)
+	}
+	return r, nil
+}
+
+// Status fetches the coordinator's control-plane state.
+func (cl *Client) Status(ctx context.Context) (StatusReply, error) {
+	data, err := cl.roundTrip(ctx, "/v1/status", nil)
+	if err != nil {
+		return StatusReply{}, err
+	}
+	var r StatusReply
+	if err := json.Unmarshal(data, &r); err != nil {
+		return StatusReply{}, fmt.Errorf("status reply: %w", err)
+	}
+	return r, nil
+}

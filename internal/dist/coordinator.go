@@ -1,0 +1,477 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/fastfit/fastfit/internal/core"
+)
+
+// CoordinatorOptions configures the control plane.
+type CoordinatorOptions struct {
+	// LeaseTTL is how long a shard may hold a lease without renewing it.
+	// Zero means 30s.
+	LeaseTTL time.Duration
+	// LeaseSize caps the indexes handed out per lease. Zero means 64.
+	LeaseSize int
+	// Lookahead is how far past the ML replay frontier the coordinator
+	// leases speculatively: the frontier only says which prefix the learn
+	// loop provably needs next, so a little overshoot keeps shards busy
+	// while the frontier advances. Speculative records the loop turns out
+	// not to need are discarded at merge. Zero means 16; ignored on
+	// non-ML campaigns (the whole space is needed). Negative means none.
+	Lookahead int
+	// SubscriberBuffer is each SSE subscriber's frame-channel capacity.
+	// Zero means 256.
+	SubscriberBuffer int
+	// Now is the lease clock, injectable for tests. Nil means time.Now.
+	// Expiry is reaped lazily on API calls — no background timers, so a
+	// fake clock fully controls lease death.
+	Now func() time.Time
+	// Supervisor configures the merge step: Checkpoint is where the merged
+	// journal is written (empty keeps the merge journal-less), and the
+	// retry/watchdog knobs must match the serial run being reproduced.
+	// Workers is forced to 1 by the merge.
+	Supervisor core.SupervisorOptions
+	// Observer, when non-nil, additionally receives the coordinator's
+	// live event feed (the same events the SSE hub publishes).
+	Observer core.Observer
+}
+
+func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 30 * time.Second
+	}
+	if o.LeaseSize <= 0 {
+		o.LeaseSize = 64
+	}
+	if o.Lookahead == 0 {
+		o.Lookahead = 16
+	}
+	if o.Lookahead < 0 {
+		o.Lookahead = 0
+	}
+	if o.SubscriberBuffer <= 0 {
+		o.SubscriberBuffer = 256
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// lease is one outstanding range grant.
+type lease struct {
+	id       string
+	worker   string
+	lo, hi   int
+	deadline time.Time
+}
+
+// Coordinator is the campaign control plane: it owns the record store,
+// grants and reaps leases, applies journal batches, recomputes the ML
+// lease frontier, publishes the live event feed and performs the final
+// deterministic merge.
+type Coordinator struct {
+	eng   *core.Engine // quiet engine: planning, frontier replays, the merge
+	opts  CoordinatorOptions
+	spec  CampaignSpec
+	hub   *Hub
+	stats *core.StreamStats
+
+	mu            sync.Mutex
+	records       map[int]core.PointRecord
+	quar          map[int]core.QuarantinedPoint
+	leases        map[string]*lease
+	nextLease     int
+	seq           int // event-feed frame counter
+	needed        int // lease frontier: indexes [0,needed) are wanted
+	frontierDone  bool
+	leasesGranted int
+	leasesExpired int
+	arrivals      int // records+quarantines applied, in arrival order
+	complete      bool
+	done          chan struct{} // closed once the record store is complete
+
+	mergeOnce sync.Once
+	merged    *core.SupervisedResult
+	mergeErr  error
+}
+
+// NewCoordinator plans the campaign on the given engine (which must have
+// no Observer attached — the coordinator authors its own feed) and opens
+// it for leasing. The engine's profile run executes here.
+func NewCoordinator(eng *core.Engine, opts CoordinatorOptions) (*Coordinator, error) {
+	info, err := eng.PlanInfo()
+	if err != nil {
+		return nil, fmt.Errorf("planning campaign: %w", err)
+	}
+	specOpts := eng.Options()
+	specOpts.Observer = nil // interfaces don't cross the wire
+	c := &Coordinator{
+		eng:  eng,
+		opts: opts.withDefaults(),
+		spec: CampaignSpec{
+			App:         eng.App().Name(),
+			Config:      eng.Config(),
+			Options:     specOpts,
+			Fingerprint: info.Fingerprint,
+			Points:      info.Points,
+		},
+		hub:     NewHub(),
+		stats:   core.NewStreamStats(),
+		records: map[int]core.PointRecord{},
+		quar:    map[int]core.QuarantinedPoint{},
+		leases:  map[string]*lease{},
+		done:    make(chan struct{}),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.emitLocked(core.CampaignStarted{
+		App:            c.spec.App,
+		Ranks:          c.spec.Config.Ranks,
+		TrialsPerPoint: specOpts.TrialsPerPoint,
+		MLPruning:      specOpts.ML.Pruning,
+		Algorithm:      c.spec.Config.Algorithm,
+	})
+	c.emitLocked(core.PhaseChanged{Phase: core.CampaignInjecting, Points: info.Points})
+	if err := c.refrontierLocked(); err != nil {
+		return nil, err
+	}
+	c.checkCompleteLocked()
+	return c, nil
+}
+
+// Spec returns the campaign description served to workers.
+func (c *Coordinator) Spec() CampaignSpec { return c.spec }
+
+// Hub exposes the event-feed fan-out (tests and embedded dashboards
+// subscribe directly; remote consumers use the /v1/events SSE endpoint).
+func (c *Coordinator) Hub() *Hub { return c.hub }
+
+// emitLocked publishes one event on the coordinator's feed: a
+// seq-numbered wire frame to the SSE hub, the typed event to StreamStats
+// and the optional extra observer. Callers hold c.mu, which is what makes
+// seq gap-free.
+func (c *Coordinator) emitLocked(ev core.Event) {
+	c.seq++
+	c.stats.OnEvent(ev)
+	if c.opts.Observer != nil {
+		c.opts.Observer.OnEvent(ev)
+	}
+	if frame, err := core.EventEnvelope(c.seq, ev); err == nil {
+		c.hub.Publish(frame)
+	}
+}
+
+// reapLocked expires every lease whose deadline has passed, freeing its
+// unacked range for re-leasing. Called lazily from every API entry point.
+func (c *Coordinator) reapLocked() {
+	now := c.opts.Now()
+	for id, l := range c.leases {
+		if now.After(l.deadline) {
+			delete(c.leases, id)
+			c.leasesExpired++
+			c.emitLocked(core.ShardLease{Kind: "expired", Lease: id, Worker: l.worker, Lo: l.lo, Hi: l.hi})
+		}
+	}
+}
+
+// refrontierLocked recomputes how much of the index space is wanted. On
+// non-ML campaigns that is the whole space. On ML campaigns the learn
+// loop is replayed against the records collected so far (a pure function
+// of seed + results, so coordinator and merger always agree): while the
+// replay is blocked on unmeasured indexes, the frontier plus Lookahead is
+// wanted; once the replay runs to its stopping decision, exactly the
+// measured prefix is.
+func (c *Coordinator) refrontierLocked() error {
+	if !c.spec.Options.ML.Pruning {
+		c.needed, c.frontierDone = c.spec.Points, true
+		return nil
+	}
+	needed, finished, err := c.eng.MLFrontier(func(idx int) (*core.PointResult, bool) {
+		if rec, ok := c.records[idx]; ok {
+			pr := rec.Result
+			return &pr, true
+		}
+		if _, ok := c.quar[idx]; ok {
+			return nil, true
+		}
+		return nil, false
+	})
+	if err != nil {
+		return fmt.Errorf("ML frontier replay: %w", err)
+	}
+	if finished {
+		c.needed = needed
+	} else {
+		c.needed = min(c.spec.Points, needed+c.opts.Lookahead)
+	}
+	c.frontierDone = finished
+	return nil
+}
+
+// checkCompleteLocked closes the done channel once every wanted index is
+// recorded or quarantined and the frontier is final.
+func (c *Coordinator) checkCompleteLocked() {
+	if c.complete || !c.frontierDone {
+		return
+	}
+	for idx := 0; idx < c.needed; idx++ {
+		if _, ok := c.records[idx]; ok {
+			continue
+		}
+		if _, ok := c.quar[idx]; ok {
+			continue
+		}
+		return
+	}
+	c.complete = true
+	close(c.done)
+}
+
+// coveredLocked reports whether idx is settled (recorded/quarantined) or
+// inside an active lease.
+func (c *Coordinator) coveredLocked(idx int) bool {
+	if _, ok := c.records[idx]; ok {
+		return true
+	}
+	if _, ok := c.quar[idx]; ok {
+		return true
+	}
+	for _, l := range c.leases {
+		if idx >= l.lo && idx < l.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// Lease grants the next open index range to a worker.
+func (c *Coordinator) Lease(req LeaseRequest) (LeaseGrant, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.Fingerprint != "" && req.Fingerprint != c.spec.Fingerprint {
+		return LeaseGrant{}, fmt.Errorf("worker %s planned fingerprint %s, campaign is %s",
+			req.Worker, req.Fingerprint, c.spec.Fingerprint)
+	}
+	c.reapLocked()
+	if c.complete {
+		return LeaseGrant{Finished: true, Fingerprint: c.spec.Fingerprint, Total: c.spec.Points}, nil
+	}
+	// First wanted index that is neither settled nor under an active lease.
+	lo := -1
+	for idx := 0; idx < c.needed; idx++ {
+		if !c.coveredLocked(idx) {
+			lo = idx
+			break
+		}
+	}
+	if lo < 0 {
+		// Everything wanted is settled or in flight; the ML frontier may
+		// still advance when in-flight work lands.
+		return LeaseGrant{NoWork: true, Fingerprint: c.spec.Fingerprint, Total: c.spec.Points}, nil
+	}
+	// Extend through settled holes (they become Skip) but never into
+	// another active lease.
+	hi, todo := lo, 0
+	var skip []int
+	for idx := lo; idx < c.needed && todo < c.opts.LeaseSize; idx++ {
+		leased := false
+		for _, l := range c.leases {
+			if idx >= l.lo && idx < l.hi {
+				leased = true
+				break
+			}
+		}
+		if leased {
+			break
+		}
+		_, done := c.records[idx]
+		if !done {
+			_, done = c.quar[idx]
+		}
+		if done {
+			skip = append(skip, idx)
+		} else {
+			todo++
+		}
+		hi = idx + 1
+	}
+	c.nextLease++
+	id := fmt.Sprintf("lease-%d", c.nextLease)
+	c.leases[id] = &lease{id: id, worker: req.Worker, lo: lo, hi: hi,
+		deadline: c.opts.Now().Add(c.opts.LeaseTTL)}
+	c.leasesGranted++
+	c.emitLocked(core.ShardLease{Kind: "granted", Lease: id, Worker: req.Worker, Lo: lo, Hi: hi})
+	return LeaseGrant{
+		LeaseID:     id,
+		Lo:          lo,
+		Hi:          hi,
+		Skip:        skip,
+		TTLSeconds:  c.opts.LeaseTTL.Seconds(),
+		Fingerprint: c.spec.Fingerprint,
+		Total:       c.spec.Points,
+	}, nil
+}
+
+// Renew extends a lease's deadline, or reports it expired.
+func (c *Coordinator) Renew(req RenewRequest) RenewReply {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked()
+	l, ok := c.leases[req.LeaseID]
+	if !ok {
+		return RenewReply{Expired: true}
+	}
+	l.deadline = c.opts.Now().Add(c.opts.LeaseTTL)
+	c.emitLocked(core.ShardLease{Kind: "renewed", Lease: l.id, Worker: l.worker, Lo: l.lo, Hi: l.hi})
+	return RenewReply{TTLSeconds: c.opts.LeaseTTL.Seconds()}
+}
+
+// Journal applies one batch of shard records. Batches for expired or
+// unknown leases are rejected whole (Expired reply): their range is being
+// re-leased, and the determinism contract makes the re-measurement
+// byte-identical, so nothing is lost.
+func (c *Coordinator) Journal(batch JournalBatch, recs []core.PointRecord, quars []core.QuarantinedPoint) (JournalReply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked()
+	l, ok := c.leases[batch.LeaseID]
+	if !ok {
+		return JournalReply{Expired: true}, nil
+	}
+	acked := 0
+	for _, rec := range recs {
+		if rec.Index < l.lo || rec.Index >= l.hi {
+			return JournalReply{}, fmt.Errorf("lease %s: record index %d outside leased range [%d,%d)",
+				l.id, rec.Index, l.lo, l.hi)
+		}
+		if _, dup := c.records[rec.Index]; dup {
+			continue
+		}
+		c.records[rec.Index] = rec
+		c.arrivals++
+		acked++
+		c.emitLocked(core.PointCompleted{Index: rec.Index, Result: rec.Result,
+			Completed: c.arrivals, Total: c.spec.Points})
+	}
+	for _, q := range quars {
+		if q.Index < l.lo || q.Index >= l.hi {
+			return JournalReply{}, fmt.Errorf("lease %s: quarantine index %d outside leased range [%d,%d)",
+				l.id, q.Index, l.lo, l.hi)
+		}
+		if _, dup := c.quar[q.Index]; dup {
+			continue
+		}
+		c.quar[q.Index] = q
+		c.arrivals++
+		acked++
+		c.emitLocked(core.PointQuarantined{Point: q, Completed: c.arrivals, Total: c.spec.Points})
+	}
+	// Completed work extends the lease: a live streaming shard is not dead.
+	l.deadline = c.opts.Now().Add(c.opts.LeaseTTL)
+	if batch.Done {
+		delete(c.leases, l.id)
+		c.emitLocked(core.ShardLease{Kind: "completed", Lease: l.id, Worker: l.worker, Lo: l.lo, Hi: l.hi})
+	}
+	if acked > 0 && c.spec.Options.ML.Pruning {
+		if err := c.refrontierLocked(); err != nil {
+			return JournalReply{}, err
+		}
+	}
+	c.checkCompleteLocked()
+	return JournalReply{Acked: acked}, nil
+}
+
+// Done is closed once the record store is complete; Result then merges.
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// Result blocks until the record store is complete, then performs the
+// deterministic merge (once — later calls return the same result). The
+// merged journal is written to Supervisor.Checkpoint, and the feed closes
+// with SnapshotStats/CampaignFinished events mirroring the merged run.
+func (c *Coordinator) Result(ctx context.Context) (*core.SupervisedResult, error) {
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-c.done:
+	}
+	c.mergeOnce.Do(func() {
+		c.mu.Lock()
+		in := MergeInput{
+			Records:     make(map[int]core.PointRecord, len(c.records)),
+			Quarantined: make(map[int]core.QuarantinedPoint, len(c.quar)),
+		}
+		for idx, rec := range c.records {
+			in.Records[idx] = rec
+		}
+		for idx, q := range c.quar {
+			in.Quarantined[idx] = q
+		}
+		supOpts := c.opts.Supervisor
+		c.mu.Unlock()
+		// The merge replays the single-process supervisor outside the lock:
+		// ML training, prediction and refinement run for real here.
+		merged, err := Merge(ctx, c.eng, in, supOpts)
+		c.mu.Lock()
+		c.merged, c.mergeErr = merged, err
+		if err == nil {
+			c.emitLocked(core.CampaignFinished{
+				App:         merged.AppName,
+				Injected:    merged.Injected,
+				Predicted:   merged.PredictedN,
+				Quarantined: len(merged.Quarantined),
+				Counts:      core.OutcomeBreakdown(merged.Measured),
+				Cancelled:   merged.Cancelled,
+			})
+		}
+		c.mu.Unlock()
+	})
+	return c.merged, c.mergeErr
+}
+
+// Status reports the campaign's control-plane state.
+func (c *Coordinator) Status() StatusReply {
+	c.mu.Lock()
+	c.reapLocked()
+	now := c.opts.Now()
+	st := StatusReply{
+		App:           c.spec.App,
+		Fingerprint:   c.spec.Fingerprint,
+		Points:        c.spec.Points,
+		Needed:        c.needed,
+		FrontierDone:  c.frontierDone,
+		Recorded:      len(c.records),
+		Quarantined:   len(c.quar),
+		Complete:      c.complete,
+		Merged:        c.merged != nil,
+		LeasesGranted: c.leasesGranted,
+		LeasesExpired: c.leasesExpired,
+	}
+	for _, l := range c.leases {
+		remaining := 0
+		for idx := l.lo; idx < l.hi; idx++ {
+			if _, ok := c.records[idx]; ok {
+				continue
+			}
+			if _, ok := c.quar[idx]; ok {
+				continue
+			}
+			remaining++
+		}
+		st.Leases = append(st.Leases, LeaseStatus{
+			LeaseID: l.id, Worker: l.worker, Lo: l.lo, Hi: l.hi,
+			Remaining:  remaining,
+			TTLSeconds: l.deadline.Sub(now).Seconds(),
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(st.Leases, func(i, j int) bool { return st.Leases[i].LeaseID < st.Leases[j].LeaseID })
+	st.Progress = c.stats.Snapshot().ProgressLine()
+	st.Subscribers = c.hub.Snapshot()
+	return st
+}

@@ -1,0 +1,205 @@
+package dist_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/fastfit/fastfit/internal/apps/all"
+	"github.com/fastfit/fastfit/internal/core"
+	"github.com/fastfit/fastfit/internal/dist"
+)
+
+// The distributed identity harness: every test in this package compares a
+// sharded campaign (coordinator + N workers over HTTP, deterministic
+// merge) against the single-process supervised run it must be
+// byte-identical to — campaign JSON and checkpoint journal alike.
+
+// testOptions mirrors the core differential suite's configuration: a small
+// but real is campaign that exercises the full pipeline in well under a
+// second per leg.
+func testOptions(seed int64) core.Options {
+	opts := core.DefaultOptions()
+	opts.Seed = seed
+	opts.TrialsPerPoint = 3
+	opts.ML.Pruning = false
+	opts.RunTimeout = 10 * time.Second
+	return opts
+}
+
+func testEngine(t *testing.T, opts core.Options) *core.Engine {
+	t.Helper()
+	app, err := all.Lookup("is")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := app.DefaultConfig()
+	cfg.Ranks = 4
+	cfg.Scale = 32
+	cfg.Seed = opts.Seed
+	return core.New(app, cfg, opts)
+}
+
+// campaignLeg is the pair of byte surfaces the identity suite compares.
+type campaignLeg struct {
+	json    []byte // persisted campaign JSON
+	journal []byte // checkpoint journal (JSONL)
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func jsonBytes(t *testing.T, res *core.CampaignResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// runSerial is the reference leg: a single-process Workers=1 supervised
+// run with a checkpoint journal.
+func runSerial(t *testing.T, opts core.Options) campaignLeg {
+	t.Helper()
+	ckpt := filepath.Join(t.TempDir(), "serial.ckpt")
+	res, err := core.NewSupervisor(testEngine(t, opts), core.SupervisorOptions{
+		Workers:    1,
+		Checkpoint: ckpt,
+	}).Run(context.Background())
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	if res.Cancelled {
+		t.Fatal("serial run cancelled")
+	}
+	journal, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return campaignLeg{json: jsonBytes(t, res.CampaignResult), journal: journal}
+}
+
+// runSharded runs the same campaign through the distributed service:
+// coordinator behind a real HTTP server, `workers` in-process shards, and
+// the deterministic merge. It also subscribes to the event feed and
+// verifies the frames decode and arrive gap-free.
+func runSharded(t *testing.T, opts core.Options, workers int, copts dist.CoordinatorOptions) campaignLeg {
+	t.Helper()
+	ckpt := filepath.Join(t.TempDir(), "merged.ckpt")
+	copts.Supervisor.Workers = 1
+	copts.Supervisor.Checkpoint = ckpt
+	coord, err := dist.NewCoordinator(testEngine(t, opts), copts)
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	sub := coord.Hub().Subscribe(8192)
+	defer coord.Hub().Unsubscribe(sub)
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = dist.RunWorker(ctx, srv.URL, dist.WorkerOptions{
+				Name:         fmt.Sprintf("shard-%d", i),
+				Lookup:       all.Lookup,
+				Workers:      2,
+				BatchSize:    3,
+				PollInterval: 5 * time.Millisecond,
+			})
+		}()
+	}
+	res, err := coord.Result(ctx)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	wg.Wait()
+	for i, werr := range errs {
+		if werr != nil {
+			t.Fatalf("worker %d: %v", i, werr)
+		}
+	}
+	if res.Cancelled {
+		t.Fatal("merged campaign cancelled")
+	}
+
+	st := coord.Status()
+	if !st.Complete || !st.Merged {
+		t.Fatalf("status after merge: complete=%t merged=%t", st.Complete, st.Merged)
+	}
+	if st.LeasesGranted < 1 {
+		t.Fatal("no leases were granted")
+	}
+	if len(st.Leases) != 0 {
+		t.Fatalf("leases still active after completion: %+v", st.Leases)
+	}
+	checkFeed(t, sub)
+
+	journal, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return campaignLeg{json: jsonBytes(t, res.CampaignResult), journal: journal}
+}
+
+// checkFeed drains an amply-buffered subscriber and verifies the feed
+// contract: every frame decodes, nothing was dropped, and seq numbers are
+// strictly consecutive (no gaps, no duplicates).
+func checkFeed(t *testing.T, sub *dist.Subscriber) {
+	t.Helper()
+	if _, dropped := sub.Stats(); dropped != 0 {
+		t.Errorf("amply-buffered feed subscriber dropped %d frames", dropped)
+	}
+	prev, frames := 0, 0
+	for {
+		select {
+		case frame := <-sub.Frames():
+			f, err := dist.DecodeEventFrame(frame)
+			if err != nil {
+				t.Fatalf("feed frame %d: %v", frames, err)
+			}
+			if prev != 0 && f.Seq != prev+1 {
+				t.Errorf("feed seq gap: %d -> %d", prev, f.Seq)
+			}
+			prev = f.Seq
+			frames++
+		default:
+			if frames == 0 {
+				t.Error("event feed delivered no frames")
+			}
+			return
+		}
+	}
+}
+
+// compareLegs requires both output surfaces to be byte-identical.
+func compareLegs(t *testing.T, label string, serial, sharded campaignLeg) {
+	t.Helper()
+	if !bytes.Equal(serial.json, sharded.json) {
+		t.Errorf("%s: merged campaign JSON diverges from the serial run\nserial:  %s\nsharded: %s",
+			label, serial.json, sharded.json)
+	}
+	if !bytes.Equal(serial.journal, sharded.journal) {
+		t.Errorf("%s: merged checkpoint journal diverges from the serial run\nserial:\n%s\nsharded:\n%s",
+			label, serial.journal, sharded.journal)
+	}
+}

@@ -1,0 +1,138 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxBodyBytes bounds request bodies — a journal batch of checkpoint
+// lines is small; anything bigger is malformed or hostile.
+const maxBodyBytes = 64 << 20
+
+// Handler serves the coordinator's HTTP JSON API:
+//
+//	GET  /v1/campaign  campaign spec for zero-config workers
+//	POST /v1/lease     lease the next index range
+//	POST /v1/renew     extend a held lease
+//	POST /v1/journal   stream a batch of completed records
+//	GET  /v1/status    control-plane state
+//	GET  /v1/events    SSE event feed (one EventFrame per message)
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/campaign", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Spec())
+	})
+	mux.HandleFunc("POST /v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		body, err := readBody(r)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		req, err := DecodeLeaseRequest(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		grant, err := c.Lease(req)
+		if err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, grant)
+	})
+	mux.HandleFunc("POST /v1/renew", func(w http.ResponseWriter, r *http.Request) {
+		body, err := readBody(r)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		req, err := DecodeRenewRequest(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, c.Renew(req))
+	})
+	mux.HandleFunc("POST /v1/journal", func(w http.ResponseWriter, r *http.Request) {
+		body, err := readBody(r)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		batch, recs, quars, err := DecodeJournalBatch(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		rep, err := c.Journal(batch, recs, quars)
+		if err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, rep)
+	})
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Status())
+	})
+	mux.HandleFunc("GET /v1/events", c.serveEvents)
+	return mux
+}
+
+// serveEvents streams the live event feed as server-sent events. Each
+// frame is one `data:` message holding a seq-numbered EventFrame
+// envelope; a subscriber that reads too slowly has frames dropped by the
+// hub (visible as seq gaps and in /v1/status drop accounting) — the
+// campaign never waits for it. The handler owns no goroutines: it returns
+// (and detaches the subscriber) when the client disconnects or the hub
+// closes.
+func (c *Coordinator) serveEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("response writer does not support streaming"))
+		return
+	}
+	sub := c.hub.Subscribe(c.opts.SubscriberBuffer)
+	defer c.hub.Unsubscribe(sub)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case frame, ok := <-sub.Frames():
+			if !ok {
+				return // hub closed
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", frame); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+func readBody(r *http.Request) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("reading request body: %w", err)
+	}
+	return data, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	data, err := json.Marshal(v)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("encoding reply: %w", err))
+		return
+	}
+	w.Write(append(data, '\n'))
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	http.Error(w, err.Error(), code)
+}

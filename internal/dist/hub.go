@@ -1,0 +1,128 @@
+package dist
+
+import (
+	"sort"
+	"sync"
+)
+
+// Hub fans the coordinator's event feed out to any number of concurrent
+// subscribers. Publication is strictly non-blocking: a subscriber whose
+// buffered channel is full has the frame dropped (and counted) rather than
+// stalling the campaign — the data plane must never wait on a dashboard.
+// Dropped frames are observable to the subscriber itself as gaps in the
+// frames' seq numbers, and to operators via per-subscriber drop counts in
+// /v1/status.
+type Hub struct {
+	mu     sync.Mutex
+	subs   map[int]*Subscriber
+	nextID int
+	closed bool
+}
+
+// NewHub builds an empty hub.
+func NewHub() *Hub {
+	return &Hub{subs: map[int]*Subscriber{}}
+}
+
+// Subscriber is one attached event-feed consumer.
+type Subscriber struct {
+	id  int
+	hub *Hub
+	ch  chan []byte
+
+	mu      sync.Mutex
+	sent    int
+	dropped int
+}
+
+// Frames returns the subscriber's delivery channel. It is closed when the
+// subscriber is detached (Unsubscribe or hub Close).
+func (s *Subscriber) Frames() <-chan []byte { return s.ch }
+
+// Stats returns how many frames were delivered to and dropped for this
+// subscriber.
+func (s *Subscriber) Stats() (sent, dropped int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sent, s.dropped
+}
+
+// Subscribe attaches a new consumer with the given channel capacity
+// (minimum 1). The subscriber receives frames published after this call.
+func (h *Hub) Subscribe(buffer int) *Subscriber {
+	if buffer < 1 {
+		buffer = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.nextID++
+	s := &Subscriber{id: h.nextID, hub: h, ch: make(chan []byte, buffer)}
+	if h.closed {
+		close(s.ch)
+		return s
+	}
+	h.subs[s.id] = s
+	return s
+}
+
+// Unsubscribe detaches a consumer and closes its channel. Safe to call
+// more than once.
+func (h *Hub) Unsubscribe(s *Subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[s.id]; ok {
+		delete(h.subs, s.id)
+		close(s.ch)
+	}
+}
+
+// Publish delivers one frame to every subscriber without ever blocking:
+// full subscribers drop the frame and account for it.
+func (h *Hub) Publish(frame []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, s := range h.subs {
+		select {
+		case s.ch <- frame:
+			s.mu.Lock()
+			s.sent++
+			s.mu.Unlock()
+		default:
+			s.mu.Lock()
+			s.dropped++
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Close detaches every subscriber (closing their channels) and makes
+// future Subscribe calls return already-closed subscribers.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for id, s := range h.subs {
+		delete(h.subs, id)
+		close(s.ch)
+	}
+}
+
+// Snapshot returns every live subscriber's accounting, ordered by id.
+func (h *Hub) Snapshot() []SubscriberStatus {
+	h.mu.Lock()
+	subs := make([]*Subscriber, 0, len(h.subs))
+	for _, s := range h.subs {
+		subs = append(subs, s)
+	}
+	h.mu.Unlock()
+	out := make([]SubscriberStatus, 0, len(subs))
+	for _, s := range subs {
+		sent, dropped := s.Stats()
+		out = append(out, SubscriberStatus{ID: s.id, Sent: sent, Dropped: dropped})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

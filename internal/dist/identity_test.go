@@ -1,0 +1,81 @@
+package dist_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/fastfit/fastfit/internal/core"
+	"github.com/fastfit/fastfit/internal/dist"
+)
+
+// TestDistributedIdentity is the correctness contract of the distributed
+// service: for every campaign path (direct, ML-pruned, adaptive) and every
+// shard count, the merged campaign JSON and the merged checkpoint journal
+// must be byte-identical to a single-process supervised run of the same
+// seed. Any nondeterminism in lease scheduling, journal streaming, or the
+// merge replay shows up here as a byte diff in an externally-consumed
+// surface.
+func TestDistributedIdentity(t *testing.T) {
+	seeds := int64(20)
+	if raceEnabled || testing.Short() {
+		// The full 20-seed sweep is the uninstrumented CI step's job; under
+		// the race detector (or -short) a 4-seed sweep keeps the signal.
+		seeds = 4
+	}
+	paths := []struct {
+		name string
+		opts func(seed int64) distOptions
+	}{
+		{"direct", func(seed int64) distOptions {
+			return distOptions{opts: testOptions(seed)}
+		}},
+		{"ml", func(seed int64) distOptions {
+			o := testOptions(seed)
+			o.ML.Pruning = true
+			o.ML.Batch = 2
+			o.ML.MinTrain = 4
+			// A small lookahead exercises speculative overshoot: the
+			// coordinator leases past the replay frontier and the merge
+			// discards what the learn loop turns out not to need.
+			return distOptions{opts: o, lookahead: 2}
+		}},
+		{"adaptive", func(seed int64) distOptions {
+			o := testOptions(seed)
+			o.Adaptive.Enabled = true
+			o.TrialsPerPoint = 12
+			return distOptions{opts: o}
+		}},
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			for _, path := range paths {
+				path := path
+				t.Run(path.name, func(t *testing.T) {
+					po := path.opts(seed)
+					serial := runSerial(t, po.opts)
+					for _, workers := range []int{1, 2, 4} {
+						t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+							copts := dist.CoordinatorOptions{
+								// Small leases force several grants per
+								// campaign even with one worker.
+								LeaseSize: 4,
+								Lookahead: po.lookahead,
+							}
+							sharded := runSharded(t, po.opts, workers, copts)
+							compareLegs(t, fmt.Sprintf("%s/workers=%d", path.name, workers), serial, sharded)
+						})
+					}
+				})
+			}
+		})
+	}
+}
+
+// distOptions bundles a campaign path's engine options with the
+// coordinator knobs that path needs.
+type distOptions struct {
+	opts      core.Options
+	lookahead int
+}

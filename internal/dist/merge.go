@@ -1,0 +1,51 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/fastfit/fastfit/internal/core"
+)
+
+// MergeInput is a complete shard-record store: every index the campaign
+// needs, measured or quarantined. Speculative overshoot (indexes beyond
+// the ML loop's stopping point) may be present; the merge never asks for
+// them, so they are discarded by construction.
+type MergeInput struct {
+	Records     map[int]core.PointRecord
+	Quarantined map[int]core.QuarantinedPoint
+}
+
+// Merge interleaves the collected shard journals into one campaign result
+// byte-identical to a single-process supervised run — campaign JSON and
+// checkpoint journal alike.
+//
+// The determinism argument: a Workers=1 supervised run is a pure function
+// of (engine options, per-point injection results), and every shard
+// measured its points with the identical engine — a point's result is a
+// pure function of (campaign fingerprint, injection index). So Merge
+// simply *runs* the single-process supervisor, with its injection seam
+// (SupervisorOptions.Inject) answering from the record store instead of
+// simulating; phase-2 passes that consume the whole campaign — ML forest
+// training, prediction, refinement-grant allocation and the refinement
+// trials themselves — execute for real here, exactly once, exactly as the
+// serial run executes them. The journal written to opts.Checkpoint is the
+// merged journal; identical code path, identical bytes.
+//
+// Quarantined indexes replay their recorded harness error, so the merge
+// re-quarantines them with the same final error text (and the same
+// MaxAttempts accounting) the shard journalled.
+func Merge(ctx context.Context, eng *core.Engine, in MergeInput, opts core.SupervisorOptions) (*core.SupervisedResult, error) {
+	opts.Workers = 1 // the serial reference order; shard parallelism already happened
+	opts.Inject = func(ctx context.Context, p core.Point, idx, trials int) (core.PointResult, error) {
+		if rec, ok := in.Records[idx]; ok {
+			return rec.Result, nil
+		}
+		if q, ok := in.Quarantined[idx]; ok {
+			return core.PointResult{}, errors.New(q.Err)
+		}
+		return core.PointResult{}, fmt.Errorf("merge: no shard record for point %d", idx)
+	}
+	return core.NewSupervisor(eng, opts).Run(ctx)
+}

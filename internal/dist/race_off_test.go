@@ -1,0 +1,5 @@
+//go:build !race
+
+package dist_test
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package dist_test
+
+// raceEnabled trims the distributed identity sweep to keep the
+// race-instrumented CI run affordable; the full 20-seed sweep runs in the
+// uninstrumented step.
+const raceEnabled = true

@@ -1,0 +1,259 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/fastfit/fastfit/internal/apps"
+	"github.com/fastfit/fastfit/internal/core"
+)
+
+// AppLookup resolves a workload name to its App — injected so this
+// package never links the whole workload registry (cmd/ffd passes
+// internal/apps/all.Lookup).
+type AppLookup func(name string) (apps.App, error)
+
+// ErrWorkerKilled is returned by a worker whose MaxRecords chaos hook
+// fired: the shard died mid-lease with work unflushed, exactly the
+// failure the lease protocol exists to survive.
+var ErrWorkerKilled = errors.New("worker killed by MaxRecords test hook")
+
+// WorkerOptions configures one shard.
+type WorkerOptions struct {
+	// Name identifies the shard in lease accounting. Empty means "worker".
+	Name string
+	// Lookup resolves the campaign's app name. Required.
+	Lookup AppLookup
+	// Workers is the shard-local supervisor pool size (points injected
+	// concurrently on this shard). Zero derives from GOMAXPROCS.
+	Workers int
+	// BatchSize is how many journal records accumulate before a flush to
+	// the coordinator. Zero means 8. Records in an unflushed batch die
+	// with the shard; the re-leased range re-measures them identically.
+	BatchSize int
+	// PollInterval is the sleep between lease requests when the
+	// coordinator answers NoWork. Zero means 200ms.
+	PollInterval time.Duration
+	// MaxRecords is a chaos hook: after this many records have entered
+	// the journal sink (across all leases), the worker dies with
+	// ErrWorkerKilled, leaving its lease to expire. Zero disables.
+	MaxRecords int
+	// Observer, when non-nil, receives the shard-local supervisor's event
+	// stream (each lease runs as its own mini-campaign).
+	Observer core.Observer
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.Name == "" {
+		o.Name = "worker"
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 8
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 200 * time.Millisecond
+	}
+	return o
+}
+
+// RunWorker runs one shard against the coordinator at baseURL until the
+// campaign finishes (nil), the context is cancelled, or the harness
+// fails. The shard fetches the campaign spec, rebuilds the engine
+// locally, verifies its plan fingerprint matches the coordinator's, then
+// loops lease → RunRange → stream journal batches.
+func RunWorker(ctx context.Context, baseURL string, opts WorkerOptions) error {
+	opts = opts.withDefaults()
+	if opts.Lookup == nil {
+		return fmt.Errorf("worker %s: no app lookup configured", opts.Name)
+	}
+	cl := NewClient(baseURL, nil)
+	spec, err := cl.Campaign(ctx)
+	if err != nil {
+		return fmt.Errorf("worker %s: fetching campaign: %w", opts.Name, err)
+	}
+	app, err := opts.Lookup(spec.App)
+	if err != nil {
+		return fmt.Errorf("worker %s: resolving app %q: %w", opts.Name, spec.App, err)
+	}
+	engOpts := spec.Options
+	engOpts.Observer = opts.Observer
+	eng := core.New(app, spec.Config, engOpts)
+	info, err := eng.PlanInfo()
+	if err != nil {
+		return fmt.Errorf("worker %s: planning campaign: %w", opts.Name, err)
+	}
+	if info.Fingerprint != spec.Fingerprint {
+		return fmt.Errorf("worker %s: local plan fingerprint %s != coordinator's %s (mismatched build or options)",
+			opts.Name, info.Fingerprint, spec.Fingerprint)
+	}
+
+	w := &worker{cl: cl, eng: eng, opts: opts}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		grant, err := cl.Lease(ctx, LeaseRequest{Worker: opts.Name, Fingerprint: info.Fingerprint})
+		if err != nil {
+			return fmt.Errorf("worker %s: lease: %w", opts.Name, err)
+		}
+		switch {
+		case grant.Finished:
+			return nil
+		case grant.NoWork:
+			if !sleepCtx(ctx, opts.PollInterval) {
+				return ctx.Err()
+			}
+		default:
+			if err := w.runLease(ctx, grant); err != nil {
+				return fmt.Errorf("worker %s: %w", opts.Name, err)
+			}
+		}
+	}
+}
+
+// worker is the per-shard state shared across leases: one engine (the
+// profile and golden tape are recorded once) and the chaos-hook counter.
+type worker struct {
+	cl       *Client
+	eng      *core.Engine
+	opts     WorkerOptions
+	streamed int // records ever accepted by the sink (MaxRecords hook)
+}
+
+// errLeaseExpired aborts a range whose lease the coordinator reclaimed:
+// the worker abandons the range (it is being re-leased) and asks for new
+// work rather than failing.
+var errLeaseExpired = errors.New("lease expired")
+
+// runLease executes one granted range, streaming journal batches as
+// points complete and renewing the lease on a real-clock ticker sized
+// from the grant's TTL.
+func (w *worker) runLease(ctx context.Context, grant LeaseGrant) error {
+	lctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Renew at a third of the TTL so two renewals can fail before expiry.
+	ttl := time.Duration(grant.TTLSeconds * float64(time.Second))
+	renewErr := make(chan error, 1)
+	go func() {
+		tick := time.NewTicker(ttl / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-lctx.Done():
+				return
+			case <-tick.C:
+				rep, err := w.cl.Renew(lctx, RenewRequest{LeaseID: grant.LeaseID, Worker: w.opts.Name})
+				if err != nil {
+					if lctx.Err() == nil {
+						renewErr <- err
+					}
+					return
+				}
+				if rep.Expired {
+					renewErr <- errLeaseExpired
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+
+	skip := make(map[int]bool, len(grant.Skip))
+	for _, idx := range grant.Skip {
+		skip[idx] = true
+	}
+	var pending []core.PointRecord
+	sink := func(rec core.PointRecord) error {
+		if w.opts.MaxRecords > 0 && w.streamed >= w.opts.MaxRecords {
+			return ErrWorkerKilled
+		}
+		w.streamed++
+		pending = append(pending, rec)
+		if len(pending) >= w.opts.BatchSize {
+			return w.flush(lctx, grant, &pending, nil, false)
+		}
+		return nil
+	}
+
+	sup := core.NewSupervisor(w.eng, core.SupervisorOptions{Workers: w.opts.Workers})
+	rr, err := sup.RunRange(lctx, grant.Lo, grant.Hi, skip, sink)
+	if err != nil {
+		if errors.Is(err, errLeaseExpired) {
+			return nil // range reclaimed and re-leased; get new work
+		}
+		select {
+		case rerr := <-renewErr:
+			if errors.Is(rerr, errLeaseExpired) {
+				return nil
+			}
+			return fmt.Errorf("lease %s: renew: %w", grant.LeaseID, rerr)
+		default:
+		}
+		return fmt.Errorf("lease %s: %w", grant.LeaseID, err)
+	}
+	if rr.Fingerprint != grant.Fingerprint {
+		return fmt.Errorf("lease %s: range fingerprint %s != grant's %s", grant.LeaseID, rr.Fingerprint, grant.Fingerprint)
+	}
+	if rr.Cancelled {
+		// Either the campaign context was cancelled (propagate) or the
+		// renew loop saw the lease expire and cancelled just this range
+		// (abandon it; the coordinator is re-leasing).
+		return ctx.Err()
+	}
+	if err := w.flush(lctx, grant, &pending, rr.Quarantined, true); err != nil {
+		if errors.Is(err, errLeaseExpired) || (lctx.Err() != nil && ctx.Err() == nil) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// sleepCtx sleeps for d unless ctx is done first; it reports whether the
+// full sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// flush streams the pending records (and, on the final batch, the range's
+// quarantines) to the coordinator. An Expired reply aborts the range via
+// errLeaseExpired.
+func (w *worker) flush(ctx context.Context, grant LeaseGrant, pending *[]core.PointRecord, quars []core.QuarantinedPoint, done bool) error {
+	if len(*pending) == 0 && len(quars) == 0 && !done {
+		return nil
+	}
+	batch := JournalBatch{LeaseID: grant.LeaseID, Worker: w.opts.Name, Done: done}
+	for _, rec := range *pending {
+		line, err := core.EncodeJournalPoint(rec)
+		if err != nil {
+			return fmt.Errorf("encoding point %d: %w", rec.Index, err)
+		}
+		batch.Records = append(batch.Records, line)
+	}
+	for _, q := range quars {
+		line, err := core.EncodeJournalQuarantine(q)
+		if err != nil {
+			return fmt.Errorf("encoding quarantine %d: %w", q.Index, err)
+		}
+		batch.Quarantines = append(batch.Quarantines, line)
+	}
+	rep, err := w.cl.Journal(ctx, batch)
+	if err != nil {
+		return err
+	}
+	if rep.Expired {
+		return errLeaseExpired
+	}
+	*pending = (*pending)[:0]
+	return nil
+}
