@@ -6,17 +6,24 @@
 // Usage:
 //
 //	ffd serve -app lu -trials 40 -listen :7411 -save lu.json
+//	ffd serve -store /var/lib/ffd -app lu -trials 40     # crash-durable
 //	ffd work -connect http://coordinator:7411            # on each shard host
 //	ffd status -connect http://coordinator:7411          # control-plane state
 //
 // `serve` plans the campaign described by the shared fastfit campaign flags
 // and serves it until every index range has been measured and merged; it
-// prints the same summary `fastfit` would for the identical flags. `work`
+// prints the same summary `fastfit` would for the identical flags. With
+// -store DIR the control plane is crash-durable: every applied journal
+// batch lands in a write-ahead log under DIR/<fingerprint>/ before it is
+// acked, a restarted `ffd serve -store DIR` recovers every unfinished
+// campaign from its WAL (kill -9 loses nothing), and one process hosts any
+// number of campaigns at once under /v1/campaigns/<fingerprint>/. `work`
 // attaches a shard: it rebuilds the engine from the served spec,
 // cross-checks the campaign fingerprint, and loops lease → inject → stream
-// until the campaign finishes. `status` prints the coordinator's lease and
-// subscriber accounting. The live event feed is served as SSE on
-// /v1/events.
+// until the campaign finishes; coordinator outages and restarts are ridden
+// out with capped jittered backoff and re-leasing. `status` prints the
+// coordinator's lease and subscriber accounting. The live event feed is
+// served as SSE on /v1/events with Last-Event-ID resume.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -57,9 +65,9 @@ func main() {
 
 const usage = `ffd runs a distributed FastFIT campaign.
 
-  ffd serve  [campaign flags] [-listen addr] [-checkpoint path] [-save path]
-  ffd work   [-connect url] [-name shard] [-workers n]
-  ffd status [-connect url] [-json]
+  ffd serve  [campaign flags] [-listen addr] [-store dir] [-checkpoint path] [-save path]
+  ffd work   [-connect url] [-campaign fp] [-name shard] [-workers n]
+  ffd status [-connect url] [-campaign fp] [-json]
 
 Run 'ffd <subcommand> -h' for the full flag list.`
 
@@ -96,6 +104,7 @@ func runServe(args []string) error {
 	camp := cliconf.Register(fs)
 	var (
 		listen     = fs.String("listen", "127.0.0.1:7411", "address to serve the coordinator API on")
+		store      = fs.String("store", "", "durable state root: WAL every campaign under DIR/<fingerprint>/ and recover unfinished campaigns on restart")
 		leaseTTL   = fs.Duration("lease-ttl", 30*time.Second, "how long a shard may hold a lease without renewing")
 		leaseSize  = fs.Int("lease-size", 64, "maximum indexes per lease")
 		lookahead  = fs.Int("lookahead", 16, "speculative lease distance past the ML replay frontier")
@@ -106,10 +115,6 @@ func runServe(args []string) error {
 		verbose    = fs.Bool("v", false, "verbose progress")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	app, cfg, opts, err := camp.Build()
-	if err != nil {
 		return err
 	}
 
@@ -139,9 +144,10 @@ func runServe(args []string) error {
 		feed = core.MultiObserver(observers...)
 	}
 
-	// The engine carries no observer: the coordinator authors the live feed
+	// The engines carry no observer: each coordinator authors its live feed
 	// itself (arrival-order point events, lease events, the merged finish).
-	coord, err := dist.NewCoordinator(core.New(app, cfg, opts), dist.CoordinatorOptions{
+	svc := dist.NewService(*store, all.Lookup)
+	baseOpts := dist.CoordinatorOptions{
 		LeaseTTL:  *leaseTTL,
 		LeaseSize: *leaseSize,
 		Lookahead: *lookahead,
@@ -149,58 +155,132 @@ func runServe(args []string) error {
 			Workers:    1,
 			Checkpoint: *checkpoint,
 		},
-		Observer: feed,
+	}
+	recoveredBanner := func(c *dist.Coordinator) {
+		st := c.Status()
+		fmt.Printf("ffd: recovered campaign %s from %s: %d/%d points already collected (epoch %d)\n",
+			st.Fingerprint, svc.CampaignDir(st.Fingerprint), st.Recorded+st.Quarantined, st.Points, st.Epoch)
+	}
+
+	// The primary campaign is the one the shared campaign flags describe
+	// (created fresh, or recovered if the store already holds its WAL). It
+	// is skipped only when -store was given without any campaign flag and
+	// the store holds unfinished campaigns: then the store's own contents
+	// decide what this process serves.
+	var primary *dist.Coordinator
+	openPrimary := func() error {
+		app, cfg, opts, err := camp.Build()
+		if err != nil {
+			return err
+		}
+		popts := baseOpts
+		popts.Observer = feed
+		c, recovered, err := svc.Open(core.New(app, cfg, opts), popts)
+		if err != nil {
+			return err
+		}
+		if recovered {
+			recoveredBanner(c)
+		}
+		primary = c
+		return nil
+	}
+	if *store == "" || camp.Explicit(fs) {
+		if err := openPrimary(); err != nil {
+			return err
+		}
+	}
+	reopened, err := svc.ReopenAll(func(fp string) dist.CoordinatorOptions {
+		ropts := baseOpts
+		ropts.Supervisor.Checkpoint = filepath.Join(svc.CampaignDir(fp), "merged.ckpt")
+		return ropts
 	})
 	if err != nil {
 		return err
+	}
+	for _, c := range reopened {
+		recoveredBanner(c)
+	}
+	if primary == nil && len(reopened) == 0 {
+		// -store with no campaign flags and nothing recoverable: serve the
+		// default-flag campaign, as a storeless `ffd serve` would.
+		if err := openPrimary(); err != nil {
+			return err
+		}
 	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: coord.Handler()}
+	srv := &http.Server{Handler: svc.Handler()}
 	go srv.Serve(ln)
 	defer srv.Close()
 
-	spec := coord.Spec()
-	fmt.Printf("ffd: serving %s campaign %s (%d points) on http://%s\n",
-		spec.App, spec.Fingerprint, spec.Points, ln.Addr())
-	fmt.Printf("ffd: attach shards with: ffd work -connect http://%s\n", ln.Addr())
+	coords := svc.Campaigns()
+	multi := len(coords) > 1
+	for _, c := range coords {
+		spec := c.Spec()
+		fmt.Printf("ffd: serving %s campaign %s (%d points) on http://%s\n",
+			spec.App, spec.Fingerprint, spec.Points, ln.Addr())
+	}
+	if *store != "" {
+		fmt.Printf("ffd: durable store: %s\n", *store)
+	}
+	if multi {
+		fmt.Printf("ffd: attach shards with: ffd work -connect http://%s -campaign <fingerprint>\n", ln.Addr())
+	} else {
+		fmt.Printf("ffd: attach shards with: ffd work -connect http://%s\n", ln.Addr())
+	}
 
 	ctx, stop := signalContext()
 	defer stop()
 	start := time.Now()
-	res, err := coord.Result(ctx)
-	if err != nil {
-		if ctx.Err() != nil {
-			st := coord.Status()
-			fmt.Fprintf(os.Stderr, "\ncampaign interrupted: %d/%d points collected\n",
-				st.Recorded+st.Quarantined, st.Points)
-			return errInterrupted
+	for _, c := range coords {
+		res, err := c.Result(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				st := c.Status()
+				fmt.Fprintf(os.Stderr, "\ncampaign %s interrupted: %d/%d points collected\n",
+					st.Fingerprint, st.Recorded+st.Quarantined, st.Points)
+				return errInterrupted
+			}
+			return fmt.Errorf("campaign %s: %w", c.Spec().Fingerprint, err)
 		}
-		return err
+		if multi {
+			fmt.Printf("== campaign %s ==\n", c.Spec().Fingerprint)
+		}
+		fmt.Println(res.Summary())
+		st := c.Status()
+		fmt.Printf("leases granted: %d (%d expired and re-leased)\n", st.LeasesGranted, st.LeasesExpired)
+		if len(res.Quarantined) > 0 {
+			fmt.Printf("quarantined %d poison point(s):\n", len(res.Quarantined))
+			for _, q := range res.Quarantined {
+				fmt.Printf("  point %d (%s): %s after %d attempts\n", q.Index, q.Point.String(), q.Err, q.Attempts)
+			}
+		}
+		switch {
+		case c == primary:
+			if *checkpoint != "" {
+				fmt.Printf("merged campaign journal: %s\n", *checkpoint)
+			}
+			if *saveJSON != "" {
+				if err := res.SaveJSON(*saveJSON); err != nil {
+					return err
+				}
+				fmt.Printf("campaign result saved to %s\n", *saveJSON)
+			}
+		default:
+			// Recovered, non-primary campaigns persist their result beside
+			// their WAL — there is no flag describing where else to put it.
+			out := filepath.Join(svc.CampaignDir(c.Spec().Fingerprint), "result.json")
+			if err := res.SaveJSON(out); err != nil {
+				return err
+			}
+			fmt.Printf("campaign result saved to %s\n", out)
+		}
 	}
-
-	fmt.Println(res.Summary())
 	fmt.Printf("campaign wall-clock: %v\n", time.Since(start).Round(time.Millisecond))
-	st := coord.Status()
-	fmt.Printf("leases granted: %d (%d expired and re-leased)\n", st.LeasesGranted, st.LeasesExpired)
-	if len(res.Quarantined) > 0 {
-		fmt.Printf("quarantined %d poison point(s):\n", len(res.Quarantined))
-		for _, q := range res.Quarantined {
-			fmt.Printf("  point %d (%s): %s after %d attempts\n", q.Index, q.Point.String(), q.Err, q.Attempts)
-		}
-	}
-	if *checkpoint != "" {
-		fmt.Printf("merged campaign journal: %s\n", *checkpoint)
-	}
-	if *saveJSON != "" {
-		if err := res.SaveJSON(*saveJSON); err != nil {
-			return err
-		}
-		fmt.Printf("campaign result saved to %s\n", *saveJSON)
-	}
 	return nil
 }
 
@@ -209,12 +289,14 @@ func runServe(args []string) error {
 func runWork(args []string) error {
 	fs := flag.NewFlagSet("ffd work", flag.ExitOnError)
 	var (
-		connect = fs.String("connect", "http://127.0.0.1:7411", "coordinator base URL")
-		name    = fs.String("name", "", "shard name in lease accounting (default host-pid)")
-		workers = fs.Int("workers", 0, "concurrent injection points on this shard (0 = derive from GOMAXPROCS)")
-		batch   = fs.Int("batch", 8, "journal records per streamed batch")
-		poll    = fs.Duration("poll", 200*time.Millisecond, "poll interval while no work is leasable")
-		verbose = fs.Bool("v", false, "verbose progress")
+		connect  = fs.String("connect", "http://127.0.0.1:7411", "coordinator base URL")
+		campaign = fs.String("campaign", "", "campaign fingerprint to work on (required when the coordinator hosts several)")
+		name     = fs.String("name", "", "shard name in lease accounting (default host-pid)")
+		workers  = fs.Int("workers", 0, "concurrent injection points on this shard (0 = derive from GOMAXPROCS)")
+		batch    = fs.Int("batch", 8, "journal records per streamed batch")
+		poll     = fs.Duration("poll", 200*time.Millisecond, "poll interval while no work is leasable")
+		maxRecs  = fs.Int("chaos-max-records", 0, "die (simulating a shard crash) after streaming this many records; 0 = never (chaos-testing hook)")
+		verbose  = fs.Bool("v", false, "verbose progress")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -229,9 +311,11 @@ func runWork(args []string) error {
 	wopts := dist.WorkerOptions{
 		Name:         *name,
 		Lookup:       all.Lookup,
+		Campaign:     *campaign,
 		Workers:      *workers,
 		BatchSize:    *batch,
 		PollInterval: *poll,
+		MaxRecords:   *maxRecs,
 	}
 	if *verbose {
 		wopts.Observer = core.LogfObserver(func(format string, args ...any) {
@@ -255,17 +339,25 @@ func runWork(args []string) error {
 func runStatus(args []string) error {
 	fs := flag.NewFlagSet("ffd status", flag.ExitOnError)
 	var (
-		connect = fs.String("connect", "http://127.0.0.1:7411", "coordinator base URL")
-		jsonOut = fs.Bool("json", false, "print the raw status reply as JSON")
+		connect  = fs.String("connect", "http://127.0.0.1:7411", "coordinator base URL")
+		campaign = fs.String("campaign", "", "campaign fingerprint to query (required when the coordinator hosts several)")
+		jsonOut  = fs.Bool("json", false, "print the raw status reply as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ctx, stop := signalContext()
 	defer stop()
-	st, err := dist.NewClient(*connect, nil).Status(ctx)
+	cl := dist.NewClient(*connect, nil)
+	if *campaign != "" {
+		cl = cl.ForCampaign(*campaign)
+	}
+	st, err := cl.Status(ctx)
 	if err != nil {
-		return err
+		if *campaign != "" {
+			return fmt.Errorf("cannot read status of campaign %s from coordinator at %s: %w", *campaign, *connect, err)
+		}
+		return fmt.Errorf("cannot read status from coordinator at %s (is `ffd serve` running there?): %w", *connect, err)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -276,6 +368,10 @@ func runStatus(args []string) error {
 	fmt.Printf("points:     %d total, %d wanted (frontier final: %t)\n", st.Points, st.Needed, st.FrontierDone)
 	fmt.Printf("collected:  %d recorded, %d quarantined (complete: %t, merged: %t)\n",
 		st.Recorded, st.Quarantined, st.Complete, st.Merged)
+	fmt.Printf("epoch:      %d (event seq %d)\n", st.Epoch, st.EventSeq)
+	if st.Store != "" {
+		fmt.Printf("store:      %s\n", st.Store)
+	}
 	fmt.Printf("leases:     %d granted, %d expired\n", st.LeasesGranted, st.LeasesExpired)
 	for _, l := range st.Leases {
 		fmt.Printf("  %-10s %-16s [%d,%d) %d left, ttl %.0fs\n",

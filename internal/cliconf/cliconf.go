@@ -38,9 +38,34 @@ type Campaign struct {
 	NoML       bool
 }
 
+// campaignFlagNames is the exact set Register installs — kept adjacent so
+// Explicit can tell campaign-describing flags from a command's own flags.
+var campaignFlagNames = map[string]bool{
+	"app": true, "ranks": true, "scale": true, "iters": true,
+	"trials": true, "seed": true, "adaptive": true, "confidence": true,
+	"threshold": true, "levels": true, "policy": true, "topology": true,
+	"netplan": true, "algorithm": true,
+	"no-semantic": true, "no-context": true, "no-ml": true,
+}
+
+// Explicit reports whether any campaign flag was set on the command line
+// (fs must already be parsed). `ffd serve -store DIR` uses this to
+// distinguish "serve this campaign" from "just reopen whatever the store
+// holds" — defaults alone don't describe an intended campaign.
+func (c *Campaign) Explicit(fs *flag.FlagSet) bool {
+	explicit := false
+	fs.Visit(func(f *flag.Flag) {
+		if campaignFlagNames[f.Name] {
+			explicit = true
+		}
+	})
+	return explicit
+}
+
 // Register installs the shared campaign flags on fs and returns the struct
 // they parse into. Flag names and defaults are the CLI contract — both
-// fastfit and ffd register this exact set.
+// fastfit and ffd register this exact set (mirrored in
+// campaignFlagNames).
 func Register(fs *flag.FlagSet) *Campaign {
 	c := &Campaign{}
 	fs.StringVar(&c.App, "app", "minimd", "workload to study (is, ft, mg, lu, minimd, shoot)")

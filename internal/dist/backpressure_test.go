@@ -146,9 +146,18 @@ func TestSSESubscriberLifecycle(t *testing.T) {
 		if _, err := cl.Renew(ctx, dist.RenewRequest{LeaseID: grant.LeaseID, Worker: "probe"}); err != nil {
 			t.Fatalf("renew %d: %v", i, err)
 		}
-		line, err := bufio.NewReader(resp.Body).ReadString('\n')
-		if err != nil {
-			t.Fatalf("sse read %d: %v", i, err)
+		// Frames arrive as "id: <seq>" then "data: <frame>" lines; read
+		// until the data line.
+		br := bufio.NewReader(resp.Body)
+		var line string
+		for {
+			line, err = br.ReadString('\n')
+			if err != nil {
+				t.Fatalf("sse read %d: %v", i, err)
+			}
+			if strings.HasPrefix(line, "data: ") {
+				break
+			}
 		}
 		payload := strings.TrimPrefix(strings.TrimSpace(line), "data: ")
 		if _, err := dist.DecodeEventFrame([]byte(payload)); err != nil {

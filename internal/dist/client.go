@@ -1,72 +1,227 @@
 package dist
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 )
 
+// ErrUnavailable marks a request abandoned after the retry policy was
+// exhausted by transport errors or 5xx replies: the coordinator is (still)
+// unreachable. Callers distinguish it from protocol errors with errors.Is
+// and decide whether that kills them (no coordinator to lease from) or
+// just abandons in-flight state (a lease that will expire anyway).
+var ErrUnavailable = errors.New("coordinator unavailable")
+
+// ErrStopEvents, returned by an Events callback, stops the feed cleanly:
+// Events returns nil instead of reconnecting.
+var ErrStopEvents = errors.New("stop event feed")
+
+// RetryPolicy shapes the client's capped, jittered exponential backoff on
+// transient failures (network errors and 5xx replies — never 4xx, which
+// are the caller's bug, and never context cancellation, which is the
+// caller's intent). The zero value means "one attempt, no retry";
+// withDefaults fills the standard outage-tolerant shape.
+type RetryPolicy struct {
+	// Base is the first retry delay; each subsequent delay doubles.
+	Base time.Duration
+	// Max caps the delay growth.
+	Max time.Duration
+	// Attempts bounds total tries (first try included). <=1 disables retry.
+	Attempts int
+	// Jitter returns a value in [0,1) mixed into every delay (equal
+	// jitter: d/2 + Jitter()*d/2, so a delay is never zero and herds
+	// never synchronize). Injectable for deterministic tests.
+	Jitter func() float64
+	// Sleep waits out one backoff delay; returning false aborts the retry
+	// loop (context cancelled). Injectable so tests run without real time.
+	Sleep func(ctx context.Context, d time.Duration) bool
+}
+
+// withDefaults fills unset fields with the standard outage-tolerant
+// policy: 100ms base doubling to a 5s cap over 10 attempts (~30s of
+// cumulative patience — comfortably longer than a coordinator restart).
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Base <= 0 {
+		p.Base = 100 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 5 * time.Second
+	}
+	if p.Attempts == 0 {
+		p.Attempts = 10
+	}
+	if p.Jitter == nil {
+		p.Jitter = rand.Float64
+	}
+	if p.Sleep == nil {
+		p.Sleep = func(ctx context.Context, d time.Duration) bool {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return false
+			case <-t.C:
+				return true
+			}
+		}
+	}
+	return p
+}
+
+// delay computes the backoff before retry number n (1-based): capped
+// exponential growth with equal jitter.
+func (p RetryPolicy) delay(n int) time.Duration {
+	d := p.Base
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= p.Max {
+			d = p.Max
+			break
+		}
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	return d/2 + time.Duration(p.Jitter()*float64(d/2))
+}
+
 // Client speaks the coordinator's HTTP JSON API. All replies pass through
-// the same validating decoders the fuzz suite hammers.
+// the same validating decoders the fuzz suite hammers. A client carries a
+// RetryPolicy: transient failures (connection refused/reset, 5xx) are
+// retried with capped jittered exponential backoff, so a coordinator
+// outage shorter than the policy's patience is invisible to the caller.
 type Client struct {
-	base string
-	hc   *http.Client
+	base   string
+	prefix string // route prefix: "/v1" or "/v1/campaigns/<fp>"
+	hc     *http.Client
+	retry  RetryPolicy
 }
 
 // NewClient builds a client for a coordinator at base (e.g.
-// "http://127.0.0.1:7411"). A nil httpClient uses http.DefaultClient.
+// "http://127.0.0.1:7411") addressing the single-campaign /v1 routes. A
+// nil httpClient uses http.DefaultClient. The zero retry policy (no
+// retry) applies until WithRetry.
 func NewClient(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+	return &Client{base: strings.TrimRight(base, "/"), prefix: "/v1", hc: httpClient, retry: RetryPolicy{Attempts: 1}}
 }
 
-// roundTrip POSTs (or GETs, when body is nil) JSON and returns the reply
-// body. Non-2xx replies surface the server's error text.
+// WithRetry returns a copy of the client using the given backoff policy
+// (zero fields filled with defaults) for every subsequent call.
+func (cl *Client) WithRetry(p RetryPolicy) *Client {
+	c := *cl
+	c.retry = p.withDefaults()
+	return &c
+}
+
+// ForCampaign returns a copy of the client addressing one campaign's
+// routes (/v1/campaigns/<fp>/...) on a multi-campaign coordinator.
+func (cl *Client) ForCampaign(fp string) *Client {
+	c := *cl
+	c.prefix = "/v1/campaigns/" + fp
+	return &c
+}
+
+// roundTrip POSTs (or GETs, when body is nil) JSON under the client's
+// route prefix and returns the reply body. Non-2xx replies surface the
+// server's error text; transient failures are retried per the policy and
+// yield an ErrUnavailable-wrapped error once it is exhausted.
 func (cl *Client) roundTrip(ctx context.Context, path string, body any) ([]byte, error) {
-	var (
-		req *http.Request
-		err error
-	)
-	if body == nil {
-		req, err = http.NewRequestWithContext(ctx, http.MethodGet, cl.base+path, nil)
-	} else {
-		var payload []byte
+	path = cl.prefix + path
+	var payload []byte
+	if body != nil {
+		var err error
 		payload, err = json.Marshal(body)
 		if err != nil {
 			return nil, fmt.Errorf("%s: encoding request: %w", path, err)
 		}
+	}
+	p := cl.retry
+	if p.Attempts < 1 {
+		p = p.withDefaults()
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		data, err := cl.once(ctx, path, payload, body != nil)
+		if err == nil {
+			return data, nil
+		}
+		var tr *transientError
+		if !errors.As(err, &tr) {
+			return nil, err
+		}
+		lastErr = tr.err
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("%s: %w", path, ctx.Err())
+		}
+		if attempt >= p.Attempts {
+			break
+		}
+		if !p.Sleep(ctx, p.delay(attempt)) {
+			return nil, fmt.Errorf("%s: %w", path, ctx.Err())
+		}
+	}
+	return nil, fmt.Errorf("%s: %w after %d attempts: %v", path, ErrUnavailable, p.Attempts, lastErr)
+}
+
+// transientError marks a failure the retry policy may absorb.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// once performs a single HTTP exchange. Transport errors and 5xx replies
+// come back as *transientError; anything else is final.
+func (cl *Client) once(ctx context.Context, path string, payload []byte, post bool) ([]byte, error) {
+	var (
+		req *http.Request
+		err error
+	)
+	if post {
 		req, err = http.NewRequestWithContext(ctx, http.MethodPost, cl.base+path, bytes.NewReader(payload))
 		if req != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+	} else {
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet, cl.base+path, nil)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	resp, err := cl.hc.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, &transientError{fmt.Errorf("%s: %w", path, err)}
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return nil, fmt.Errorf("%s: reading reply: %w", path, err)
+		return nil, &transientError{fmt.Errorf("%s: reading reply: %w", path, err)}
 	}
 	if resp.StatusCode/100 != 2 {
-		return nil, fmt.Errorf("%s: %s: %s", path, resp.Status, strings.TrimSpace(string(data)))
+		wireErr := fmt.Errorf("%s: %s: %s", path, resp.Status, strings.TrimSpace(string(data)))
+		if resp.StatusCode >= 500 {
+			return nil, &transientError{wireErr}
+		}
+		return nil, wireErr
 	}
 	return data, nil
 }
 
 // Campaign fetches the coordinator's campaign spec.
 func (cl *Client) Campaign(ctx context.Context) (CampaignSpec, error) {
-	data, err := cl.roundTrip(ctx, "/v1/campaign", nil)
+	data, err := cl.roundTrip(ctx, "/campaign", nil)
 	if err != nil {
 		return CampaignSpec{}, err
 	}
@@ -75,7 +230,7 @@ func (cl *Client) Campaign(ctx context.Context) (CampaignSpec, error) {
 
 // Lease requests the next index range.
 func (cl *Client) Lease(ctx context.Context, req LeaseRequest) (LeaseGrant, error) {
-	data, err := cl.roundTrip(ctx, "/v1/lease", req)
+	data, err := cl.roundTrip(ctx, "/lease", req)
 	if err != nil {
 		return LeaseGrant{}, err
 	}
@@ -84,7 +239,7 @@ func (cl *Client) Lease(ctx context.Context, req LeaseRequest) (LeaseGrant, erro
 
 // Renew extends a held lease.
 func (cl *Client) Renew(ctx context.Context, req RenewRequest) (RenewReply, error) {
-	data, err := cl.roundTrip(ctx, "/v1/renew", req)
+	data, err := cl.roundTrip(ctx, "/renew", req)
 	if err != nil {
 		return RenewReply{}, err
 	}
@@ -93,7 +248,7 @@ func (cl *Client) Renew(ctx context.Context, req RenewRequest) (RenewReply, erro
 
 // Journal streams one batch of completed records.
 func (cl *Client) Journal(ctx context.Context, batch JournalBatch) (JournalReply, error) {
-	data, err := cl.roundTrip(ctx, "/v1/journal", batch)
+	data, err := cl.roundTrip(ctx, "/journal", batch)
 	if err != nil {
 		return JournalReply{}, err
 	}
@@ -106,7 +261,7 @@ func (cl *Client) Journal(ctx context.Context, batch JournalBatch) (JournalReply
 
 // Status fetches the coordinator's control-plane state.
 func (cl *Client) Status(ctx context.Context) (StatusReply, error) {
-	data, err := cl.roundTrip(ctx, "/v1/status", nil)
+	data, err := cl.roundTrip(ctx, "/status", nil)
 	if err != nil {
 		return StatusReply{}, err
 	}
@@ -115,4 +270,110 @@ func (cl *Client) Status(ctx context.Context) (StatusReply, error) {
 		return StatusReply{}, fmt.Errorf("status reply: %w", err)
 	}
 	return r, nil
+}
+
+// Campaigns fetches a multi-campaign coordinator's registry listing. The
+// route is server-global, so the client's campaign scope is ignored.
+func (cl *Client) Campaigns(ctx context.Context) (CampaignsReply, error) {
+	scoped := *cl
+	scoped.prefix = "/v1"
+	data, err := scoped.roundTrip(ctx, "/campaigns", nil)
+	if err != nil {
+		return CampaignsReply{}, err
+	}
+	return DecodeCampaignsReply(data)
+}
+
+// Events consumes the coordinator's SSE feed, invoking fn for every
+// decoded frame in order. afterSeq resumes after a known frame (pass -1
+// for live-only, 0 for the feed from its beginning). The stream
+// transparently survives outages: on a broken connection it reconnects
+// with a Last-Event-ID of the last delivered seq, so the resumed feed is
+// seq-gap-free; retries follow the client's policy and exhaustion without
+// progress returns an ErrUnavailable-wrapped error. fn returning
+// ErrStopEvents ends the feed cleanly (Events returns nil); any other fn
+// error is returned as-is.
+func (cl *Client) Events(ctx context.Context, afterSeq int, fn func(EventFrame) error) error {
+	p := cl.retry.withDefaults()
+	failures := 0
+	for {
+		progressed, err := cl.streamEvents(ctx, &afterSeq, fn)
+		if err != nil {
+			if errors.Is(err, ErrStopEvents) {
+				return nil
+			}
+			var tr *transientError
+			if !errors.As(err, &tr) {
+				return err
+			}
+			if progressed {
+				failures = 0
+			}
+			failures++
+			if ctx.Err() != nil {
+				return fmt.Errorf("%s/events: %w", cl.prefix, ctx.Err())
+			}
+			if failures >= p.Attempts {
+				return fmt.Errorf("%s/events: %w after %d attempts: %v", cl.prefix, ErrUnavailable, p.Attempts, tr.err)
+			}
+			if !p.Sleep(ctx, p.delay(failures)) {
+				return fmt.Errorf("%s/events: %w", cl.prefix, ctx.Err())
+			}
+			continue
+		}
+		// Clean EOF: the hub closed (campaign merged and shut its feed).
+		return nil
+	}
+}
+
+// streamEvents runs one SSE connection, delivering frames and advancing
+// *afterSeq past each. Returns whether any frame was delivered, and nil
+// only on clean server-side stream end.
+func (cl *Client) streamEvents(ctx context.Context, afterSeq *int, fn func(EventFrame) error) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cl.base+cl.prefix+"/events", nil)
+	if err != nil {
+		return false, fmt.Errorf("%s/events: %w", cl.prefix, err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if *afterSeq >= 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(*afterSeq))
+	}
+	resp, err := cl.hc.Do(req)
+	if err != nil {
+		return false, &transientError{err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		wireErr := fmt.Errorf("%s/events: %s: %s", cl.prefix, resp.Status, strings.TrimSpace(string(data)))
+		if resp.StatusCode >= 500 {
+			return false, &transientError{wireErr}
+		}
+		return false, wireErr
+	}
+	progressed := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), maxBodyBytes)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue // id: lines, keepalives, blank separators
+		}
+		frame, err := DecodeEventFrame([]byte(strings.TrimPrefix(line, "data: ")))
+		if err != nil {
+			return progressed, fmt.Errorf("%s/events: %w", cl.prefix, err)
+		}
+		if frame.Seq <= *afterSeq {
+			continue // duplicate at a reconnect splice
+		}
+		if err := fn(frame); err != nil {
+			return progressed, err
+		}
+		*afterSeq = frame.Seq
+		progressed = true
+	}
+	if err := sc.Err(); err != nil {
+		return progressed, &transientError{err}
+	}
+	return progressed, nil
 }

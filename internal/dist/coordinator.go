@@ -31,6 +31,13 @@ type CoordinatorOptions struct {
 	// Expiry is reaped lazily on API calls — no background timers, so a
 	// fake clock fully controls lease death.
 	Now func() time.Time
+	// Store, when non-empty, is the campaign's durable state directory: a
+	// write-ahead log there records the spec at open and every applied
+	// batch, quarantine and frontier advance before it is acknowledged, so
+	// a SIGKILLed coordinator recovers (RecoverCoordinator) with the same
+	// record store it crashed with. Empty keeps the coordinator in-memory
+	// only, exactly as before.
+	Store string
 	// Supervisor configures the merge step: Checkpoint is where the merged
 	// journal is written (empty keeps the merge journal-less), and the
 	// retry/watchdog knobs must match the serial run being reproduced.
@@ -81,6 +88,8 @@ type Coordinator struct {
 	spec  CampaignSpec
 	hub   *Hub
 	stats *core.StreamStats
+	wal   *WAL // nil without a Store
+	epoch int  // process generation: 1 fresh, +1 per recovery
 
 	mu            sync.Mutex
 	records       map[int]core.PointRecord
@@ -103,7 +112,10 @@ type Coordinator struct {
 
 // NewCoordinator plans the campaign on the given engine (which must have
 // no Observer attached — the coordinator authors its own feed) and opens
-// it for leasing. The engine's profile run executes here.
+// it for leasing. The engine's profile run executes here. With
+// Options.Store set, a fresh write-ahead log is created there; a Store
+// that already holds a WAL is refused — recover it with
+// RecoverCoordinator instead.
 func NewCoordinator(eng *core.Engine, opts CoordinatorOptions) (*Coordinator, error) {
 	info, err := eng.PlanInfo()
 	if err != nil {
@@ -111,20 +123,44 @@ func NewCoordinator(eng *core.Engine, opts CoordinatorOptions) (*Coordinator, er
 	}
 	specOpts := eng.Options()
 	specOpts.Observer = nil // interfaces don't cross the wire
+	spec := CampaignSpec{
+		App:         eng.App().Name(),
+		Config:      eng.Config(),
+		Options:     specOpts,
+		Fingerprint: info.Fingerprint,
+		Points:      info.Points,
+	}
+	opts = opts.withDefaults()
+	var wal *WAL
+	if opts.Store != "" {
+		if wal, err = CreateWAL(opts.Store, spec); err != nil {
+			return nil, err
+		}
+	}
+	return newCoordinator(eng, opts, spec, wal, 1, nil, nil)
+}
+
+// newCoordinator is the construction path NewCoordinator and
+// RecoverCoordinator share: opts must already have defaults applied, and
+// records/quars (nil for a fresh campaign) seed the record store.
+func newCoordinator(eng *core.Engine, opts CoordinatorOptions, spec CampaignSpec, wal *WAL, epoch int,
+	records map[int]core.PointRecord, quars map[int]core.QuarantinedPoint) (*Coordinator, error) {
+	if records == nil {
+		records = map[int]core.PointRecord{}
+	}
+	if quars == nil {
+		quars = map[int]core.QuarantinedPoint{}
+	}
 	c := &Coordinator{
-		eng:  eng,
-		opts: opts.withDefaults(),
-		spec: CampaignSpec{
-			App:         eng.App().Name(),
-			Config:      eng.Config(),
-			Options:     specOpts,
-			Fingerprint: info.Fingerprint,
-			Points:      info.Points,
-		},
+		eng:     eng,
+		opts:    opts,
+		spec:    spec,
 		hub:     NewHub(),
 		stats:   core.NewStreamStats(),
-		records: map[int]core.PointRecord{},
-		quar:    map[int]core.QuarantinedPoint{},
+		wal:     wal,
+		epoch:   epoch,
+		records: records,
+		quar:    quars,
 		leases:  map[string]*lease{},
 		done:    make(chan struct{}),
 	}
@@ -133,16 +169,48 @@ func NewCoordinator(eng *core.Engine, opts CoordinatorOptions) (*Coordinator, er
 	c.emitLocked(core.CampaignStarted{
 		App:            c.spec.App,
 		Ranks:          c.spec.Config.Ranks,
-		TrialsPerPoint: specOpts.TrialsPerPoint,
-		MLPruning:      specOpts.ML.Pruning,
+		TrialsPerPoint: c.spec.Options.TrialsPerPoint,
+		MLPruning:      c.spec.Options.ML.Pruning,
 		Algorithm:      c.spec.Config.Algorithm,
 	})
-	c.emitLocked(core.PhaseChanged{Phase: core.CampaignInjecting, Points: info.Points})
+	c.emitLocked(core.PhaseChanged{Phase: core.CampaignInjecting, Points: spec.Points})
+	// A recovered record store replays on the fresh feed the way
+	// checkpoint-restored points do on a resumed serial campaign, so a
+	// reattached dashboard tallies the same progress.
+	for _, idx := range sortedRecordIdxs(c.records) {
+		rec := c.records[idx]
+		c.arrivals++
+		c.emitLocked(core.PointCompleted{Index: rec.Index, Result: rec.Result,
+			Completed: c.arrivals, Total: c.spec.Points, FromCheckpoint: true})
+	}
+	for _, idx := range sortedQuarIdxs(c.quar) {
+		c.arrivals++
+		c.emitLocked(core.PointQuarantined{Point: c.quar[idx], Completed: c.arrivals,
+			Total: c.spec.Points, FromCheckpoint: true})
+	}
 	if err := c.refrontierLocked(); err != nil {
 		return nil, err
 	}
 	c.checkCompleteLocked()
 	return c, nil
+}
+
+func sortedRecordIdxs(m map[int]core.PointRecord) []int {
+	idxs := make([]int, 0, len(m))
+	for idx := range m {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	return idxs
+}
+
+func sortedQuarIdxs(m map[int]core.QuarantinedPoint) []int {
+	idxs := make([]int, 0, len(m))
+	for idx := range m {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	return idxs
 }
 
 // Spec returns the campaign description served to workers.
@@ -163,7 +231,7 @@ func (c *Coordinator) emitLocked(ev core.Event) {
 		c.opts.Observer.OnEvent(ev)
 	}
 	if frame, err := core.EventEnvelope(c.seq, ev); err == nil {
-		c.hub.Publish(frame)
+		c.hub.Publish(c.seq, frame)
 	}
 }
 
@@ -205,12 +273,18 @@ func (c *Coordinator) refrontierLocked() error {
 	if err != nil {
 		return fmt.Errorf("ML frontier replay: %w", err)
 	}
+	prevNeeded, prevDone := c.needed, c.frontierDone
 	if finished {
 		c.needed = needed
 	} else {
 		c.needed = min(c.spec.Points, needed+c.opts.Lookahead)
 	}
 	c.frontierDone = finished
+	if c.wal != nil && (c.needed != prevNeeded || c.frontierDone != prevDone) {
+		if err := c.wal.AppendFrontier(c.needed, c.frontierDone); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -301,8 +375,12 @@ func (c *Coordinator) Lease(req LeaseRequest) (LeaseGrant, error) {
 		}
 		hi = idx + 1
 	}
+	// The epoch prefix keeps lease IDs unique across coordinator
+	// generations: a lease granted before a crash can never collide with
+	// one granted after recovery, so a stale holder's renew/journal is
+	// answered Expired (re-lease) instead of silently adopted.
 	c.nextLease++
-	id := fmt.Sprintf("lease-%d", c.nextLease)
+	id := fmt.Sprintf("lease-%d-%d", c.epoch, c.nextLease)
 	c.leases[id] = &lease{id: id, worker: req.Worker, lo: lo, hi: hi,
 		deadline: c.opts.Now().Add(c.opts.LeaseTTL)}
 	c.leasesGranted++
@@ -335,7 +413,10 @@ func (c *Coordinator) Renew(req RenewRequest) RenewReply {
 // Journal applies one batch of shard records. Batches for expired or
 // unknown leases are rejected whole (Expired reply): their range is being
 // re-leased, and the determinism contract makes the re-measurement
-// byte-identical, so nothing is lost.
+// byte-identical, so nothing is lost. With a Store, the batch's
+// newly-accepted records go to the write-ahead log *before* the in-memory
+// store mutates or the shard is acked — a crash at any instant leaves the
+// WAL a prefix of what workers were told was accepted.
 func (c *Coordinator) Journal(batch JournalBatch, recs []core.PointRecord, quars []core.QuarantinedPoint) (JournalReply, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -344,29 +425,40 @@ func (c *Coordinator) Journal(batch JournalBatch, recs []core.PointRecord, quars
 	if !ok {
 		return JournalReply{Expired: true}, nil
 	}
-	acked := 0
+	fresh := make([]core.PointRecord, 0, len(recs))
 	for _, rec := range recs {
 		if rec.Index < l.lo || rec.Index >= l.hi {
 			return JournalReply{}, fmt.Errorf("lease %s: record index %d outside leased range [%d,%d)",
 				l.id, rec.Index, l.lo, l.hi)
 		}
-		if _, dup := c.records[rec.Index]; dup {
-			continue
+		if _, dup := c.records[rec.Index]; !dup {
+			fresh = append(fresh, rec)
 		}
+	}
+	freshQ := make([]core.QuarantinedPoint, 0, len(quars))
+	for _, q := range quars {
+		if q.Index < l.lo || q.Index >= l.hi {
+			return JournalReply{}, fmt.Errorf("lease %s: quarantine index %d outside leased range [%d,%d)",
+				l.id, q.Index, l.lo, l.hi)
+		}
+		if _, dup := c.quar[q.Index]; !dup {
+			freshQ = append(freshQ, q)
+		}
+	}
+	if c.wal != nil && (len(fresh) > 0 || len(freshQ) > 0) {
+		if err := c.wal.AppendBatch(l.id, l.worker, fresh, freshQ); err != nil {
+			return JournalReply{}, err
+		}
+	}
+	acked := 0
+	for _, rec := range fresh {
 		c.records[rec.Index] = rec
 		c.arrivals++
 		acked++
 		c.emitLocked(core.PointCompleted{Index: rec.Index, Result: rec.Result,
 			Completed: c.arrivals, Total: c.spec.Points})
 	}
-	for _, q := range quars {
-		if q.Index < l.lo || q.Index >= l.hi {
-			return JournalReply{}, fmt.Errorf("lease %s: quarantine index %d outside leased range [%d,%d)",
-				l.id, q.Index, l.lo, l.hi)
-		}
-		if _, dup := c.quar[q.Index]; dup {
-			continue
-		}
+	for _, q := range freshQ {
 		c.quar[q.Index] = q
 		c.arrivals++
 		acked++
@@ -419,6 +511,14 @@ func (c *Coordinator) Result(ctx context.Context) (*core.SupervisedResult, error
 		merged, err := Merge(ctx, c.eng, in, supOpts)
 		c.mu.Lock()
 		c.merged, c.mergeErr = merged, err
+		if err == nil && c.wal != nil {
+			// The campaign is finished and its result persisted by the
+			// caller; mark the log so recovery skips it instead of
+			// re-serving a done campaign.
+			if werr := c.wal.AppendMerged(); werr == nil {
+				c.wal.Close()
+			}
+		}
 		if err == nil {
 			c.emitLocked(core.CampaignFinished{
 				App:         merged.AppName,
@@ -451,6 +551,11 @@ func (c *Coordinator) Status() StatusReply {
 		Merged:        c.merged != nil,
 		LeasesGranted: c.leasesGranted,
 		LeasesExpired: c.leasesExpired,
+		Epoch:         c.epoch,
+		EventSeq:      c.seq,
+	}
+	if c.wal != nil {
+		st.Store = c.wal.Path()
 	}
 	for _, l := range c.leases {
 		remaining := 0

@@ -33,7 +33,7 @@ func testOptions(seed int64) core.Options {
 	return opts
 }
 
-func testEngine(t *testing.T, opts core.Options) *core.Engine {
+func testEngine(t testing.TB, opts core.Options) *core.Engine {
 	t.Helper()
 	app, err := all.Lookup("is")
 	if err != nil {

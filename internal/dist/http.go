@@ -5,13 +5,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 )
 
 // maxBodyBytes bounds request bodies — a journal batch of checkpoint
 // lines is small; anything bigger is malformed or hostile.
 const maxBodyBytes = 64 << 20
 
-// Handler serves the coordinator's HTTP JSON API:
+// Handler serves one campaign's HTTP JSON API:
 //
 //	GET  /v1/campaign  campaign spec for zero-config workers
 //	POST /v1/lease     lease the next index range
@@ -19,85 +20,133 @@ const maxBodyBytes = 64 << 20
 //	POST /v1/journal   stream a batch of completed records
 //	GET  /v1/status    control-plane state
 //	GET  /v1/events    SSE event feed (one EventFrame per message)
+//
+// A multi-campaign Service mounts these same endpoints per campaign under
+// /v1/campaigns/{fp}/ (see Service.Handler).
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/campaign", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, c.Spec())
-	})
-	mux.HandleFunc("POST /v1/lease", func(w http.ResponseWriter, r *http.Request) {
-		body, err := readBody(r)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		req, err := DecodeLeaseRequest(body)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		grant, err := c.Lease(req)
-		if err != nil {
-			httpError(w, http.StatusConflict, err)
-			return
-		}
-		writeJSON(w, grant)
-	})
-	mux.HandleFunc("POST /v1/renew", func(w http.ResponseWriter, r *http.Request) {
-		body, err := readBody(r)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		req, err := DecodeRenewRequest(body)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		writeJSON(w, c.Renew(req))
-	})
-	mux.HandleFunc("POST /v1/journal", func(w http.ResponseWriter, r *http.Request) {
-		body, err := readBody(r)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		batch, recs, quars, err := DecodeJournalBatch(body)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		rep, err := c.Journal(batch, recs, quars)
-		if err != nil {
-			httpError(w, http.StatusConflict, err)
-			return
-		}
-		writeJSON(w, rep)
-	})
-	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, c.Status())
-	})
-	mux.HandleFunc("GET /v1/events", c.serveEvents)
+	registerCampaignRoutes(mux, "/v1", func(r *http.Request) (*Coordinator, error) { return c, nil })
 	return mux
 }
 
+// registerCampaignRoutes mounts the campaign endpoints under prefix,
+// resolving the target coordinator per request (a fixed coordinator for
+// the single-campaign API, a path-keyed lookup for the multi-campaign
+// one). Resolution failures are served as 404s.
+func registerCampaignRoutes(mux *http.ServeMux, prefix string, resolve func(*http.Request) (*Coordinator, error)) {
+	with := func(h func(*Coordinator, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			c, err := resolve(r)
+			if err != nil {
+				httpError(w, http.StatusNotFound, err)
+				return
+			}
+			h(c, w, r)
+		}
+	}
+	mux.HandleFunc("GET "+prefix+"/campaign", with((*Coordinator).handleCampaign))
+	mux.HandleFunc("POST "+prefix+"/lease", with((*Coordinator).handleLease))
+	mux.HandleFunc("POST "+prefix+"/renew", with((*Coordinator).handleRenew))
+	mux.HandleFunc("POST "+prefix+"/journal", with((*Coordinator).handleJournal))
+	mux.HandleFunc("GET "+prefix+"/status", with((*Coordinator).handleStatus))
+	mux.HandleFunc("GET "+prefix+"/events", with((*Coordinator).serveEvents))
+}
+
+func (c *Coordinator) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, c.Spec())
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := DecodeLeaseRequest(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	grant, err := c.Lease(req)
+	if err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, grant)
+}
+
+func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := DecodeRenewRequest(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, c.Renew(req))
+}
+
+func (c *Coordinator) handleJournal(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	batch, recs, quars, err := DecodeJournalBatch(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	rep, err := c.Journal(batch, recs, quars)
+	if err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, c.Status())
+}
+
 // serveEvents streams the live event feed as server-sent events. Each
-// frame is one `data:` message holding a seq-numbered EventFrame
-// envelope; a subscriber that reads too slowly has frames dropped by the
-// hub (visible as seq gaps and in /v1/status drop accounting) — the
-// campaign never waits for it. The handler owns no goroutines: it returns
-// (and detaches the subscriber) when the client disconnects or the hub
-// closes.
+// frame is one message carrying its seq as the SSE `id:` field and the
+// seq-numbered EventFrame envelope as `data:`. A subscriber that reads too
+// slowly has frames dropped by the hub (visible as seq gaps and in
+// /v1/status drop accounting) — the campaign never waits for it. A client
+// reconnecting with a Last-Event-ID header is first replayed every
+// retained frame after that seq, so a resumed feed is seq-gap-free. The
+// handler owns no goroutines: it returns (and detaches the subscriber)
+// when the client disconnects or the hub closes.
 func (c *Coordinator) serveEvents(w http.ResponseWriter, r *http.Request) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		httpError(w, http.StatusInternalServerError, fmt.Errorf("response writer does not support streaming"))
 		return
 	}
-	sub := c.hub.Subscribe(c.opts.SubscriberBuffer)
+	afterSeq := -1
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("malformed Last-Event-ID %q: want a non-negative frame seq", v))
+			return
+		}
+		afterSeq = n
+	}
+	sub, replay := c.hub.SubscribeFrom(afterSeq, c.opts.SubscriberBuffer)
 	defer c.hub.Unsubscribe(sub)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	for _, frame := range replay {
+		if err := writeSSEFrame(w, frame); err != nil {
+			return
+		}
+	}
 	flusher.Flush()
 	for {
 		select {
@@ -107,12 +156,25 @@ func (c *Coordinator) serveEvents(w http.ResponseWriter, r *http.Request) {
 			if !ok {
 				return // hub closed
 			}
-			if _, err := fmt.Fprintf(w, "data: %s\n\n", frame); err != nil {
+			if err := writeSSEFrame(w, frame); err != nil {
 				return
 			}
 			flusher.Flush()
 		}
 	}
+}
+
+// writeSSEFrame renders one event frame as an SSE message, exposing the
+// frame's seq as the event id so EventSource-style clients resume with
+// Last-Event-ID automatically.
+func writeSSEFrame(w io.Writer, frame []byte) error {
+	if f, err := DecodeEventFrame(frame); err == nil {
+		if _, err := fmt.Fprintf(w, "id: %d\n", f.Seq); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "data: %s\n\n", frame)
+	return err
 }
 
 func readBody(r *http.Request) ([]byte, error) {

@@ -12,11 +12,26 @@ import (
 // Dropped frames are observable to the subscriber itself as gaps in the
 // frames' seq numbers, and to operators via per-subscriber drop counts in
 // /v1/status.
+//
+// Every published frame is additionally retained, seq-tagged, so a
+// subscriber that reconnects with the last seq it saw (SSE Last-Event-ID)
+// is replayed exactly the frames it missed and the resumed feed stays
+// seq-gap-free. Retention is the price of resumability; frames are small
+// (one JSON envelope per campaign event) and a campaign's feed is bounded
+// by its point count, so the hub keeps all of them for the campaign's
+// lifetime.
 type Hub struct {
-	mu     sync.Mutex
-	subs   map[int]*Subscriber
-	nextID int
-	closed bool
+	mu      sync.Mutex
+	subs    map[int]*Subscriber
+	nextID  int
+	closed  bool
+	history []hubFrame
+}
+
+// hubFrame is one retained publication.
+type hubFrame struct {
+	seq  int
+	data []byte
 }
 
 // NewHub builds an empty hub.
@@ -50,6 +65,16 @@ func (s *Subscriber) Stats() (sent, dropped int) {
 // Subscribe attaches a new consumer with the given channel capacity
 // (minimum 1). The subscriber receives frames published after this call.
 func (h *Hub) Subscribe(buffer int) *Subscriber {
+	s, _ := h.SubscribeFrom(-1, buffer)
+	return s
+}
+
+// SubscribeFrom attaches a new consumer and, in the same atomic step,
+// returns every retained frame with seq > afterSeq: the replay plus the
+// live channel together are exactly the feed from afterSeq+1 on, with no
+// gap and no duplicate at the splice point. afterSeq < 0 skips replay
+// (frames published after this call only).
+func (h *Hub) SubscribeFrom(afterSeq, buffer int) (*Subscriber, [][]byte) {
 	if buffer < 1 {
 		buffer = 1
 	}
@@ -59,10 +84,18 @@ func (h *Hub) Subscribe(buffer int) *Subscriber {
 	s := &Subscriber{id: h.nextID, hub: h, ch: make(chan []byte, buffer)}
 	if h.closed {
 		close(s.ch)
-		return s
+		return s, nil
 	}
 	h.subs[s.id] = s
-	return s
+	var replay [][]byte
+	if afterSeq >= 0 {
+		for _, f := range h.history {
+			if f.seq > afterSeq {
+				replay = append(replay, f.data)
+			}
+		}
+	}
+	return s, replay
 }
 
 // Unsubscribe detaches a consumer and closes its channel. Safe to call
@@ -76,11 +109,13 @@ func (h *Hub) Unsubscribe(s *Subscriber) {
 	}
 }
 
-// Publish delivers one frame to every subscriber without ever blocking:
-// full subscribers drop the frame and account for it.
-func (h *Hub) Publish(frame []byte) {
+// Publish delivers one seq-tagged frame to every subscriber without ever
+// blocking: full subscribers drop the frame and account for it. The frame
+// is retained for Last-Event-ID replay.
+func (h *Hub) Publish(seq int, frame []byte) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.history = append(h.history, hubFrame{seq: seq, data: frame})
 	for _, s := range h.subs {
 		select {
 		case s.ch <- frame:

@@ -22,30 +22,7 @@ func TestDistributedIdentity(t *testing.T) {
 		// the race detector (or -short) a 4-seed sweep keeps the signal.
 		seeds = 4
 	}
-	paths := []struct {
-		name string
-		opts func(seed int64) distOptions
-	}{
-		{"direct", func(seed int64) distOptions {
-			return distOptions{opts: testOptions(seed)}
-		}},
-		{"ml", func(seed int64) distOptions {
-			o := testOptions(seed)
-			o.ML.Pruning = true
-			o.ML.Batch = 2
-			o.ML.MinTrain = 4
-			// A small lookahead exercises speculative overshoot: the
-			// coordinator leases past the replay frontier and the merge
-			// discards what the learn loop turns out not to need.
-			return distOptions{opts: o, lookahead: 2}
-		}},
-		{"adaptive", func(seed int64) distOptions {
-			o := testOptions(seed)
-			o.Adaptive.Enabled = true
-			o.TrialsPerPoint = 12
-			return distOptions{opts: o}
-		}},
-	}
+	paths := identityPaths()
 	for seed := int64(1); seed <= seeds; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
@@ -78,4 +55,36 @@ func TestDistributedIdentity(t *testing.T) {
 type distOptions struct {
 	opts      core.Options
 	lookahead int
+}
+
+// identityPaths enumerates the campaign paths every identity suite sweeps:
+// direct, ML-pruned and adaptive — each schedules and merges differently.
+func identityPaths() []struct {
+	name string
+	opts func(seed int64) distOptions
+} {
+	return []struct {
+		name string
+		opts func(seed int64) distOptions
+	}{
+		{"direct", func(seed int64) distOptions {
+			return distOptions{opts: testOptions(seed)}
+		}},
+		{"ml", func(seed int64) distOptions {
+			o := testOptions(seed)
+			o.ML.Pruning = true
+			o.ML.Batch = 2
+			o.ML.MinTrain = 4
+			// A small lookahead exercises speculative overshoot: the
+			// coordinator leases past the replay frontier and the merge
+			// discards what the learn loop turns out not to need.
+			return distOptions{opts: o, lookahead: 2}
+		}},
+		{"adaptive", func(seed int64) distOptions {
+			o := testOptions(seed)
+			o.Adaptive.Enabled = true
+			o.TrialsPerPoint = 12
+			return distOptions{opts: o}
+		}},
+	}
 }

@@ -1,0 +1,65 @@
+package dist
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"github.com/fastfit/fastfit/internal/core"
+)
+
+// RecoverCoordinator replays the write-ahead log in dir into a coordinator
+// equivalent to the one that crashed: same campaign spec, same record
+// store, next epoch. Leases are deliberately not recovered — they are soft
+// state, so recovery starts with zero leases and workers re-lease through
+// the same path a TTL expiry takes; the epoch bump guarantees pre-crash
+// lease IDs are answered Expired rather than adopted. The engine is
+// rebuilt from the logged spec via lookup and its plan fingerprint is
+// cross-checked against the log, so a recovered campaign is provably the
+// campaign that crashed, not a lookalike from a drifted build.
+//
+// A log whose campaign already merged is refused with ErrCampaignMerged —
+// the result was produced and persisted before the exit; there is nothing
+// left to serve.
+func RecoverCoordinator(dir string, lookup AppLookup, opts CoordinatorOptions) (*Coordinator, error) {
+	if lookup == nil {
+		return nil, fmt.Errorf("recovering %s: no app lookup configured", dir)
+	}
+	wal, st, err := OpenWAL(dir)
+	if err != nil {
+		return nil, err
+	}
+	if st.Merged {
+		wal.Close()
+		return nil, fmt.Errorf("wal %s: campaign %s: %w",
+			filepath.Join(dir, WALFileName), st.Spec.Fingerprint, ErrCampaignMerged)
+	}
+	app, err := lookup(st.Spec.App)
+	if err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("recovering %s: resolving app %q: %w", dir, st.Spec.App, err)
+	}
+	engOpts := st.Spec.Options
+	engOpts.Observer = nil
+	eng := core.New(app, st.Spec.Config, engOpts)
+	info, err := eng.PlanInfo()
+	if err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("recovering %s: planning campaign: %w", dir, err)
+	}
+	if info.Fingerprint != st.Spec.Fingerprint {
+		wal.Close()
+		return nil, fmt.Errorf("recovering %s: replanned fingerprint %s != logged %s (mismatched build or options)",
+			dir, info.Fingerprint, st.Spec.Fingerprint)
+	}
+	opts.Store = dir
+	c, err := newCoordinator(eng, opts.withDefaults(), st.Spec, wal, st.Epoch, st.Records, st.Quarantined)
+	if err != nil {
+		wal.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Epoch reports the coordinator's process generation: 1 for a fresh
+// campaign, incremented by every WAL recovery.
+func (c *Coordinator) Epoch() int { return c.epoch }

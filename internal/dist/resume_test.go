@@ -1,0 +1,175 @@
+package dist_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/fastfit/fastfit/internal/dist"
+)
+
+// TestSSEResume kills the HTTP listener under a live event-feed client
+// mid-stream and rebinds it on the same address. The client must
+// reconnect with Last-Event-ID and the spliced feed must be seq-gap-free
+// and duplicate-free — the consumer cannot tell there was an outage.
+func TestSSEResume(t *testing.T) {
+	opts := testOptions(7)
+	coord, err := dist.NewCoordinator(testEngine(t, opts), dist.CoordinatorOptions{})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	hsrv1 := &http.Server{Handler: coord.Handler()}
+	go hsrv1.Serve(ln)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	cl := dist.NewClient("http://"+addr, nil).WithRetry(fastRetry())
+
+	// Renewing a held lease is a deterministic event source: one frame per
+	// renew, no engine work involved.
+	grant, err := cl.Lease(ctx, dist.LeaseRequest{Worker: "probe"})
+	if err != nil {
+		t.Fatalf("lease: %v", err)
+	}
+	if grant.NoWork || grant.Finished {
+		t.Fatalf("no lease to renew: %+v", grant)
+	}
+
+	const wantFrames = 40
+	seqs := make(chan int, wantFrames*2)
+	feedDone := make(chan error, 1)
+	go func() {
+		n := 0
+		feedDone <- cl.Events(ctx, 0, func(f dist.EventFrame) error {
+			seqs <- f.Seq
+			n++
+			if n >= wantFrames {
+				return dist.ErrStopEvents
+			}
+			return nil
+		})
+	}()
+
+	// Generate events; yank and rebind the listener a third of the way in.
+	// The renew client rides the outage on its own retry policy.
+	rebound := false
+	for i := 0; i < wantFrames; i++ {
+		if i == wantFrames/3 && !rebound {
+			rebound = true
+			hsrv1.Close()
+			var ln2 net.Listener
+			waitFor(t, "rebinding the event-feed address", func() bool {
+				ln2, err = net.Listen("tcp", addr)
+				return err == nil
+			})
+			hsrv2 := &http.Server{Handler: coord.Handler()}
+			go hsrv2.Serve(ln2)
+			defer hsrv2.Close()
+		}
+		if _, err := cl.Renew(ctx, dist.RenewRequest{LeaseID: grant.LeaseID, Worker: "probe"}); err != nil {
+			t.Fatalf("renew %d: %v", i, err)
+		}
+	}
+	if err := <-feedDone; err != nil {
+		t.Fatalf("event feed: %v", err)
+	}
+	close(seqs)
+
+	// The feed replays from the start (afterSeq 0) and must arrive exactly
+	// once, in order, with no gap at the splice point.
+	want := 0
+	for seq := range seqs {
+		want++
+		if seq != want {
+			t.Fatalf("event seq %d arrived where %d was expected — feed has a gap or duplicate across the reconnect", seq, want)
+		}
+	}
+	if want < wantFrames {
+		t.Fatalf("feed delivered %d frames, want at least %d", want, wantFrames)
+	}
+}
+
+// TestStatusSurfacesControlPlaneCounters pins the status surface operators
+// rely on during an incident: lease counters, the event-feed position, the
+// process epoch and the durable-store path must all appear in the typed
+// reply AND in the raw JSON wire names that `ffd status` and dashboards
+// parse.
+func TestStatusSurfacesControlPlaneCounters(t *testing.T) {
+	opts := testOptions(6)
+	store := filepath.Join(t.TempDir(), "campaign")
+	coord, err := dist.NewCoordinator(testEngine(t, opts), dist.CoordinatorOptions{Store: store})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	sub := coord.Hub().Subscribe(64)
+	defer coord.Hub().Unsubscribe(sub)
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	ctx := context.Background()
+	cl := dist.NewClient(srv.URL, nil)
+
+	grant, err := cl.Lease(ctx, dist.LeaseRequest{Worker: "probe"})
+	if err != nil {
+		t.Fatalf("lease: %v", err)
+	}
+	if _, err := cl.Renew(ctx, dist.RenewRequest{LeaseID: grant.LeaseID, Worker: "probe"}); err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+
+	st, err := cl.Status(ctx)
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.LeasesGranted < 1 {
+		t.Errorf("leasesGranted = %d, want >= 1", st.LeasesGranted)
+	}
+	if st.Epoch != 1 {
+		t.Errorf("epoch = %d, want 1 for a fresh coordinator", st.Epoch)
+	}
+	if st.EventSeq < 1 {
+		t.Errorf("eventSeq = %d, want >= 1 after a lease and a renew", st.EventSeq)
+	}
+	if want := filepath.Join(store, dist.WALFileName); st.Store != want {
+		t.Errorf("store = %q, want %q", st.Store, want)
+	}
+	if len(st.Subscribers) != 1 {
+		t.Errorf("subscribers = %+v, want exactly the attached hub subscriber", st.Subscribers)
+	}
+
+	// The wire names are the API: assert on the raw JSON, not just the
+	// decoded struct, so a rename cannot slip through decoding.
+	resp, err := srv.Client().Get(srv.URL + "/v1/status")
+	if err != nil {
+		t.Fatalf("raw status: %v", err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatalf("raw status decode: %v", err)
+	}
+	for _, key := range []string{"leasesGranted", "leasesExpired", "epoch", "eventSeq", "store", "subscribers"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("status JSON lacks %q: has %s", key, rawKeys(raw))
+		}
+	}
+}
+
+func rawKeys(m map[string]json.RawMessage) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return fmt.Sprintf("%s", strings.Join(keys, ", "))
+}

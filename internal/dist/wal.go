@@ -1,0 +1,462 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/fastfit/fastfit/internal/core"
+)
+
+// The coordinator's write-ahead log makes the control plane crash-durable:
+// the campaign spec (with its plan fingerprint) is written when the WAL is
+// opened, and every applied journal batch, quarantine and frontier advance
+// is appended before it is acknowledged, so SIGKILLing the coordinator at
+// any instant loses at most work that was never acked — work the lease
+// protocol re-measures byte-identically anyway. Leases are deliberately
+// NOT logged: they are soft state (a relative-TTL promise), so recovery
+// starts with zero leases and workers simply re-lease, the same path as a
+// TTL expiry.
+//
+// The on-disk format extends the checkpoint journal's torn-tail-repair
+// discipline with per-record integrity: one record per line, each line a
+// length prefix, a CRC32 of the payload, and the JSON payload itself:
+//
+//	llllllll cccccccc {payload}\n
+//
+// (both prefixes fixed-width lowercase hex). Appends are single writes of
+// whole lines, so a crash can at worst leave one torn trailing line, which
+// loading discards and Open truncates away; a checksum or length failure
+// anywhere *before* the tail is real corruption and is reported as an
+// error naming the byte offset, never silently skipped.
+
+// walVersion identifies the WAL's on-disk schema.
+const walVersion = 1
+
+// WALFileName is the log's file name inside a campaign store directory.
+const WALFileName = "wal.jsonl"
+
+// ErrCampaignMerged reports a WAL whose campaign already merged: there is
+// nothing to recover, the result was already produced and persisted.
+var ErrCampaignMerged = errors.New("campaign already merged")
+
+// walOpen is the first record: the campaign this log belongs to.
+type walOpen struct {
+	Kind    string       `json:"kind"` // "open"
+	Version int          `json:"version"`
+	Spec    CampaignSpec `json:"spec"`
+}
+
+// walEpoch marks one process generation opening the log. Counting them
+// gives each generation a distinct lease-ID namespace, so a lease granted
+// before a crash can never collide with one granted after recovery.
+type walEpoch struct {
+	Kind  string `json:"kind"` // "epoch"
+	Epoch int    `json:"epoch"`
+}
+
+// walBatch is one applied journal batch: the newly accepted records and
+// quarantines in checkpoint-journal line form (core.EncodeJournalPoint /
+// core.EncodeJournalQuarantine), exactly as the shard streamed them.
+type walBatch struct {
+	Kind        string            `json:"kind"` // "batch"
+	Lease       string            `json:"lease,omitempty"`
+	Worker      string            `json:"worker,omitempty"`
+	Records     []json.RawMessage `json:"records,omitempty"`
+	Quarantines []json.RawMessage `json:"quarantines,omitempty"`
+}
+
+// walFrontier records an ML lease-frontier advance. Recovery recomputes
+// the frontier from the records (it is a pure function of them), so these
+// records are an audit trail, not load-bearing state — but they make a WAL
+// humanly readable as a campaign history.
+type walFrontier struct {
+	Kind   string `json:"kind"` // "frontier"
+	Needed int    `json:"needed"`
+	Done   bool   `json:"done"`
+}
+
+// walMerged marks the campaign's deterministic merge as completed and
+// persisted; recovery refuses the log with ErrCampaignMerged.
+type walMerged struct {
+	Kind string `json:"kind"` // "merged"
+}
+
+// WALState is the replayable content of a coordinator WAL.
+type WALState struct {
+	Spec        CampaignSpec
+	Records     map[int]core.PointRecord
+	Quarantined map[int]core.QuarantinedPoint
+	// Epoch counts the process generations that opened this log (the
+	// "epoch" records); the next generation is Epoch+1.
+	Epoch int
+	// Merged reports the campaign's merge completed before the last exit.
+	Merged bool
+	// TornTail reports that a torn trailing line (interrupted append) was
+	// discarded while loading.
+	TornTail bool
+	// validLen is the byte length of the log up to and including its last
+	// complete line; OpenWAL truncates a torn tail to it.
+	validLen int64
+}
+
+// WAL is an open coordinator write-ahead log accepting appends.
+type WAL struct {
+	path string
+
+	mu sync.Mutex
+	f  *os.File
+}
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// encodeWALLine renders one record as a length-prefixed, checksummed line.
+func encodeWALLine(v any) ([]byte, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("encoding wal record: %w", err)
+	}
+	line := make([]byte, 0, len(payload)+19)
+	line = fmt.Appendf(line, "%08x %08x ", len(payload), crc32.ChecksumIEEE(payload))
+	line = append(line, payload...)
+	return append(line, '\n'), nil
+}
+
+// parseWALLine validates one complete line (without its newline) and
+// returns the JSON payload.
+func parseWALLine(line string) ([]byte, error) {
+	if len(line) < 18 {
+		return nil, fmt.Errorf("short record prefix (%d bytes)", len(line))
+	}
+	if line[8] != ' ' || line[17] != ' ' {
+		return nil, fmt.Errorf("malformed length/checksum prefix %q", line[:18])
+	}
+	n, err := strconv.ParseUint(line[:8], 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("malformed length prefix %q", line[:8])
+	}
+	sum, err := strconv.ParseUint(line[9:17], 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("malformed checksum prefix %q", line[9:17])
+	}
+	payload := line[18:]
+	if uint64(len(payload)) != n {
+		return nil, fmt.Errorf("payload is %d bytes, record declares %d", len(payload), n)
+	}
+	if got := crc32.ChecksumIEEE([]byte(payload)); uint64(got) != sum {
+		return nil, fmt.Errorf("checksum mismatch: payload sums to %08x, record declares %08x", got, sum)
+	}
+	return []byte(payload), nil
+}
+
+// CreateWAL starts a fresh log in dir (created if needed): the open record
+// and the first epoch record are written to a temporary file and renamed
+// into place, so a half-written log is never observed under the final
+// path. It refuses to overwrite an existing log — recover it instead.
+func CreateWAL(dir string, spec CampaignSpec) (*WAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("creating campaign store %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, WALFileName)
+	if _, err := os.Stat(path); err == nil {
+		return nil, fmt.Errorf("wal %s already exists: recover the campaign instead of re-opening it fresh", path)
+	}
+	open, err := encodeWALLine(walOpen{Kind: "open", Version: walVersion, Spec: spec})
+	if err != nil {
+		return nil, err
+	}
+	epoch, err := encodeWALLine(walEpoch{Kind: "epoch", Epoch: 1})
+	if err != nil {
+		return nil, err
+	}
+	tmp, err := os.CreateTemp(dir, ".wal-*")
+	if err != nil {
+		return nil, fmt.Errorf("creating wal: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err = tmp.Write(append(open, epoch...)); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmpName, path)
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return nil, fmt.Errorf("creating wal %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("reopening wal %s: %w", path, err)
+	}
+	return &WAL{path: path, f: f}, nil
+}
+
+// LoadWALState reads and validates a coordinator log. A torn trailing line
+// (the signature of a crash mid-append) is discarded and reported via
+// TornTail; corruption anywhere else — a failed checksum, a length
+// mismatch, a malformed prefix, an invalid payload — is an error naming
+// the record's byte offset.
+func LoadWALState(path string) (*WALState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return loadWALState(path, data)
+}
+
+func loadWALState(path string, data []byte) (*WALState, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("wal %s: empty file", path)
+	}
+	lines := strings.Split(string(data), "\n")
+	// A well-formed log ends with "\n", leaving one empty trailing element;
+	// anything non-empty there is a torn final append (whole-line single
+	// writes mean a crash can only truncate the last line).
+	torn := lines[len(lines)-1] != ""
+	validLen := int64(len(data))
+	if torn {
+		validLen -= int64(len(lines[len(lines)-1]))
+	}
+	lines = lines[:len(lines)-1]
+
+	st := &WALState{
+		Records:     map[int]core.PointRecord{},
+		Quarantined: map[int]core.QuarantinedPoint{},
+		TornTail:    torn,
+		validLen:    validLen,
+	}
+	opened := false
+	offset := int64(0)
+	for i, line := range lines {
+		lineOffset := offset
+		offset += int64(len(line)) + 1
+		payload, err := parseWALLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("wal %s: record %d at offset %d: %w", path, i+1, lineOffset, err)
+		}
+		var kind struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(payload, &kind); err != nil {
+			return nil, fmt.Errorf("wal %s: record %d at offset %d: corrupt payload: %w", path, i+1, lineOffset, err)
+		}
+		switch kind.Kind {
+		case "open":
+			if opened {
+				return nil, fmt.Errorf("wal %s: record %d at offset %d: unexpected second open record", path, i+1, lineOffset)
+			}
+			var rec walOpen
+			if err := json.Unmarshal(payload, &rec); err != nil {
+				return nil, fmt.Errorf("wal %s: record %d at offset %d: corrupt open record: %w", path, i+1, lineOffset, err)
+			}
+			if rec.Version != walVersion {
+				return nil, fmt.Errorf("wal %s: unsupported version %d (want %d)", path, rec.Version, walVersion)
+			}
+			spec, err := DecodeCampaignSpec(payloadOf(rec.Spec))
+			if err != nil {
+				return nil, fmt.Errorf("wal %s: record %d at offset %d: %w", path, i+1, lineOffset, err)
+			}
+			st.Spec = spec
+			opened = true
+		case "epoch":
+			if !opened {
+				return nil, fmt.Errorf("wal %s: missing open record", path)
+			}
+			var rec walEpoch
+			if err := json.Unmarshal(payload, &rec); err != nil {
+				return nil, fmt.Errorf("wal %s: record %d at offset %d: corrupt epoch record: %w", path, i+1, lineOffset, err)
+			}
+			if rec.Epoch <= st.Epoch {
+				return nil, fmt.Errorf("wal %s: record %d at offset %d: epoch %d does not advance past %d",
+					path, i+1, lineOffset, rec.Epoch, st.Epoch)
+			}
+			st.Epoch = rec.Epoch
+		case "batch":
+			if !opened {
+				return nil, fmt.Errorf("wal %s: missing open record", path)
+			}
+			var rec walBatch
+			if err := json.Unmarshal(payload, &rec); err != nil {
+				return nil, fmt.Errorf("wal %s: record %d at offset %d: corrupt batch record: %w", path, i+1, lineOffset, err)
+			}
+			for j, line := range rec.Records {
+				pr, err := core.DecodeJournalPoint(line)
+				if err != nil {
+					return nil, fmt.Errorf("wal %s: record %d at offset %d: batch record %d: %w", path, i+1, lineOffset, j, err)
+				}
+				if pr.Index >= st.Spec.Points {
+					return nil, fmt.Errorf("wal %s: record %d at offset %d: point index %d outside campaign of %d points",
+						path, i+1, lineOffset, pr.Index, st.Spec.Points)
+				}
+				// First write wins, like the coordinator's record store: a
+				// duplicated batch (replayed append) changes nothing.
+				if _, dup := st.Records[pr.Index]; !dup {
+					st.Records[pr.Index] = pr
+				}
+			}
+			for j, line := range rec.Quarantines {
+				q, err := core.DecodeJournalQuarantine(line)
+				if err != nil {
+					return nil, fmt.Errorf("wal %s: record %d at offset %d: batch quarantine %d: %w", path, i+1, lineOffset, j, err)
+				}
+				if q.Index >= st.Spec.Points {
+					return nil, fmt.Errorf("wal %s: record %d at offset %d: quarantine index %d outside campaign of %d points",
+						path, i+1, lineOffset, q.Index, st.Spec.Points)
+				}
+				if _, dup := st.Quarantined[q.Index]; !dup {
+					st.Quarantined[q.Index] = q
+				}
+			}
+		case "frontier":
+			if !opened {
+				return nil, fmt.Errorf("wal %s: missing open record", path)
+			}
+			var rec walFrontier
+			if err := json.Unmarshal(payload, &rec); err != nil {
+				return nil, fmt.Errorf("wal %s: record %d at offset %d: corrupt frontier record: %w", path, i+1, lineOffset, err)
+			}
+			if rec.Needed < 0 || rec.Needed > st.Spec.Points {
+				return nil, fmt.Errorf("wal %s: record %d at offset %d: frontier %d outside campaign of %d points",
+					path, i+1, lineOffset, rec.Needed, st.Spec.Points)
+			}
+		case "merged":
+			if !opened {
+				return nil, fmt.Errorf("wal %s: missing open record", path)
+			}
+			st.Merged = true
+		default:
+			return nil, fmt.Errorf("wal %s: record %d at offset %d: unknown record kind %q", path, i+1, lineOffset, kind.Kind)
+		}
+	}
+	if !opened {
+		return nil, fmt.Errorf("wal %s: missing open record", path)
+	}
+	if st.Epoch == 0 {
+		return nil, fmt.Errorf("wal %s: missing epoch record", path)
+	}
+	return st, nil
+}
+
+// payloadOf round-trips a spec through JSON so LoadWALState applies the
+// same validation a network-received spec gets.
+func payloadOf(spec CampaignSpec) []byte {
+	data, err := json.Marshal(spec)
+	if err != nil {
+		return []byte("null")
+	}
+	return data
+}
+
+// OpenWAL loads an existing log from dir, repairs a torn tail, stamps the
+// next epoch and reopens the file for appends. The returned state is what
+// recovery replays; the returned WAL accepts the new generation's appends.
+func OpenWAL(dir string) (*WAL, *WALState, error) {
+	path := filepath.Join(dir, WALFileName)
+	st, err := LoadWALState(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.TornTail {
+		// Discard the torn final append so the log ends on a complete line
+		// before new records go after it.
+		if err := os.Truncate(path, st.validLen); err != nil {
+			return nil, nil, fmt.Errorf("repairing wal %s: %w", path, err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reopening wal %s: %w", path, err)
+	}
+	w := &WAL{path: path, f: f}
+	st.Epoch++
+	if err := w.append(walEpoch{Kind: "epoch", Epoch: st.Epoch}); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return w, st, nil
+}
+
+// append writes one record line in a single write.
+func (w *WAL) append(v any) error {
+	line, err := encodeWALLine(v)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("wal %s: already closed", w.path)
+	}
+	if _, err := w.f.Write(line); err != nil {
+		return fmt.Errorf("appending to wal %s: %w", w.path, err)
+	}
+	return nil
+}
+
+// AppendBatch logs one applied journal batch: only the newly accepted
+// records and quarantines, in the checkpoint-journal line form the shard
+// streamed. Called before the batch is acknowledged to the shard.
+func (w *WAL) AppendBatch(leaseID, worker string, recs []core.PointRecord, quars []core.QuarantinedPoint) error {
+	b := walBatch{Kind: "batch", Lease: leaseID, Worker: worker}
+	for _, rec := range recs {
+		line, err := core.EncodeJournalPoint(rec)
+		if err != nil {
+			return fmt.Errorf("wal %s: encoding point %d: %w", w.path, rec.Index, err)
+		}
+		b.Records = append(b.Records, line)
+	}
+	for _, q := range quars {
+		line, err := core.EncodeJournalQuarantine(q)
+		if err != nil {
+			return fmt.Errorf("wal %s: encoding quarantine %d: %w", w.path, q.Index, err)
+		}
+		b.Quarantines = append(b.Quarantines, line)
+	}
+	return w.append(b)
+}
+
+// AppendFrontier logs an ML lease-frontier advance.
+func (w *WAL) AppendFrontier(needed int, done bool) error {
+	return w.append(walFrontier{Kind: "frontier", Needed: needed, Done: done})
+}
+
+// AppendMerged marks the campaign merged; a later recovery refuses the log
+// with ErrCampaignMerged instead of re-serving a finished campaign.
+func (w *WAL) AppendMerged() error {
+	return w.append(walMerged{Kind: "merged"})
+}
+
+// Sync flushes appends to stable storage.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	return w.f.Sync()
+}
+
+// Close syncs and closes the log. The file stays on disk.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}

@@ -269,7 +269,42 @@ type StatusReply struct {
 	Merged        bool               `json:"merged"`
 	LeasesGranted int                `json:"leasesGranted"`
 	LeasesExpired int                `json:"leasesExpired"`
-	Progress      string             `json:"progress"` // StreamStats ProgressLine
+	Progress      string             `json:"progress"`        // StreamStats ProgressLine
+	Epoch         int                `json:"epoch"`           // process generation (bumped per WAL recovery)
+	EventSeq      int                `json:"eventSeq"`        // last published event-feed seq
+	Store         string             `json:"store,omitempty"` // WAL path when the campaign is durable
 	Leases        []LeaseStatus      `json:"leases,omitempty"`
 	Subscribers   []SubscriberStatus `json:"subscribers,omitempty"`
+}
+
+// CampaignInfo is one registry entry in a CampaignsReply.
+type CampaignInfo struct {
+	Fingerprint string `json:"fingerprint"`
+	App         string `json:"app"`
+	Points      int    `json:"points"`
+	Recorded    int    `json:"recorded"`
+	Quarantined int    `json:"quarantined"`
+	Complete    bool   `json:"complete"`
+	Merged      bool   `json:"merged"`
+	Epoch       int    `json:"epoch"`
+}
+
+// CampaignsReply is the multi-campaign registry listing (GET /v1/campaigns).
+type CampaignsReply struct {
+	Store     string         `json:"store,omitempty"`
+	Campaigns []CampaignInfo `json:"campaigns"`
+}
+
+// DecodeCampaignsReply parses and validates a registry listing.
+func DecodeCampaignsReply(data []byte) (CampaignsReply, error) {
+	var r CampaignsReply
+	if err := json.Unmarshal(data, &r); err != nil {
+		return CampaignsReply{}, fmt.Errorf("campaigns reply: %w", err)
+	}
+	for i, c := range r.Campaigns {
+		if c.Fingerprint == "" {
+			return CampaignsReply{}, fmt.Errorf("campaigns reply: entry %d missing fingerprint", i)
+		}
+	}
+	return r, nil
 }

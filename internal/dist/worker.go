@@ -26,6 +26,16 @@ type WorkerOptions struct {
 	Name string
 	// Lookup resolves the campaign's app name. Required.
 	Lookup AppLookup
+	// Campaign, when non-empty, is the fingerprint of the campaign to work
+	// on: the shard addresses that campaign's routes on a multi-campaign
+	// coordinator (/v1/campaigns/<fp>/...) and refuses a spec whose
+	// fingerprint differs. Empty uses the single-campaign /v1 routes.
+	Campaign string
+	// Retry shapes the client's backoff on coordinator outages (zero
+	// fields take the standard defaults — see RetryPolicy). A coordinator
+	// restart shorter than the policy's patience costs the shard nothing
+	// but re-leasing.
+	Retry RetryPolicy
 	// Workers is the shard-local supervisor pool size (points injected
 	// concurrently on this shard). Zero derives from GOMAXPROCS.
 	Workers int
@@ -68,10 +78,17 @@ func RunWorker(ctx context.Context, baseURL string, opts WorkerOptions) error {
 	if opts.Lookup == nil {
 		return fmt.Errorf("worker %s: no app lookup configured", opts.Name)
 	}
-	cl := NewClient(baseURL, nil)
+	cl := NewClient(baseURL, nil).WithRetry(opts.Retry)
+	if opts.Campaign != "" {
+		cl = cl.ForCampaign(opts.Campaign)
+	}
 	spec, err := cl.Campaign(ctx)
 	if err != nil {
 		return fmt.Errorf("worker %s: fetching campaign: %w", opts.Name, err)
+	}
+	if opts.Campaign != "" && spec.Fingerprint != opts.Campaign {
+		return fmt.Errorf("worker %s: coordinator served campaign %s on the %s routes",
+			opts.Name, spec.Fingerprint, opts.Campaign)
 	}
 	app, err := opts.Lookup(spec.App)
 	if err != nil {
@@ -148,7 +165,17 @@ func (w *worker) runLease(ctx context.Context, grant LeaseGrant) error {
 				rep, err := w.cl.Renew(lctx, RenewRequest{LeaseID: grant.LeaseID, Worker: w.opts.Name})
 				if err != nil {
 					if lctx.Err() == nil {
-						renewErr <- err
+						if errors.Is(err, ErrUnavailable) {
+							// The outage outlasted the retry policy's
+							// patience, so the lease has expired (or will
+							// before we can renew it). Abandon the range —
+							// same path a reclaimed lease takes — and
+							// re-lease once the coordinator is back.
+							renewErr <- errLeaseExpired
+							cancel()
+						} else {
+							renewErr <- err
+						}
 					}
 					return
 				}
@@ -248,6 +275,12 @@ func (w *worker) flush(ctx context.Context, grant LeaseGrant, pending *[]core.Po
 		batch.Quarantines = append(batch.Quarantines, line)
 	}
 	rep, err := w.cl.Journal(ctx, batch)
+	if errors.Is(err, ErrUnavailable) {
+		// Outage outlasted the retry policy: the lease expired during it
+		// and the unacked tail of this range dies with it. Abandon the
+		// range; re-leasing re-measures the lost points byte-identically.
+		return errLeaseExpired
+	}
 	if err != nil {
 		return err
 	}
