@@ -12,6 +12,10 @@ import (
 type CampaignResult struct {
 	AppName string
 	Ranks   int
+	// Policy is the fault policy the campaign injected under. It is part of
+	// the transferable feature schema: outcome tallies are only comparable
+	// across campaigns that corrupted the same thing.
+	Policy FaultPolicy
 
 	// Point accounting through the pruning pipeline.
 	TotalPoints   int // all (rank, site, invocation) triples
@@ -32,6 +36,12 @@ type CampaignResult struct {
 	Predicted      []Prediction
 	VerifyAccuracy float64
 	Learn          *LearnResult
+
+	// SenseAdvised holds the points answered from the cross-campaign model
+	// with zero trials (Options.Sense). Empty on campaigns that never
+	// served a prediction, so never-sensed and gate-disabled runs persist
+	// byte-identically.
+	SenseAdvised []SenseAdvice
 }
 
 // campaignPlan is the profiled-and-pruned injection space of one campaign:
@@ -56,6 +66,7 @@ func (e *Engine) planCampaign() (*campaignPlan, error) {
 	res := &CampaignResult{
 		AppName:     e.app.Name(),
 		Ranks:       e.cfg.Ranks,
+		Policy:      e.opts.Policy,
 		TotalPoints: len(points),
 	}
 
@@ -72,6 +83,22 @@ func (e *Engine) planCampaign() (*campaignPlan, error) {
 		e.logf("context pruning: %d points (%.1f%% eliminated)", len(points), 100*res.ContextReduction)
 	}
 	res.AfterContext = len(points)
+
+	if adv := e.opts.Sense.Advisor; adv != nil {
+		before := adv.Stats()
+		kept, advised := e.senseFilter(points)
+		if len(advised) > 0 {
+			points = kept
+			res.SenseAdvised = advised
+			after := adv.Stats()
+			e.emit(SenseStats{
+				Served:    len(advised),
+				Fallback:  after.Fallback - before.Fallback,
+				CacheHits: after.CacheHits - before.CacheHits,
+			})
+			e.logf("sense: %d points answered zero-trial, %d fall back to injection", len(advised), len(points))
+		}
+	}
 	return &campaignPlan{res: res, points: points}, nil
 }
 
@@ -138,6 +165,9 @@ func (r *CampaignResult) Summary() string {
 	fmt.Fprintf(&sb, "%s: points %d", r.AppName, r.TotalPoints)
 	fmt.Fprintf(&sb, " -> semantic %d (%.2f%%)", r.AfterSemantic, 100*r.SemanticReduction)
 	fmt.Fprintf(&sb, " -> context %d (%.2f%%)", r.AfterContext, 100*r.ContextReduction)
+	if len(r.SenseAdvised) > 0 {
+		fmt.Fprintf(&sb, " -> sense advised %d", len(r.SenseAdvised))
+	}
 	if r.PredictedN > 0 || r.MLReduction > 0 {
 		fmt.Fprintf(&sb, " -> ML injected %d predicted %d (%.2f%%)", r.Injected, r.PredictedN, 100*r.MLReduction)
 	}

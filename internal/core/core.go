@@ -121,8 +121,9 @@ type Fork struct {
 //
 // The options are grouped into embedded sub-structs by concern: Exec
 // (trial execution), Pruning (static pruning), ML (learning loop),
-// Adaptive (early stopping), Network (standing fault environment) and
-// Fork (fork-at-injection-site execution). Unambiguous field reads keep
+// Adaptive (early stopping), Network (standing fault environment), Fork
+// (fork-at-injection-site execution) and Sense (cross-campaign
+// zero-trial prediction). Unambiguous field reads keep
 // working through Go's embedded-field promotion (opts.Seed,
 // opts.TrialsPerPoint, ...); fields whose names changed in the regrouping
 // (SemanticPruning→Pruning.Semantic, ContextPruning→Pruning.Context,
@@ -136,6 +137,7 @@ type Options struct {
 	Adaptive
 	Network
 	Fork
+	Sense
 
 	// Observer, when set, receives the campaign's typed event stream:
 	// CampaignStarted, phase changes, per-point results, ML batch

@@ -23,6 +23,7 @@ type campaignJSON struct {
 	Version int    `json:"version"`
 	App     string `json:"app"`
 	Ranks   int    `json:"ranks"`
+	Policy  int    `json:"policy"`
 
 	TotalPoints   int `json:"totalPoints"`
 	AfterSemantic int `json:"afterSemantic"`
@@ -38,6 +39,9 @@ type campaignJSON struct {
 
 	Measured    []pointResultJSON `json:"measured"`
 	Predictions []predictionJSON  `json:"predictions,omitempty"`
+	// SenseAdvised is omitted when empty so campaigns that never served a
+	// zero-trial prediction keep the pre-sense byte layout.
+	SenseAdvised []senseAdviceJSON `json:"senseAdvised,omitempty"`
 }
 
 type pointJSON struct {
@@ -69,6 +73,12 @@ type pointResultJSON struct {
 type predictionJSON struct {
 	Point pointJSON `json:"point"`
 	Level int       `json:"level"`
+}
+
+type senseAdviceJSON struct {
+	Point      pointJSON `json:"point"`
+	Outcome    int       `json:"outcome"`
+	Confidence float64   `json:"confidence"`
 }
 
 func pointToJSON(p Point) pointJSON {
@@ -122,6 +132,7 @@ func (r *CampaignResult) WriteJSON(w io.Writer) error {
 		Version: persistVersion,
 		App:     r.AppName,
 		Ranks:   r.Ranks,
+		Policy:  int(r.Policy),
 
 		TotalPoints:   r.TotalPoints,
 		AfterSemantic: r.AfterSemantic,
@@ -140,6 +151,11 @@ func (r *CampaignResult) WriteJSON(w io.Writer) error {
 	}
 	for _, p := range r.Predicted {
 		out.Predictions = append(out.Predictions, predictionJSON{Point: pointToJSON(p.Point), Level: p.Level})
+	}
+	for _, a := range r.SenseAdvised {
+		out.SenseAdvised = append(out.SenseAdvised, senseAdviceJSON{
+			Point: pointToJSON(a.Point), Outcome: int(a.Outcome), Confidence: a.Confidence,
+		})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -179,9 +195,13 @@ func ReadCampaignJSON(rd io.Reader) (*CampaignResult, error) {
 	if dec.More() {
 		return nil, fmt.Errorf("decoding campaign: trailing data after the campaign document")
 	}
+	if in.Policy < 0 || in.Policy > int(PolicyNetwork) {
+		return nil, fmt.Errorf("campaign file has invalid fault policy %d (valid range 0..%d)", in.Policy, int(PolicyNetwork))
+	}
 	res := &CampaignResult{
 		AppName: in.App,
 		Ranks:   in.Ranks,
+		Policy:  FaultPolicy(in.Policy),
 
 		TotalPoints:   in.TotalPoints,
 		AfterSemantic: in.AfterSemantic,
@@ -204,6 +224,18 @@ func ReadCampaignJSON(rd io.Reader) (*CampaignResult, error) {
 	}
 	for _, pj := range in.Predictions {
 		res.Predicted = append(res.Predicted, Prediction{Point: pointFromJSON(pj.Point), Level: pj.Level})
+	}
+	for i, aj := range in.SenseAdvised {
+		if aj.Outcome < 0 || aj.Outcome >= int(classify.NumOutcomes) {
+			return nil, fmt.Errorf("campaign file senseAdvised[%d]: invalid outcome %d (valid range 0..%d)",
+				i, aj.Outcome, int(classify.NumOutcomes)-1)
+		}
+		if aj.Confidence < 0 || aj.Confidence >= 1 {
+			return nil, fmt.Errorf("campaign file senseAdvised[%d]: confidence %v outside [0,1)", i, aj.Confidence)
+		}
+		res.SenseAdvised = append(res.SenseAdvised, SenseAdvice{
+			Point: pointFromJSON(aj.Point), Outcome: classify.Outcome(aj.Outcome), Confidence: aj.Confidence,
+		})
 	}
 	return res, nil
 }

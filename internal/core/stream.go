@@ -49,6 +49,9 @@ type StreamStats struct {
 	snapshots      int // distinct injection prefixes forked from
 	forkedTrials   int // trials run from a prefix snapshot
 	replayedTrials int // trials that fell back to full replay
+	senseServed    int // points answered zero-trial by the sense advisor
+	senseFallback  int // advisor queries that fell back to real injection
+	senseCacheHits int // advisor queries answered from the subspace cache
 	topology       string
 	linksDown      int // standing permanent link failures (FaultDomainEvent)
 	dropBursts     int // standing transient drop bursts
@@ -81,6 +84,7 @@ func (s *StreamStats) OnEvent(ev Event) {
 		s.batches, s.verifyAccuracy, s.predicted = 0, 0, 0
 		s.settled, s.trialsSaved, s.refined, s.trialsRefined = 0, 0, 0, 0
 		s.snapshots, s.forkedTrials, s.replayedTrials = 0, 0, 0
+		s.senseServed, s.senseFallback, s.senseCacheHits = 0, 0, 0
 		s.topology, s.linksDown, s.dropBursts, s.nodesDown = "", 0, 0, 0
 		s.shardWorkers = nil
 		s.leasesActive, s.leasesExpired = 0, 0
@@ -138,6 +142,10 @@ func (s *StreamStats) OnEvent(ev Event) {
 		s.snapshots = ev.Snapshots
 		s.forkedTrials = ev.Forked
 		s.replayedTrials = ev.Replayed
+	case SenseStats:
+		s.senseServed = ev.Served
+		s.senseFallback = ev.Fallback
+		s.senseCacheHits = ev.CacheHits
 	case ShardLease:
 		switch ev.Kind {
 		case "granted":
@@ -195,6 +203,9 @@ type StreamSnapshot struct {
 	Snapshots      int // distinct injection prefixes forked from
 	Forked         int // trials run from a prefix snapshot
 	Replayed       int // trials that fell back to full replay
+	SenseServed    int // points answered zero-trial by the sense advisor
+	SenseFallback  int // advisor queries that fell back to real injection
+	SenseCacheHits int // advisor queries answered from the subspace cache
 	Topology       string
 	LinksDown      int // standing permanent link failures in the fault plan
 	DropBursts     int // standing transient drop bursts in the fault plan
@@ -232,6 +243,9 @@ func (s *StreamStats) Snapshot() StreamSnapshot {
 		Snapshots:      s.snapshots,
 		Forked:         s.forkedTrials,
 		Replayed:       s.replayedTrials,
+		SenseServed:    s.senseServed,
+		SenseFallback:  s.senseFallback,
+		SenseCacheHits: s.senseCacheHits,
 		Topology:       s.topology,
 		LinksDown:      s.linksDown,
 		DropBursts:     s.dropBursts,
@@ -291,6 +305,9 @@ func (sn StreamSnapshot) ProgressLine() string {
 	}
 	if sn.ETA > 0 {
 		fmt.Fprintf(&sb, " | ETA %v", sn.ETA.Round(time.Second))
+	}
+	if sn.SenseServed > 0 {
+		fmt.Fprintf(&sb, " | sense %d zero-trial (%d fallback)", sn.SenseServed, sn.SenseFallback)
 	}
 	if sn.Settled > 0 {
 		fmt.Fprintf(&sb, " | settled %d (saved %d)", sn.Settled, sn.TrialsSaved-sn.TrialsRefined)
@@ -532,6 +549,12 @@ func eventJSON(ev Event) (string, any) {
 			Forked    int `json:"forked"`
 			Replayed  int `json:"replayed"`
 		}{ev.Snapshots, ev.Forked, ev.Replayed}
+	case SenseStats:
+		return "SenseStats", struct {
+			Served    int `json:"served"`
+			Fallback  int `json:"fallback"`
+			CacheHits int `json:"cacheHits"`
+		}{ev.Served, ev.Fallback, ev.CacheHits}
 	case ShardLease:
 		return "ShardLease", struct {
 			Kind   string `json:"kind"`

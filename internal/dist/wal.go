@@ -4,14 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"path/filepath"
-	"strconv"
-	"strings"
 	"sync"
 
 	"github.com/fastfit/fastfit/internal/core"
+	"github.com/fastfit/fastfit/internal/recfile"
 )
 
 // The coordinator's write-ahead log makes the control plane crash-durable:
@@ -25,8 +23,9 @@ import (
 // TTL expiry.
 //
 // The on-disk format extends the checkpoint journal's torn-tail-repair
-// discipline with per-record integrity: one record per line, each line a
-// length prefix, a CRC32 of the payload, and the JSON payload itself:
+// discipline with per-record integrity: one record per line in the shared
+// recfile grammar (internal/recfile), each line a length prefix, a CRC32
+// of the payload, and the JSON payload itself:
 //
 //	llllllll cccccccc {payload}\n
 //
@@ -117,43 +116,20 @@ type WAL struct {
 // Path returns the log's file path.
 func (w *WAL) Path() string { return w.path }
 
-// encodeWALLine renders one record as a length-prefixed, checksummed line.
+// encodeWALLine renders one record as a length-prefixed, checksummed line
+// in the shared recfile grammar.
 func encodeWALLine(v any) ([]byte, error) {
 	payload, err := json.Marshal(v)
 	if err != nil {
 		return nil, fmt.Errorf("encoding wal record: %w", err)
 	}
-	line := make([]byte, 0, len(payload)+19)
-	line = fmt.Appendf(line, "%08x %08x ", len(payload), crc32.ChecksumIEEE(payload))
-	line = append(line, payload...)
-	return append(line, '\n'), nil
+	return recfile.EncodeLine(payload), nil
 }
 
 // parseWALLine validates one complete line (without its newline) and
 // returns the JSON payload.
 func parseWALLine(line string) ([]byte, error) {
-	if len(line) < 18 {
-		return nil, fmt.Errorf("short record prefix (%d bytes)", len(line))
-	}
-	if line[8] != ' ' || line[17] != ' ' {
-		return nil, fmt.Errorf("malformed length/checksum prefix %q", line[:18])
-	}
-	n, err := strconv.ParseUint(line[:8], 16, 32)
-	if err != nil {
-		return nil, fmt.Errorf("malformed length prefix %q", line[:8])
-	}
-	sum, err := strconv.ParseUint(line[9:17], 16, 32)
-	if err != nil {
-		return nil, fmt.Errorf("malformed checksum prefix %q", line[9:17])
-	}
-	payload := line[18:]
-	if uint64(len(payload)) != n {
-		return nil, fmt.Errorf("payload is %d bytes, record declares %d", len(payload), n)
-	}
-	if got := crc32.ChecksumIEEE([]byte(payload)); uint64(got) != sum {
-		return nil, fmt.Errorf("checksum mismatch: payload sums to %08x, record declares %08x", got, sum)
-	}
-	return []byte(payload), nil
+	return recfile.ParseLine(line)
 }
 
 // CreateWAL starts a fresh log in dir (created if needed): the open record
@@ -218,16 +194,10 @@ func loadWALState(path string, data []byte) (*WALState, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("wal %s: empty file", path)
 	}
-	lines := strings.Split(string(data), "\n")
-	// A well-formed log ends with "\n", leaving one empty trailing element;
-	// anything non-empty there is a torn final append (whole-line single
-	// writes mean a crash can only truncate the last line).
-	torn := lines[len(lines)-1] != ""
-	validLen := int64(len(data))
-	if torn {
-		validLen -= int64(len(lines[len(lines)-1]))
-	}
-	lines = lines[:len(lines)-1]
+	// A well-formed log ends with "\n"; anything after the final newline is
+	// a torn final append (whole-line single writes mean a crash can only
+	// truncate the last line).
+	lines, torn, validLen := recfile.Split(data)
 
 	st := &WALState{
 		Records:     map[int]core.PointRecord{},

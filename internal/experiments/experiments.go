@@ -114,7 +114,7 @@ type Generator func(st *Store) (*Result, error)
 var registryOrder = []string{
 	"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
 	"table3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-	"table4", "ablation", "adaptive", "topology", "summary",
+	"table4", "ablation", "adaptive", "topology", "transfer", "summary",
 }
 
 var registry = map[string]Generator{
@@ -138,6 +138,7 @@ var registry = map[string]Generator{
 	"ablation": Ablation,
 	"adaptive": AdaptiveBudget,
 	"topology": Topology,
+	"transfer": Transfer,
 	"summary":  Summary,
 }
 

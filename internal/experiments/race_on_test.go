@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled trims the 20-seed transfer sweep to the seeds that actually
+// serve predictions, keeping the race-instrumented CI run affordable; the
+// full sweep runs in the uninstrumented step.
+const raceEnabled = true

@@ -90,6 +90,9 @@ func (f *Forest) PredictProba(x []float64) []float64 {
 // Trees returns the number of trees in the ensemble.
 func (f *Forest) Trees() int { return len(f.trees) }
 
+// Classes returns the number of outcome classes the forest votes over.
+func (f *Forest) Classes() int { return f.classes }
+
 // FeatureImportance averages the member trees' normalised Gini-decrease
 // importances — the ensemble view of which application features drive the
 // sensitivity prediction (the paper's "reveals the application features

@@ -1,0 +1,222 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Forest serialization. A trained forest is flattened into a versioned JSON
+// document so the cross-campaign sense model (internal/sense) can persist it
+// across processes. The encoding is exact: thresholds and leaf distributions
+// are float64 values that round-trip bit-identically through Go's JSON
+// formatting, so PredictProba over a decoded forest is byte-identical to the
+// original — the serialization test suite pins that property. Decoding
+// validates everything (version, class count, feature indices, child links,
+// leaf distributions) and refuses schema drift with a descriptive error
+// rather than mis-loading a model trained by an incompatible binary.
+
+// forestSchemaVersion identifies the forest wire schema.
+const forestSchemaVersion = 1
+
+// nodeJSON is one flattened tree node. Internal nodes carry a feature
+// index, threshold and the indices of their children in the tree's node
+// array; leaves carry the class and distribution. Children always follow
+// their parent (strictly greater index), which makes the array acyclic by
+// construction and lets the decoder validate links in one pass.
+type nodeJSON struct {
+	Leaf      bool      `json:"leaf,omitempty"`
+	Class     int       `json:"class,omitempty"`
+	Dist      []float64 `json:"dist,omitempty"`
+	Feature   int       `json:"feature,omitempty"`
+	Threshold float64   `json:"threshold,omitempty"`
+	Left      int       `json:"left,omitempty"`
+	Right     int       `json:"right,omitempty"`
+}
+
+type treeJSON struct {
+	Nodes      []nodeJSON `json:"nodes"`
+	Importance []float64  `json:"importance,omitempty"`
+}
+
+type forestJSON struct {
+	Version  int        `json:"version"`
+	Classes  int        `json:"classes"`
+	Features []string   `json:"features"`
+	Trees    []treeJSON `json:"trees"`
+}
+
+// Encode serialises the forest as a versioned JSON document. The feature
+// column names are taken from the member trees (every tree of a forest
+// shares them); an empty forest cannot be encoded.
+func (f *Forest) Encode() ([]byte, error) {
+	if len(f.trees) == 0 {
+		return nil, fmt.Errorf("cannot encode an empty forest")
+	}
+	out := forestJSON{
+		Version:  forestSchemaVersion,
+		Classes:  f.classes,
+		Features: f.trees[0].features,
+	}
+	for _, t := range f.trees {
+		tj := treeJSON{Importance: t.importance}
+		flattenNode(t.root, &tj.Nodes)
+		out.Trees = append(out.Trees, tj)
+	}
+	return json.Marshal(out)
+}
+
+// flattenNode appends n and its subtree to nodes in pre-order and returns
+// n's index. Children land at strictly greater indices than their parent.
+func flattenNode(n *node, nodes *[]nodeJSON) int {
+	idx := len(*nodes)
+	*nodes = append(*nodes, nodeJSON{})
+	if n.leaf {
+		(*nodes)[idx] = nodeJSON{Leaf: true, Class: n.class, Dist: n.dist}
+		return idx
+	}
+	nj := nodeJSON{Feature: n.feature, Threshold: n.threshold}
+	nj.Left = flattenNode(n.left, nodes)
+	nj.Right = flattenNode(n.right, nodes)
+	(*nodes)[idx] = nj
+	return idx
+}
+
+// DecodeForest deserialises a forest encoded by Encode, returning the
+// forest and its feature column names. It refuses schema drift — a version
+// mismatch, an impossible class count, a feature index outside the feature
+// list, a malformed tree — with a descriptive error, and never panics on
+// arbitrary input.
+func DecodeForest(data []byte) (*Forest, []string, error) {
+	var in forestJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, nil, fmt.Errorf("decoding forest: %w", err)
+	}
+	if in.Version != forestSchemaVersion {
+		return nil, nil, fmt.Errorf("unsupported forest schema version %d (want %d) — model written by an incompatible build?", in.Version, forestSchemaVersion)
+	}
+	if in.Classes < 2 {
+		return nil, nil, fmt.Errorf("forest declares %d classes (need at least 2)", in.Classes)
+	}
+	if len(in.Features) == 0 {
+		return nil, nil, fmt.Errorf("forest has no feature columns")
+	}
+	if len(in.Trees) == 0 {
+		return nil, nil, fmt.Errorf("forest has no trees")
+	}
+	f := &Forest{classes: in.Classes}
+	for ti, tj := range in.Trees {
+		t, err := decodeTree(tj, in.Features, in.Classes)
+		if err != nil {
+			return nil, nil, fmt.Errorf("forest tree %d: %w", ti, err)
+		}
+		f.trees = append(f.trees, t)
+	}
+	return f, in.Features, nil
+}
+
+func decodeTree(tj treeJSON, features []string, classes int) (*Tree, error) {
+	if len(tj.Nodes) == 0 {
+		return nil, fmt.Errorf("tree has no nodes")
+	}
+	if len(tj.Importance) != 0 && len(tj.Importance) != len(features) {
+		return nil, fmt.Errorf("importance has %d entries for %d features", len(tj.Importance), len(features))
+	}
+	nodes := make([]node, len(tj.Nodes))
+	for i, nj := range tj.Nodes {
+		if nj.Leaf {
+			if nj.Class < 0 || nj.Class >= classes {
+				return nil, fmt.Errorf("node %d: leaf class %d outside %d classes", i, nj.Class, classes)
+			}
+			if len(nj.Dist) != 0 && len(nj.Dist) != classes {
+				return nil, fmt.Errorf("node %d: leaf distribution has %d entries for %d classes", i, len(nj.Dist), classes)
+			}
+			nodes[i] = node{leaf: true, class: nj.Class, dist: nj.Dist}
+			continue
+		}
+		if nj.Feature < 0 || nj.Feature >= len(features) {
+			return nil, fmt.Errorf("node %d: feature index %d outside %d features", i, nj.Feature, len(features))
+		}
+		if math.IsNaN(nj.Threshold) {
+			return nil, fmt.Errorf("node %d: NaN threshold", i)
+		}
+		// Children strictly follow their parent, so links can never form a
+		// cycle and Predict always terminates.
+		if nj.Left <= i || nj.Left >= len(tj.Nodes) {
+			return nil, fmt.Errorf("node %d: left child %d outside (%d, %d)", i, nj.Left, i, len(tj.Nodes))
+		}
+		if nj.Right <= i || nj.Right >= len(tj.Nodes) {
+			return nil, fmt.Errorf("node %d: right child %d outside (%d, %d)", i, nj.Right, i, len(tj.Nodes))
+		}
+		nodes[i] = node{feature: nj.Feature, threshold: nj.Threshold}
+	}
+	for i, nj := range tj.Nodes {
+		if !nj.Leaf {
+			nodes[i].left = &nodes[nj.Left]
+			nodes[i].right = &nodes[nj.Right]
+		}
+	}
+	imp := tj.Importance
+	if imp == nil {
+		imp = make([]float64, len(features))
+	}
+	return &Tree{root: &nodes[0], features: features, classes: classes, importance: imp}, nil
+}
+
+// Calibration holds per-class precision tallies measured on held-out data:
+// of the examples the forest assigned to each class, how many actually were
+// that class. The sense advisor turns these tallies into Wilson lower
+// bounds — a class the model has never predicted correctly on held-out data
+// can never clear the confidence gate.
+type Calibration struct {
+	Predicted []int `json:"predicted"` // held-out examples assigned to each class
+	Correct   []int `json:"correct"`   // of those, how many were that class
+}
+
+// NewCalibration builds an empty calibration over `classes` classes.
+func NewCalibration(classes int) *Calibration {
+	return &Calibration{Predicted: make([]int, classes), Correct: make([]int, classes)}
+}
+
+// Add folds one held-out prediction into the tallies.
+func (c *Calibration) Add(predicted, actual int) {
+	if predicted < 0 || predicted >= len(c.Predicted) {
+		return
+	}
+	c.Predicted[predicted]++
+	if predicted == actual {
+		c.Correct[predicted]++
+	}
+}
+
+// Classes returns the number of classes the calibration covers.
+func (c *Calibration) Classes() int { return len(c.Predicted) }
+
+// Precision returns the observed precision for a class and its support
+// (how many held-out examples the model assigned to it). Classes with no
+// support report 0 precision over 0 examples.
+func (c *Calibration) Precision(class int) (p float64, support int) {
+	if class < 0 || class >= len(c.Predicted) || c.Predicted[class] == 0 {
+		return 0, 0
+	}
+	return float64(c.Correct[class]) / float64(c.Predicted[class]), c.Predicted[class]
+}
+
+// Counts returns the raw (correct, predicted) tallies for a class — the
+// inputs to a Wilson interval over the class's precision.
+func (c *Calibration) Counts(class int) (correct, predicted int) {
+	if class < 0 || class >= len(c.Predicted) {
+		return 0, 0
+	}
+	return c.Correct[class], c.Predicted[class]
+}
+
+// Calibrate measures the forest's per-class precision on a labelled
+// holdout set.
+func (f *Forest) Calibrate(d *Dataset) *Calibration {
+	c := NewCalibration(f.classes)
+	for i := range d.X {
+		c.Add(f.Predict(d.X[i]), d.Y[i])
+	}
+	return c
+}

@@ -1,0 +1,254 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestForestSerializationRoundTrip pins the exactness contract: across 20
+// seeded forests, PredictProba over the decoded forest is byte-identical to
+// the original on every probe point.
+func TestForestSerializationRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		ds := xorDataset(200, seed)
+		f := TrainForest(ds, ForestConfig{Trees: 15, MaxDepth: 6, Seed: seed})
+
+		data, err := f.Encode()
+		if err != nil {
+			t.Fatalf("seed %d: Encode: %v", seed, err)
+		}
+		g, features, err := DecodeForest(data)
+		if err != nil {
+			t.Fatalf("seed %d: DecodeForest: %v", seed, err)
+		}
+		if len(features) != 2 || features[0] != "a" || features[1] != "b" {
+			t.Fatalf("seed %d: features round-tripped as %v", seed, features)
+		}
+		if g.Classes() != f.Classes() || g.Trees() != f.Trees() {
+			t.Fatalf("seed %d: shape changed: %d/%d classes, %d/%d trees",
+				seed, g.Classes(), f.Classes(), g.Trees(), f.Trees())
+		}
+
+		rng := rand.New(rand.NewSource(seed + 1000))
+		for i := 0; i < 50; i++ {
+			x := []float64{rng.Float64() * 1.2, rng.Float64() * 1.2}
+			before, _ := json.Marshal(f.PredictProba(x))
+			after, _ := json.Marshal(g.PredictProba(x))
+			if string(before) != string(after) {
+				t.Fatalf("seed %d: PredictProba(%v) drifted: %s -> %s", seed, x, before, after)
+			}
+		}
+
+		// A second encode of the decoded forest must reproduce the bytes.
+		data2, err := g.Encode()
+		if err != nil {
+			t.Fatalf("seed %d: re-Encode: %v", seed, err)
+		}
+		if string(data) != string(data2) {
+			t.Fatalf("seed %d: encode(decode(encode)) is not a fixed point", seed)
+		}
+
+		// Feature importance must survive too — ffexp reports it.
+		impBefore, _ := json.Marshal(f.FeatureImportance())
+		impAfter, _ := json.Marshal(g.FeatureImportance())
+		if string(impBefore) != string(impAfter) {
+			t.Fatalf("seed %d: importance drifted: %s -> %s", seed, impBefore, impAfter)
+		}
+	}
+}
+
+func TestEncodeEmptyForest(t *testing.T) {
+	if _, err := (&Forest{}).Encode(); err == nil {
+		t.Fatal("encoding an empty forest should fail")
+	}
+}
+
+// mutateForestJSON round-trips a valid encoded forest through a generic
+// map, applies an edit, and re-marshals it.
+func mutateForestJSON(t *testing.T, data []byte, edit func(m map[string]any)) []byte {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	edit(m)
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return out
+}
+
+func TestDecodeForestRefusesSchemaDrift(t *testing.T) {
+	ds := xorDataset(100, 42)
+	f := TrainForest(ds, ForestConfig{Trees: 3, MaxDepth: 4, Seed: 42})
+	valid, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		want string // substring of the refusal error
+	}{
+		{"garbage", []byte("not json at all"), "decoding forest"},
+		{"future-version", mutateForestJSON(t, valid, func(m map[string]any) {
+			m["version"] = float64(forestSchemaVersion + 1)
+		}), fmt.Sprintf("unsupported forest schema version %d (want %d)", forestSchemaVersion+1, forestSchemaVersion)},
+		{"zero-version", mutateForestJSON(t, valid, func(m map[string]any) {
+			delete(m, "version")
+		}), "unsupported forest schema version 0"},
+		{"one-class", mutateForestJSON(t, valid, func(m map[string]any) {
+			m["classes"] = float64(1)
+		}), "need at least 2"},
+		{"no-features", mutateForestJSON(t, valid, func(m map[string]any) {
+			m["features"] = []any{}
+		}), "no feature columns"},
+		{"no-trees", mutateForestJSON(t, valid, func(m map[string]any) {
+			m["trees"] = []any{}
+		}), "no trees"},
+		{"empty-tree", mutateForestJSON(t, valid, func(m map[string]any) {
+			m["trees"] = []any{map[string]any{"nodes": []any{}}}
+		}), "tree 0: tree has no nodes"},
+		{"leaf-class-out-of-range", mutateForestJSON(t, valid, func(m map[string]any) {
+			m["trees"] = []any{map[string]any{"nodes": []any{
+				map[string]any{"leaf": true, "class": float64(9)},
+			}}}
+		}), "leaf class 9 outside 2 classes"},
+		{"feature-out-of-range", mutateForestJSON(t, valid, func(m map[string]any) {
+			m["trees"] = []any{map[string]any{"nodes": []any{
+				map[string]any{"feature": float64(7), "threshold": 0.5, "left": float64(1), "right": float64(2)},
+				map[string]any{"leaf": true},
+				map[string]any{"leaf": true, "class": float64(1)},
+			}}}
+		}), "feature index 7 outside 2 features"},
+		{"self-referencing-child", mutateForestJSON(t, valid, func(m map[string]any) {
+			m["trees"] = []any{map[string]any{"nodes": []any{
+				map[string]any{"feature": float64(0), "threshold": 0.5, "left": float64(0), "right": float64(1)},
+				map[string]any{"leaf": true},
+			}}}
+		}), "left child 0 outside"},
+		{"child-out-of-bounds", mutateForestJSON(t, valid, func(m map[string]any) {
+			m["trees"] = []any{map[string]any{"nodes": []any{
+				map[string]any{"feature": float64(0), "threshold": 0.5, "left": float64(1), "right": float64(5)},
+				map[string]any{"leaf": true},
+			}}}
+		}), "right child 5 outside"},
+		{"dist-wrong-length", mutateForestJSON(t, valid, func(m map[string]any) {
+			m["trees"] = []any{map[string]any{"nodes": []any{
+				map[string]any{"leaf": true, "dist": []any{0.5}},
+			}}}
+		}), "leaf distribution has 1 entries for 2 classes"},
+		{"importance-wrong-length", mutateForestJSON(t, valid, func(m map[string]any) {
+			m["trees"] = []any{map[string]any{
+				"nodes":      []any{map[string]any{"leaf": true}},
+				"importance": []any{0.1, 0.2, 0.7},
+			}}
+		}), "importance has 3 entries for 2 features"},
+	}
+	for _, tc := range cases {
+		_, _, err := DecodeForest(tc.data)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: DecodeForest = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestSingleClassDatasetMetrics covers the degenerate case where every
+// label is the same class: Accuracy, ConfusionMatrix and PerClassRecall
+// must all stay well-defined (no division by zero, recall -1 on the class
+// with no support).
+func TestSingleClassDatasetMetrics(t *testing.T) {
+	ds := &Dataset{Features: []string{"x"}, Classes: 2}
+	for i := 0; i < 30; i++ {
+		ds.X = append(ds.X, []float64{float64(i)})
+		ds.Y = append(ds.Y, 0)
+	}
+	f := TrainForest(ds, ForestConfig{Trees: 5, Seed: 1})
+
+	if acc := f.Accuracy(ds); acc != 1 {
+		t.Fatalf("single-class accuracy = %v, want 1", acc)
+	}
+	m := f.ConfusionMatrix(ds)
+	if m[0][0] != 30 || m[0][1] != 0 || m[1][0] != 0 || m[1][1] != 0 {
+		t.Fatalf("single-class confusion matrix = %v", m)
+	}
+	recall, support := f.PerClassRecall(ds)
+	if recall[0] != 1 || support[0] != 30 {
+		t.Fatalf("present class: recall=%v support=%v", recall[0], support[0])
+	}
+	if recall[1] != -1 || support[1] != 0 {
+		t.Fatalf("support-0 class must report recall -1, got recall=%v support=%v", recall[1], support[1])
+	}
+
+	// Empty dataset: all three metrics must be callable without panicking.
+	empty := &Dataset{Features: []string{"x"}, Classes: 2}
+	if acc := f.Accuracy(empty); acc != 0 {
+		t.Fatalf("empty-dataset accuracy = %v, want 0", acc)
+	}
+	em := f.ConfusionMatrix(empty)
+	for c := 0; c < 2; c++ {
+		for p := 0; p < 2; p++ {
+			if em[c][p] != 0 {
+				t.Fatalf("empty-dataset confusion matrix = %v", em)
+			}
+		}
+	}
+	er, es := f.PerClassRecall(empty)
+	if er[0] != -1 || er[1] != -1 || es[0] != 0 || es[1] != 0 {
+		t.Fatalf("empty-dataset recall=%v support=%v", er, es)
+	}
+}
+
+func TestCalibrationPrecision(t *testing.T) {
+	c := NewCalibration(3)
+	c.Add(0, 0)
+	c.Add(0, 0)
+	c.Add(0, 1) // one wrong prediction of class 0
+	c.Add(2, 2)
+	c.Add(-1, 0) // out-of-range predictions are ignored
+	c.Add(3, 0)
+
+	if c.Classes() != 3 {
+		t.Fatalf("Classes() = %d", c.Classes())
+	}
+	if p, n := c.Precision(0); n != 3 || p < 0.66 || p > 0.67 {
+		t.Fatalf("class 0 precision = %v over %d", p, n)
+	}
+	if p, n := c.Precision(1); p != 0 || n != 0 {
+		t.Fatalf("unpredicted class precision = %v over %d", p, n)
+	}
+	if p, n := c.Precision(2); p != 1 || n != 1 {
+		t.Fatalf("class 2 precision = %v over %d", p, n)
+	}
+	if k, n := c.Counts(0); k != 2 || n != 3 {
+		t.Fatalf("class 0 counts = %d/%d", k, n)
+	}
+	if k, n := c.Counts(9); k != 0 || n != 0 {
+		t.Fatalf("out-of-range counts = %d/%d", k, n)
+	}
+}
+
+func TestCalibrateAgainstHoldout(t *testing.T) {
+	train := xorDataset(300, 50)
+	hold := xorDataset(100, 51)
+	f := TrainForest(train, ForestConfig{Trees: 20, Seed: 52})
+	cal := f.Calibrate(hold)
+	total := 0
+	for c := 0; c < cal.Classes(); c++ {
+		_, n := cal.Precision(c)
+		total += n
+	}
+	if total != hold.Len() {
+		t.Fatalf("calibration covered %d of %d holdout rows", total, hold.Len())
+	}
+	// The forest learns XOR well, so pooled precision should be high.
+	correct := cal.Correct[0] + cal.Correct[1]
+	if frac := float64(correct) / float64(total); frac < 0.85 {
+		t.Fatalf("pooled holdout precision = %.2f", frac)
+	}
+}

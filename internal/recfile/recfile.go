@@ -1,0 +1,78 @@
+// Package recfile implements the length-prefixed, checksummed record-line
+// grammar shared by the repository's durable logs: the distributed
+// coordinator's write-ahead log (internal/dist) and the cross-campaign
+// sense feature store and model files (internal/sense). One record per
+// line, each line a fixed-width hex length prefix, a CRC32 of the payload
+// and the payload itself:
+//
+//	llllllll cccccccc {payload}\n
+//
+// Appends are single writes of whole lines, so a crash can at worst leave
+// one torn trailing line; Split isolates that tail so openers can discard
+// and truncate it, while a checksum or length failure anywhere *before*
+// the tail is real corruption that ParseLine reports as a descriptive
+// error, never silently skips.
+package recfile
+
+import (
+	"fmt"
+	"hash/crc32"
+	"strconv"
+	"strings"
+)
+
+// prefixLen is the byte length of "llllllll cccccccc " — two fixed-width
+// lowercase-hex fields and their separating spaces.
+const prefixLen = 18
+
+// EncodeLine renders one payload as a complete record line, trailing
+// newline included.
+func EncodeLine(payload []byte) []byte {
+	line := make([]byte, 0, len(payload)+prefixLen+1)
+	line = fmt.Appendf(line, "%08x %08x ", len(payload), crc32.ChecksumIEEE(payload))
+	line = append(line, payload...)
+	return append(line, '\n')
+}
+
+// ParseLine validates one complete line (without its newline) and returns
+// the payload.
+func ParseLine(line string) ([]byte, error) {
+	if len(line) < prefixLen {
+		return nil, fmt.Errorf("short record prefix (%d bytes)", len(line))
+	}
+	if line[8] != ' ' || line[17] != ' ' {
+		return nil, fmt.Errorf("malformed length/checksum prefix %q", line[:prefixLen])
+	}
+	n, err := strconv.ParseUint(line[:8], 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("malformed length prefix %q", line[:8])
+	}
+	sum, err := strconv.ParseUint(line[9:17], 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("malformed checksum prefix %q", line[9:17])
+	}
+	payload := line[prefixLen:]
+	if uint64(len(payload)) != n {
+		return nil, fmt.Errorf("payload is %d bytes, record declares %d", len(payload), n)
+	}
+	if got := crc32.ChecksumIEEE([]byte(payload)); uint64(got) != sum {
+		return nil, fmt.Errorf("checksum mismatch: payload sums to %08x, record declares %08x", got, sum)
+	}
+	return []byte(payload), nil
+}
+
+// Split divides a log's bytes into its complete lines (newlines stripped,
+// not yet validated — run each through ParseLine). A well-formed log ends
+// with "\n"; any bytes after the final newline are a torn final append,
+// reported via tornTail and excluded from the returned lines. validLen is
+// the byte length up to and including the last complete line — what an
+// opener truncates a torn log to before appending.
+func Split(data []byte) (lines []string, tornTail bool, validLen int64) {
+	lines = strings.Split(string(data), "\n")
+	tornTail = lines[len(lines)-1] != ""
+	validLen = int64(len(data))
+	if tornTail {
+		validLen -= int64(len(lines[len(lines)-1]))
+	}
+	return lines[:len(lines)-1], tornTail, validLen
+}

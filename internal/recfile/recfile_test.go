@@ -1,0 +1,97 @@
+package recfile
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	payloads := []string{
+		`{}`,
+		`{"kind":"record","n":1}`,
+		"",
+		strings.Repeat("x", 4096),
+		"payload with spaces and \x00 bytes",
+	}
+	for _, p := range payloads {
+		line := EncodeLine([]byte(p))
+		if line[len(line)-1] != '\n' {
+			t.Fatalf("EncodeLine(%q) does not end in newline", p)
+		}
+		got, err := ParseLine(string(line[:len(line)-1]))
+		if err != nil {
+			t.Fatalf("ParseLine(EncodeLine(%q)): %v", p, err)
+		}
+		if string(got) != p {
+			t.Fatalf("round trip of %q returned %q", p, got)
+		}
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	good := EncodeLine([]byte(`{"a":1}`))
+	goodLine := string(good[:len(good)-1])
+
+	cases := []struct {
+		name string
+		line string
+		want string // substring of the error
+	}{
+		{"short", "0000", "short record prefix (4 bytes)"},
+		{"no-spaces", strings.Repeat("0", prefixLen) + "{}", "malformed length/checksum prefix"},
+		{"bad-length-hex", "zzzzzzzz 00000000 {}", "malformed length prefix"},
+		{"bad-checksum-hex", "00000002 zzzzzzzz {}", "malformed checksum prefix"},
+		{"length-mismatch", goodLine[:9] + goodLine[9:17] + " " + `{"a":1}x`, "record declares"},
+		{"checksum-mismatch", goodLine[:9] + "deadbeef" + goodLine[17:], "checksum mismatch"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseLine(tc.line); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: ParseLine(%q) = %v, want error containing %q", tc.name, tc.line, err, tc.want)
+		}
+	}
+}
+
+func TestSplitTornTail(t *testing.T) {
+	a := EncodeLine([]byte(`{"a":1}`))
+	b := EncodeLine([]byte(`{"b":2}`))
+	whole := append(append([]byte{}, a...), b...)
+
+	lines, torn, validLen := Split(whole)
+	if torn || len(lines) != 2 || validLen != int64(len(whole)) {
+		t.Fatalf("Split(whole) = %d lines, torn=%v, validLen=%d", len(lines), torn, validLen)
+	}
+
+	// Chop bytes off the tail: every truncation point inside the final line
+	// must report a torn tail whose validLen is exactly the first line.
+	for cut := len(whole) - 1; cut > len(a); cut-- {
+		lines, torn, validLen := Split(whole[:cut])
+		if !torn {
+			t.Fatalf("Split(cut at %d): torn tail not detected", cut)
+		}
+		if len(lines) != 1 || validLen != int64(len(a)) {
+			t.Fatalf("Split(cut at %d) = %d lines, validLen=%d (want 1 line, %d)", cut, len(lines), validLen, len(a))
+		}
+	}
+}
+
+func TestSplitEveryLineParses(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 50; i++ {
+		buf.Write(EncodeLine([]byte(fmt.Sprintf(`{"i":%d}`, i))))
+	}
+	lines, torn, _ := Split(buf.Bytes())
+	if torn || len(lines) != 50 {
+		t.Fatalf("Split = %d lines, torn=%v", len(lines), torn)
+	}
+	for i, line := range lines {
+		payload, err := ParseLine(line)
+		if err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if want := fmt.Sprintf(`{"i":%d}`, i); string(payload) != want {
+			t.Fatalf("line %d payload %q, want %q", i, payload, want)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package sense
+
+import (
+	"math"
+	"sync"
+
+	"github.com/fastfit/fastfit/internal/stats"
+)
+
+// Advice is one served prediction: the predicted dominant outcome class
+// and the Wilson-derived confidence behind it.
+type Advice struct {
+	Outcome    int
+	Confidence float64
+}
+
+// AdvisorConfig parameterises the prediction cache.
+type AdvisorConfig struct {
+	// Gate is the confidence floor a prediction must clear to be served in
+	// place of real injection. The confidence is a Wilson lower bound, which
+	// is strictly below 1 for any finite evidence, so a gate of 1.0 (or
+	// above) disables serving entirely — the differential identity tests
+	// rely on that degenerate setting. A gate of 0 serves everything the
+	// calibration has any support for.
+	Gate float64
+	// Confidence is the Wilson interval confidence behind the bound;
+	// values outside (0,1) default to 0.95.
+	Confidence float64
+}
+
+// Advisor serves cached zero-trial predictions from a trained model. It is
+// safe for concurrent use.
+type Advisor struct {
+	model *Model
+	cfg   AdvisorConfig
+
+	mu        sync.Mutex
+	cache     map[string]advice // feature subspace → gated decision
+	served    int
+	fallback  int
+	cacheHits int
+}
+
+// advice is a cached gate decision: the prediction plus whether it cleared
+// the gate.
+type advice struct {
+	Advice
+	serve bool
+}
+
+// AdvisorStats counts the advisor's traffic: predictions served in place
+// of injection, queries that fell back to real injection, and queries
+// answered from the subspace cache.
+type AdvisorStats struct {
+	Served    int
+	Fallback  int
+	CacheHits int
+}
+
+// NewAdvisor builds a prediction cache over a trained model.
+func NewAdvisor(m *Model, cfg AdvisorConfig) *Advisor {
+	if cfg.Confidence <= 0 || cfg.Confidence >= 1 {
+		cfg.Confidence = 0.95
+	}
+	return &Advisor{model: m, cfg: cfg, cache: map[string]advice{}}
+}
+
+// Gate returns the configured confidence floor.
+func (a *Advisor) Gate() float64 { return a.cfg.Gate }
+
+// Advise predicts the dominant outcome for a feature subspace. It serves
+// the prediction (ok true) only when its confidence clears the gate; a
+// prediction below the gate is counted as a fallback and the caller must
+// measure the point by real injection.
+//
+// The confidence is the weaker of two Wilson lower bounds: the ensemble's
+// vote share for the predicted class (how sure the model is about this
+// subspace) and the leave-one-app-out calibration precision for that class
+// (how often such predictions were right on apps the model never saw).
+// Either kind of doubt alone forces a fallback.
+func (a *Advisor) Advise(f Features) (Advice, bool) {
+	key := f.key()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ad, hit := a.cache[key]
+	if hit {
+		a.cacheHits++
+	} else {
+		ad = a.decide(f)
+		a.cache[key] = ad
+	}
+	if ad.serve {
+		a.served++
+		return ad.Advice, true
+	}
+	a.fallback++
+	return ad.Advice, false
+}
+
+// decide computes the gate decision for one subspace. A subspace outside
+// the training envelope is never served — the forest would extrapolate —
+// and reports zero confidence. Inside it, serving requires the vote bound
+// to clear the fixed VoteBar — the training-time calibration tallies only
+// predictions above it, so anything below is outside the population the
+// calibration measured — and the combined confidence to clear the
+// configured gate.
+func (a *Advisor) decide(f Features) advice {
+	vec := f.Vector()
+	if !a.model.Support.Contains(vec) {
+		return advice{}
+	}
+	class, voteLo := votedClass(a.model.Forest, vec, a.cfg.Confidence)
+	correct, predicted := a.model.Cal.Counts(class)
+	calLo := stats.WilsonLower(correct, predicted, a.cfg.Confidence)
+	conf := math.Min(voteLo, calLo)
+
+	serve := a.cfg.Gate < 1 && voteLo > VoteBar && conf > a.cfg.Gate
+	return advice{Advice: Advice{Outcome: class, Confidence: conf}, serve: serve}
+}
+
+// Stats returns the advisor's traffic counters.
+func (a *Advisor) Stats() AdvisorStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdvisorStats{Served: a.served, Fallback: a.fallback, CacheHits: a.cacheHits}
+}

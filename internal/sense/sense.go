@@ -1,0 +1,173 @@
+// Package sense implements cross-campaign sensitivity: a durable feature
+// store that accumulates per-point records from finished campaigns, a
+// trainer that fits one forest over the union of every stored campaign
+// (with per-app holdout calibration), and a prediction cache that answers
+// "is this injection point sensitive?" for new apps or parameter subspaces
+// with zero trials.
+//
+// The paper's random forest is trained per-campaign and thrown away; this
+// package persists what those campaigns learned. Records carry the
+// call-stack/semantic features the paper identifies (collective type,
+// execution phase, injection-site depth, invocation counts, rank count,
+// app id) plus the settled outcome tally, keyed by campaign fingerprint so
+// re-ingesting the same campaign is a no-op. A trained model serves
+// Advise(features) → (outcome, confidence); predictions whose Wilson-derived
+// confidence does not clear the configured gate fall back to real injection
+// through the ordinary engine, so the gate at 1.0 degenerates to a campaign
+// byte-identical to a never-sensed run (the differential suite pins this).
+//
+// The app id is identity only — it keys the store and the leave-one-app-out
+// calibration split but is deliberately excluded from the design matrix, so
+// the model can only transfer through the semantic features and a new app
+// never needs an embedding.
+package sense
+
+import (
+	"fmt"
+
+	"github.com/fastfit/fastfit/internal/classify"
+)
+
+// Classes is the number of outcome classes a record tallies — the paper's
+// Table I taxonomy.
+const Classes = int(classify.NumOutcomes)
+
+// FeatureNames are the transferable feature columns, in the order Vector
+// emits them. The app id is not among them (identity only, never a model
+// input). Policy is: a fault-injection subspace is only comparable across
+// campaigns that corrupted the same thing, so the campaign's fault policy
+// is part of the subspace, not of the app identity.
+var FeatureNames = []string{
+	"Ranks", "Policy", "Type", "Phase", "ErrHal", "IsRoot", "nInv", "StackDep", "nDiffStack",
+}
+
+// categoricalCols are the FeatureNames indices whose values are category
+// ids, not magnitudes: a forest threshold between two seen categories says
+// nothing about an unseen one, so the training-support guard requires an
+// exact value match for these columns (and a range match for the rest).
+var categoricalCols = []int{1, 2, 3} // Policy, Type, Phase
+
+// Features identifies one injection-point subspace in transferable terms.
+type Features struct {
+	// App is the application the record came from. Identity only: it keys
+	// the store and the holdout split, and is excluded from Vector.
+	App string `json:"app"`
+
+	Ranks       int  `json:"ranks"`
+	Policy      int  `json:"policy"`
+	CollType    int  `json:"collType"`
+	Phase       int  `json:"phase"`
+	ErrHandling bool `json:"errHandling,omitempty"`
+	IsRoot      bool `json:"isRoot,omitempty"`
+	NInv        int  `json:"nInv"`
+	StackDepth  int  `json:"stackDepth"`
+	NDiffStacks int  `json:"nDiffStacks"`
+}
+
+// Vector encodes the transferable features numerically, in FeatureNames
+// order.
+func (f Features) Vector() []float64 {
+	errHal, isRoot := 0.0, 0.0
+	if f.ErrHandling {
+		errHal = 1
+	}
+	if f.IsRoot {
+		isRoot = 1
+	}
+	return []float64{
+		float64(f.Ranks),
+		float64(f.Policy),
+		float64(f.CollType),
+		float64(f.Phase),
+		errHal,
+		isRoot,
+		float64(f.NInv),
+		float64(f.StackDepth),
+		float64(f.NDiffStacks),
+	}
+}
+
+// key identifies the feature subspace for the prediction cache. The app id
+// is excluded: two apps probing the same subspace get the same advice.
+func (f Features) key() string {
+	return fmt.Sprintf("%d|%d|%d|%d|%v|%v|%d|%d|%d",
+		f.Ranks, f.Policy, f.CollType, f.Phase, f.ErrHandling, f.IsRoot,
+		f.NInv, f.StackDepth, f.NDiffStacks)
+}
+
+// Record is one stored observation: a feature subspace and the settled
+// outcome tally a finished campaign measured there.
+type Record struct {
+	Features
+	// Counts tallies trial outcomes per class, indexed by
+	// classify.Outcome; always Classes entries long.
+	Counts []int `json:"counts"`
+	// Trials is the total number of trials behind Counts.
+	Trials int `json:"trials"`
+}
+
+// Dominant returns the record's most frequent outcome class, ties broken
+// by the lower class index — the same rule as PointResult.MajorityOutcome,
+// so a stored record and a live campaign agree on what "dominant" means.
+func (r Record) Dominant() int {
+	best := 0
+	for c, v := range r.Counts {
+		if v > r.Counts[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// PoolBySubspace merges records sharing an identical Features value
+// (including the app id) by summing their outcome tallies, preserving
+// first-seen order. Distinct injection points of one campaign often
+// collapse onto one transferable subspace; the model predicts (and the
+// Advisor caches) at subspace granularity, so training and evaluation pool
+// to the same granularity first — otherwise two same-subspace points with
+// different per-point majorities would feed the forest contradictory
+// labels. Records must be mutually consistent (same Counts width).
+func PoolBySubspace(recs []Record) []Record {
+	idx := map[Features]int{}
+	var out []Record
+	for _, r := range recs {
+		i, ok := idx[r.Features]
+		if !ok {
+			idx[r.Features] = len(out)
+			nr := r
+			nr.Counts = append([]int(nil), r.Counts...)
+			out = append(out, nr)
+			continue
+		}
+		for c := range out[i].Counts {
+			out[i].Counts[c] += r.Counts[c]
+		}
+		out[i].Trials += r.Trials
+	}
+	return out
+}
+
+// validate rejects malformed records: a tally of the wrong width or with
+// negative entries would corrupt training and dominant-class extraction.
+func (r Record) validate() error {
+	if r.App == "" {
+		return fmt.Errorf("record has no app id")
+	}
+	if len(r.Counts) != Classes {
+		return fmt.Errorf("record tallies %d classes (want %d)", len(r.Counts), Classes)
+	}
+	total := 0
+	for c, v := range r.Counts {
+		if v < 0 {
+			return fmt.Errorf("record count for class %d is negative", c)
+		}
+		total += v
+	}
+	if total == 0 {
+		return fmt.Errorf("record has no trials")
+	}
+	if r.Trials != total {
+		return fmt.Errorf("record declares %d trials but tallies sum to %d", r.Trials, total)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWilsonLowerBasics(t *testing.T) {
+	if got := WilsonLower(5, 0, 0.95); got != 0 {
+		t.Fatalf("WilsonLower with n=0 = %v, want 0", got)
+	}
+	if got := WilsonLower(0, 20, 0.95); got != 0 {
+		t.Fatalf("WilsonLower with k=0 = %v, want 0", got)
+	}
+	// Unanimous evidence still has a lower bound strictly below 1 — the
+	// property that makes a floor of 1.0 unreachable.
+	for _, n := range []int{1, 5, 50, 5000} {
+		if lo := WilsonLower(n, n, 0.95); lo >= 1 {
+			t.Fatalf("WilsonLower(%d,%d) = %v, want < 1", n, n, lo)
+		}
+	}
+	// More evidence tightens the bound.
+	if WilsonLower(50, 50, 0.95) <= WilsonLower(5, 5, 0.95) {
+		t.Fatal("50/50 should bound tighter than 5/5")
+	}
+}
+
+func TestConfidentAboveDegenerateParameters(t *testing.T) {
+	cases := []struct {
+		name            string
+		k, n            int
+		confidence, flr float64
+	}{
+		{"no-evidence", 0, 0, 0.95, 0.5},
+		{"negative-n", 3, -1, 0.95, 0.5},
+		{"floor-one", 100, 100, 0.95, 1.0},
+		{"floor-above-one", 100, 100, 0.95, 1.5},
+		{"confidence-one", 100, 100, 1.0, 0.5},
+		{"confidence-above-one", 100, 100, 2.0, 0.5},
+	}
+	for _, tc := range cases {
+		if ConfidentAbove(tc.k, tc.n, tc.confidence, tc.flr) {
+			t.Errorf("%s: ConfidentAbove(%d, %d, %v, %v) fired", tc.name, tc.k, tc.n, tc.confidence, tc.flr)
+		}
+	}
+}
+
+func TestConfidentAboveFiresOnStrongEvidence(t *testing.T) {
+	if !ConfidentAbove(98, 100, 0.95, 0.75) {
+		t.Fatal("98/100 should clear a 0.75 floor at 95% confidence")
+	}
+	if ConfidentAbove(8, 10, 0.95, 0.75) {
+		t.Fatal("8/10 should not clear a 0.75 floor at 95% confidence")
+	}
+}
+
+// TestGateFalseConfidenceRate is the gate's analogue of the settling test's
+// false-stop bound: across 1,000 seeded synthetic outcome streams whose true
+// proportion sits exactly at the floor, the claim "proportion > floor" is
+// wrong by construction in every stream, so the rate at which the gate
+// declares confidence anyway must stay below the configured alpha.
+func TestGateFalseConfidenceRate(t *testing.T) {
+	const (
+		streams    = 1000
+		n          = 60
+		confidence = 0.95
+	)
+	alpha := 1 - confidence
+	for _, floor := range []float64{0.5, 0.7, 0.9} {
+		wrong := 0
+		for s := 0; s < streams; s++ {
+			rng := rand.New(rand.NewSource(int64(s)*7919 + int64(floor*1000)))
+			k := 0
+			for i := 0; i < n; i++ {
+				if rng.Float64() < floor {
+					k++
+				}
+			}
+			if ConfidentAbove(k, n, confidence, floor) {
+				wrong++
+			}
+		}
+		rate := float64(wrong) / float64(streams)
+		t.Logf("floor %.1f: %d/%d streams falsely confident (%.3f)", floor, wrong, streams, rate)
+		if rate >= alpha {
+			t.Errorf("floor %.1f: false-confidence rate %.3f (%d/%d) >= alpha %.2f",
+				floor, rate, wrong, streams, alpha)
+		}
+	}
+}
